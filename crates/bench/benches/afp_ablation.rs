@@ -1,0 +1,49 @@
+//! Ablation: the naive per-iteration recomputation of the paper versus the
+//! warm-started evaluation of the increasing underestimate chain
+//! (`Strategy::IncrementalUnder`, see DESIGN.md). Path-graph win–move
+//! instances maximize alternation depth, where the incremental strategy's
+//! advantage should be largest; shallow random instances bound the
+//! overhead in the uninteresting case.
+
+use afp_bench::gen::{self, Graph};
+use afp_core::afp::{alternating_fixpoint_with, AfpOptions, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_strategy(
+    c: &mut Criterion,
+    group_name: &str,
+    prog: &afp_datalog::GroundProgram,
+    param: usize,
+) {
+    let mut group = c.benchmark_group(group_name);
+    for (label, strategy) in [
+        ("naive", Strategy::Naive),
+        ("incremental_under", Strategy::IncrementalUnder),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, param), prog, |b, p| {
+            b.iter(|| {
+                alternating_fixpoint_with(
+                    p,
+                    &AfpOptions {
+                        strategy,
+                        record_trace: false,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn afp_ablation(c: &mut Criterion) {
+    for n in [256usize, 1024] {
+        let prog = gen::win_move_ground(&Graph::path(n));
+        bench_strategy(c, "afp_ablation/deep_path", &prog, n);
+    }
+    let g = Graph::random_regular_out(2000, 3, 31);
+    let prog = gen::win_move_ground(&g);
+    bench_strategy(c, "afp_ablation/shallow_random", &prog, 2000);
+}
+
+criterion_group!(benches, afp_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Section 5 complexity claim: the alternating fixpoint is polynomial in
+//! the size of the Herbrand base. Win–move instances of growing size; the
+//! reported times should grow polynomially (roughly linearly ×
+//! alternation depth), never combinatorially.
+
+use afp_bench::gen::{self, Graph};
+use afp_core::afp::alternating_fixpoint;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn afp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afp_scaling/win_move_random");
+    for n in [250usize, 500, 1000, 2000, 4000] {
+        let g = Graph::random_regular_out(n, 3, 7 + n as u64);
+        let prog = gen::win_move_ground(&g);
+        group.throughput(Throughput::Elements(prog.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| alternating_fixpoint(prog))
+        });
+    }
+    group.finish();
+
+    // Path graphs are the alternation-depth worst case (≈ n/2 rounds, each
+    // a linear pass): quadratic total, still polynomial.
+    let mut group = c.benchmark_group("afp_scaling/win_move_path");
+    for n in [64usize, 256, 1024] {
+        let prog = gen::win_move_ground(&Graph::path(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| alternating_fixpoint(prog))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, afp_scaling);
+criterion_main!(benches);

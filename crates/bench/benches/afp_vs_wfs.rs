@@ -1,0 +1,63 @@
+//! Theorem 7.8 head-to-head: the constructive alternating fixpoint versus
+//! the original unfounded-set formulation of the well-founded semantics
+//! (and the weaker Fitting fixpoint) on identical inputs. Both are
+//! polynomial; the constant factors differ because `W_P` recomputes a
+//! greatest-unfounded-set closure per round.
+
+use afp_bench::gen::{self, Graph};
+use afp_core::afp::alternating_fixpoint;
+use afp_semantics::{fitting_model, well_founded_model};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn afp_vs_wfs(c: &mut Criterion) {
+    let sizes = [500usize, 2000];
+    for n in sizes {
+        let g = Graph::random_regular_out(n, 3, 11 + n as u64);
+        let prog = gen::win_move_ground(&g);
+        let mut group = c.benchmark_group(format!("afp_vs_wfs/n{n}"));
+        group.bench_with_input(BenchmarkId::new("alternating", n), &prog, |b, p| {
+            b.iter(|| alternating_fixpoint(p))
+        });
+        group.bench_with_input(BenchmarkId::new("unfounded_sets", n), &prog, |b, p| {
+            b.iter(|| well_founded_model(p))
+        });
+        group.bench_with_input(BenchmarkId::new("fitting", n), &prog, |b, p| {
+            b.iter(|| fitting_model(p))
+        });
+        group.finish();
+    }
+
+    // Random ground programs with heavy negation.
+    let prog = gen::random_ground_program(2000, 6000, 0.5, 4242);
+    let mut group = c.benchmark_group("afp_vs_wfs/random_ground");
+    group.bench_function("alternating", |b| b.iter(|| alternating_fixpoint(&prog)));
+    group.bench_function("unfounded_sets", |b| b.iter(|| well_founded_model(&prog)));
+    group.finish();
+
+    // Component-wise vs global evaluation (the Section 9 tractability
+    // direction; see afp-semantics::modular). Knot chains have many small
+    // SCCs but shallow global iteration; deep win–move paths force the
+    // global computation into Θ(n) alternation rounds while every
+    // component stays a singleton — that is where modularity pays.
+    for k in [100usize, 400] {
+        let prog = gen::knot_chain(k);
+        let mut group = c.benchmark_group(format!("afp_vs_wfs/knot_chain_{k}"));
+        group.bench_function("global", |b| b.iter(|| alternating_fixpoint(&prog)));
+        group.bench_function("modular", |b| {
+            b.iter(|| afp_semantics::modular_wfs(&prog))
+        });
+        group.finish();
+    }
+    for n in [256usize, 1024] {
+        let prog = gen::win_move_ground(&Graph::path(n));
+        let mut group = c.benchmark_group(format!("afp_vs_wfs/deep_path_{n}"));
+        group.bench_function("global", |b| b.iter(|| alternating_fixpoint(&prog)));
+        group.bench_function("modular", |b| {
+            b.iter(|| afp_semantics::modular_wfs(&prog))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, afp_vs_wfs);
+criterion_main!(benches);

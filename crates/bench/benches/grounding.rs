@@ -1,0 +1,33 @@
+//! Grounder benchmarks: relevance-based instantiation over the positive
+//! envelope (see `afp-datalog::ground`). Measures envelope computation
+//! and full grounding on tc/ntc and win–move workloads.
+
+use afp_bench::gen::{self, Graph};
+use afp_datalog::ground::{positive_envelope, GroundOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding/tc_ntc");
+    for n in [20usize, 40] {
+        let ast = gen::tc_ntc_ast(&Graph::random(n, 0.08, 3));
+        group.bench_with_input(BenchmarkId::new("full", n), &ast, |b, ast| {
+            b.iter(|| afp_datalog::ground(ast).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("envelope_only", n), &ast, |b, ast| {
+            b.iter(|| positive_envelope(ast, &GroundOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("grounding/win_move");
+    for n in [500usize, 2000] {
+        let ast = gen::win_move_ast(&Graph::random_regular_out(n, 3, 17));
+        group.bench_with_input(BenchmarkId::new("full", n), &ast, |b, ast| {
+            b.iter(|| afp_datalog::ground(ast).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, grounding);
+criterion_main!(benches);

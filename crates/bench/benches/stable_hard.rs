@@ -1,0 +1,42 @@
+//! Section 2.4: the complexity cliff between the well-founded semantics
+//! (polynomial) and stable models (NP-complete). Random 3-SAT instances
+//! near the satisfiability phase transition, reduced to normal programs
+//! whose stable models are the satisfying assignments. The stable series
+//! grows combinatorially with the variable count; the WFS series does not.
+
+use afp_bench::gen;
+use afp_core::afp::alternating_fixpoint;
+use afp_semantics::stable::{enumerate_stable, EnumerateOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn stable_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_hard");
+    group.sample_size(10);
+    for n_vars in [8usize, 10, 12] {
+        let n_clauses = (n_vars as f64 * 4.26).round() as usize;
+        let clauses = gen::random_3sat(n_vars, n_clauses, 99 + n_vars as u64);
+        let prog = gen::sat_to_stable(n_vars, &clauses);
+        group.bench_with_input(
+            BenchmarkId::new("enumerate_stable", n_vars),
+            &prog,
+            |b, p| {
+                b.iter(|| {
+                    enumerate_stable(
+                        p,
+                        &EnumerateOptions {
+                            max_models: usize::MAX,
+                            max_nodes: 2_000_000,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("wfs_same_input", n_vars), &prog, |b, p| {
+            b.iter(|| alternating_fixpoint(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stable_hard);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Example 2.2 workload: transitive closure and its complement. Measures
+//! the full pipeline (ground + solve) for the well-founded semantics and
+//! the inflationary fixpoint on chain, cycle, and random graphs.
+
+use afp_bench::gen::{self, Graph};
+use afp_core::afp::alternating_fixpoint;
+use afp_semantics::inflationary::inflationary_fixpoint;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tc_ntc(c: &mut Criterion) {
+    let shapes: Vec<(&str, Graph)> = vec![
+        ("path", Graph::path(40)),
+        ("cycle", Graph::cycle(40)),
+        ("random", Graph::random(40, 0.05, 5)),
+    ];
+    for (name, g) in shapes {
+        let ast = gen::tc_ntc_ast(&g);
+        let ground = afp_datalog::ground(&ast).expect("grounds");
+        let mut group = c.benchmark_group(format!("tc_ntc/{name}"));
+        group.bench_function("ground_only", |b| {
+            b.iter(|| afp_datalog::ground(&ast).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("wfs", 40), &ground, |b, p| {
+            b.iter(|| alternating_fixpoint(p))
+        });
+        group.bench_with_input(BenchmarkId::new("inflationary", 40), &ground, |b, p| {
+            b.iter(|| inflationary_fixpoint(p))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, tc_ntc);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Reference solver for the win–move game (Example 5.2).
+//!
+//! Independent of all logic-programming machinery: classic retrograde
+//! analysis. A position *loses* when it has no moves or every move reaches
+//! a winning position; *wins* when some move reaches a losing position;
+//! positions decided by neither rule (cycles) are *drawn*. The paper's
+//! claim — `wins(x)` is true / false / undefined in the well-founded model
+//! exactly as x wins / loses / draws — is property-tested against this
+//! solver in the integration suite.
+
+use crate::gen::Graph;
+
+/// Game-theoretic value of a position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GameValue {
+    /// The player to move wins.
+    Win,
+    /// The player to move loses.
+    Lose,
+    /// Neither side can force a result (infinite play).
+    Draw,
+}
+
+/// Solve the game on a graph by retrograde analysis (BFS from sinks).
+pub fn solve(g: &Graph) -> Vec<GameValue> {
+    let n = g.n;
+    let mut succ_count = vec![0u32; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in &g.edges {
+        succ_count[u as usize] += 1;
+        preds[v as usize].push(u);
+    }
+    let mut value: Vec<Option<GameValue>> = vec![None; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for x in 0..n {
+        if succ_count[x] == 0 {
+            value[x] = Some(GameValue::Lose);
+            queue.push(x as u32);
+        }
+    }
+    // `remaining[x]`: undecided successors; when it hits zero with no
+    // losing successor found, x loses.
+    let mut remaining = succ_count.clone();
+    while let Some(x) = queue.pop() {
+        let vx = value[x as usize].expect("queued positions are decided");
+        for &p in &preds[x as usize] {
+            if value[p as usize].is_some() {
+                continue;
+            }
+            match vx {
+                GameValue::Lose => {
+                    value[p as usize] = Some(GameValue::Win);
+                    queue.push(p);
+                }
+                GameValue::Win => {
+                    remaining[p as usize] -= 1;
+                    if remaining[p as usize] == 0 {
+                        value[p as usize] = Some(GameValue::Lose);
+                        queue.push(p);
+                    }
+                }
+                GameValue::Draw => unreachable!("draws are never queued"),
+            }
+        }
+    }
+    value
+        .into_iter()
+        .map(|v| v.unwrap_or(GameValue::Draw))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_alternates() {
+        // 0 → 1 → 2: 2 loses (sink), 1 wins, 0 loses.
+        let v = solve(&Graph::path(3));
+        assert_eq!(v, vec![GameValue::Lose, GameValue::Win, GameValue::Lose]);
+    }
+
+    #[test]
+    fn even_path() {
+        // 0 → 1 → 2 → 3: 3 L, 2 W, 1 L, 0 W.
+        let v = solve(&Graph::path(4));
+        assert_eq!(
+            v,
+            vec![
+                GameValue::Win,
+                GameValue::Lose,
+                GameValue::Win,
+                GameValue::Lose
+            ]
+        );
+    }
+
+    #[test]
+    fn pure_cycle_is_all_draws() {
+        let v = solve(&Graph::cycle(4));
+        assert!(v.iter().all(|&x| x == GameValue::Draw));
+    }
+
+    #[test]
+    fn cycle_with_escape_to_loser() {
+        // 0 ⇄ 1, 1 → 2 (sink): 2 loses, 1 wins (move to 2), 0 loses
+        // (only move reaches the winner 1)? No: 0's only move is to 1
+        // (winner) ⇒ 0 loses. Mirrors Figure 4(c).
+        let g = Graph {
+            n: 3,
+            edges: vec![(0, 1), (1, 0), (1, 2)],
+        };
+        let v = solve(&g);
+        assert_eq!(v, vec![GameValue::Lose, GameValue::Win, GameValue::Lose]);
+    }
+
+    #[test]
+    fn cycle_with_tail_leaves_draws() {
+        // 0 ⇄ 1, 1 → 2 → 3: 3 L, 2 W; 0,1 draw (1 can avoid losing by
+        // cycling; 0 likewise). Mirrors Figure 4(b).
+        let g = Graph {
+            n: 4,
+            edges: vec![(0, 1), (1, 0), (1, 2), (2, 3)],
+        };
+        let v = solve(&g);
+        assert_eq!(v[3], GameValue::Lose);
+        assert_eq!(v[2], GameValue::Win);
+        assert_eq!(v[0], GameValue::Draw);
+        assert_eq!(v[1], GameValue::Draw);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let v = solve(&Graph { n: 0, edges: vec![] });
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # afp-bench — workloads, the experiment harness, and benches
+//!
+//! * [`gen`] — deterministic workload generators: graphs, win–move and
+//!   tc/ntc programs, random ground programs, and the SAT→stable-models
+//!   reduction behind the NP-completeness discussion of Section 2.4;
+//! * [`game`] — an independent retrograde-analysis solver for the win–move
+//!   game of Example 5.2, used as ground truth;
+//! * the `experiments` binary regenerates every table and figure of the
+//!   paper (see EXPERIMENTS.md at the workspace root);
+//! * `benches/` holds the Criterion benchmarks for the complexity claims.
+
+#![warn(missing_docs)]
+
+pub mod game;
+pub mod gen;
+
+pub use game::{solve, GameValue};
+pub use gen::Graph;

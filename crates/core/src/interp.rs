@@ -1,0 +1,247 @@
+//! Partial interpretations and partial models (Section 3.3).
+//!
+//! A partial interpretation is a partial function from the Herbrand base to
+//! `{true, false}`, represented as a pair of disjoint atom sets. Rule
+//! satisfaction follows Definition 3.5, which is deliberately *not* the
+//! three-valued truth of `head ∨ ¬body` — see Example 3.1, reproduced in the
+//! tests below.
+
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::{GroundProgram, GroundRule};
+
+/// Three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Atom is true in the interpretation.
+    True,
+    /// Atom is false in the interpretation.
+    False,
+    /// Atom is neither.
+    Undefined,
+}
+
+/// A partial interpretation: disjoint sets of true and false atoms over a
+/// common Herbrand base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialModel {
+    /// Atoms assigned true (`I⁺`).
+    pub pos: AtomSet,
+    /// Atoms assigned false (the atoms of `Ĩ`).
+    pub neg: AtomSet,
+}
+
+impl PartialModel {
+    /// Construct from disjoint positive/negative sets.
+    ///
+    /// # Panics
+    /// Panics if the sets intersect or range over different universes.
+    pub fn new(pos: AtomSet, neg: AtomSet) -> Self {
+        assert_eq!(pos.universe(), neg.universe(), "universe mismatch");
+        assert!(pos.is_disjoint(&neg), "inconsistent partial interpretation");
+        PartialModel { pos, neg }
+    }
+
+    /// The everywhere-undefined interpretation.
+    pub fn empty(universe: usize) -> Self {
+        PartialModel {
+            pos: AtomSet::empty(universe),
+            neg: AtomSet::empty(universe),
+        }
+    }
+
+    /// Truth value of an atom.
+    pub fn truth(&self, atom: u32) -> Truth {
+        if self.pos.contains(atom) {
+            Truth::True
+        } else if self.neg.contains(atom) {
+            Truth::False
+        } else {
+            Truth::Undefined
+        }
+    }
+
+    /// The undefined portion of the Herbrand base.
+    pub fn undefined(&self) -> AtomSet {
+        let mut u = self.pos.union(&self.neg);
+        u = u.complement();
+        u
+    }
+
+    /// True iff every atom is assigned.
+    pub fn is_total(&self) -> bool {
+        self.undefined().is_empty()
+    }
+
+    /// Number of assigned atoms.
+    pub fn defined_count(&self) -> usize {
+        self.pos.count() + self.neg.count()
+    }
+
+    /// Information ordering: does `self` assign a subset of the literals of
+    /// `other`? (`I ⊑ J` iff `I⁺ ⊆ J⁺` and `Ĩ ⊆ J̃`.)
+    pub fn leq(&self, other: &PartialModel) -> bool {
+        self.pos.is_subset(&other.pos) && self.neg.is_subset(&other.neg)
+    }
+
+    /// Truth of a rule body (conjunction, Definition 3.4): true when every
+    /// positive subgoal is true and every negated subgoal's atom is false;
+    /// false when some positive subgoal is false or some negated subgoal's
+    /// atom is true; undefined otherwise.
+    pub fn body_truth(&self, rule: &GroundRule) -> Truth {
+        let mut all_true = true;
+        for &p in rule.pos.iter() {
+            match self.truth(p.0) {
+                Truth::False => return Truth::False,
+                Truth::Undefined => all_true = false,
+                Truth::True => {}
+            }
+        }
+        for &n in rule.neg.iter() {
+            match self.truth(n.0) {
+                Truth::True => return Truth::False,
+                Truth::Undefined => all_true = false,
+                Truth::False => {}
+            }
+        }
+        if all_true {
+            Truth::True
+        } else {
+            Truth::Undefined
+        }
+    }
+
+    /// Satisfaction of an instantiated rule per Definition 3.5: the head is
+    /// true, **or** the body is false, **or** both head and body are
+    /// undefined.
+    pub fn satisfies_rule(&self, rule: &GroundRule) -> bool {
+        match self.truth(rule.head.0) {
+            Truth::True => true,
+            Truth::False => self.body_truth(rule) == Truth::False,
+            Truth::Undefined => self.body_truth(rule) != Truth::True,
+        }
+    }
+
+    /// Is this a partial model of the program (every rule satisfied)?
+    pub fn is_partial_model(&self, prog: &GroundProgram) -> bool {
+        prog.rules().iter().all(|r| self.satisfies_rule(r))
+    }
+
+    /// Render as sorted literal strings (`p`, `not q`, …).
+    pub fn to_literal_names(&self, prog: &GroundProgram) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .pos
+            .iter()
+            .map(|a| prog.atom_name(afp_datalog::AtomId(a)))
+            .chain(
+                self.neg
+                    .iter()
+                    .map(|a| format!("not {}", prog.atom_name(afp_datalog::AtomId(a)))),
+            )
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_datalog::program::parse_ground;
+
+    #[test]
+    fn truth_lookup() {
+        let mut pos = AtomSet::empty(4);
+        let mut neg = AtomSet::empty(4);
+        pos.insert(0);
+        neg.insert(1);
+        let m = PartialModel::new(pos, neg);
+        assert_eq!(m.truth(0), Truth::True);
+        assert_eq!(m.truth(1), Truth::False);
+        assert_eq!(m.truth(2), Truth::Undefined);
+        assert_eq!(m.defined_count(), 2);
+        assert!(!m.is_total());
+        assert_eq!(m.undefined().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn overlapping_sets_rejected() {
+        let mut pos = AtomSet::empty(2);
+        let mut neg = AtomSet::empty(2);
+        pos.insert(0);
+        neg.insert(0);
+        let _ = PartialModel::new(pos, neg);
+    }
+
+    #[test]
+    fn rule_satisfaction_cases() {
+        let g = parse_ground("p :- q, not r.");
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        let r = g.find_atom_by_name("r", &[]).unwrap();
+        let rule = &g.rules()[0];
+        let u = g.atom_count();
+
+        // Head true ⇒ satisfied regardless of body.
+        let m = PartialModel::new(AtomSet::from_iter(u, [p.0, q.0]), AtomSet::from_iter(u, [r.0]));
+        assert!(m.satisfies_rule(rule));
+
+        // Body false (q false) ⇒ satisfied.
+        let m = PartialModel::new(AtomSet::empty(u), AtomSet::from_iter(u, [q.0]));
+        assert!(m.satisfies_rule(rule));
+
+        // Body true, head false ⇒ violated.
+        let m = PartialModel::new(AtomSet::from_iter(u, [q.0]), AtomSet::from_iter(u, [p.0, r.0]));
+        assert!(!m.satisfies_rule(rule));
+
+        // Head and body both undefined ⇒ satisfied (condition 3).
+        let m = PartialModel::empty(u);
+        assert!(m.satisfies_rule(rule));
+
+        // Head false, body undefined ⇒ NOT satisfied (the p ← q example
+        // discussed below Definition 3.5).
+        let m = PartialModel::new(AtomSet::empty(u), AtomSet::from_iter(u, [p.0]));
+        assert!(!m.satisfies_rule(rule));
+
+        // Head true, body undefined ⇒ satisfied.
+        let m = PartialModel::new(AtomSet::from_iter(u, [p.0]), AtomSet::empty(u));
+        assert!(m.satisfies_rule(rule));
+    }
+
+    #[test]
+    fn example_3_1_no_extension_to_total_model() {
+        // p :- q.  p :- r.  q :- not r.  r :- not q.
+        // I₁ = {¬p} satisfies no rule bodies' falsity but p is true in all
+        // total models; Definition 3.5 rightly rejects I₁ as a partial
+        // model (the rules p ← q, p ← r are unsatisfied: head false, body
+        // undefined).
+        let g = parse_ground("p :- q. p :- r. q :- not r. r :- not q.");
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let u = g.atom_count();
+        let m = PartialModel::new(AtomSet::empty(u), AtomSet::from_iter(u, [p.0]));
+        assert!(!m.is_partial_model(&g));
+        // The empty interpretation IS a partial model.
+        assert!(PartialModel::empty(u).is_partial_model(&g));
+    }
+
+    #[test]
+    fn information_ordering() {
+        let a = PartialModel::new(AtomSet::from_iter(3, [0]), AtomSet::empty(3));
+        let b = PartialModel::new(AtomSet::from_iter(3, [0]), AtomSet::from_iter(3, [1]));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn literal_rendering_sorted() {
+        let g = parse_ground("p :- not q.");
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        let m = PartialModel::new(
+            AtomSet::from_iter(2, [p.0]),
+            AtomSet::from_iter(2, [q.0]),
+        );
+        assert_eq!(m.to_literal_names(&g), vec!["not q", "p"]);
+    }
+}

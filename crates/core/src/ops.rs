@@ -1,0 +1,177 @@
+//! The operators of Sections 3–5 and 8.4.
+//!
+//! All operators act on a fixed [`GroundProgram`]; sets of *negative
+//! literals* are represented by the [`AtomSet`] of their atoms (the tilde
+//! names of the paper: `Ĩ ⊆ H̃`), and sets of positive literals by plain
+//! atom sets.
+//!
+//! | paper | here | definition |
+//! |---|---|---|
+//! | `C_P(I⁺, Ĩ)` | [`c_p`] | Def. 3.6, one-step immediate consequence |
+//! | `T_P(I)` | [`t_p`] | Def. 3.7, `C_P` on a partial interpretation |
+//! | `S_P(Ĩ)` | [`s_p`] | Def. 4.2, eventual consequence `T_{P∪Ĩ}↑ω(∅)` |
+//! | `S̃_P(Ĩ)` | [`s_tilde`] | Def. 4.2, `conj(S_P(Ĩ))` — the stability transformation |
+//! | `A_P(Ĩ)` | [`a_p`] | Def. 5.1, `S̃_P(S̃_P(Ĩ))` — the alternating transformation |
+//! | `Q_P(I)` | [`q_p_op`] | §8.4, `S_P(S̃_P(Ī))` |
+//! | `Q(J)` | [`q_op`] | §8.4 (Immerman form), `T_P(J ∔ S̃_P(J̄))` |
+//!
+//! `S_P` is monotone, hence `S̃_P` is *antimonotone* — the property the
+//! paper singles out as the heart of the intractability of stable models —
+//! and the twice-composed `A_P` is monotone again. These facts are
+//! property-tested in this crate and in the workspace integration tests.
+
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::horn;
+use afp_datalog::program::GroundProgram;
+
+use crate::interp::PartialModel;
+
+/// `C_P(I⁺, Ĩ)` (Definition 3.6): heads of rules whose positive subgoals
+/// all lie in `I⁺` and whose negated subgoals all lie in `Ĩ`. A single
+/// application; the combined argument need not be consistent.
+pub fn c_p(prog: &GroundProgram, pos: &AtomSet, neg: &AtomSet) -> AtomSet {
+    horn::immediate_consequences(prog, pos, neg)
+}
+
+/// `T_P(I)` (Definition 3.7): the immediate consequence transformation on a
+/// partial interpretation, `T_P(I) = C_P(I⁺, Ĩ)`. Produces positive
+/// literals only; negative conclusions are drawn by a separate mechanism
+/// (unfounded sets in Section 6, the alternating fixpoint in Section 5).
+pub fn t_p(prog: &GroundProgram, interp: &PartialModel) -> AtomSet {
+    c_p(prog, &interp.pos, &interp.neg)
+}
+
+/// `S_P(Ĩ)` (Definition 4.2): the eventual consequence mapping — the least
+/// fixpoint of `T_{P∪Ĩ}`, treating the negative literals `Ĩ` as extra EDB
+/// facts (Figure 3). Monotone in `Ĩ`; computed in linear time.
+pub fn s_p(prog: &GroundProgram, i_tilde: &AtomSet) -> AtomSet {
+    horn::eventual_consequences(prog, i_tilde)
+}
+
+/// `S̃_P(Ĩ) = conj(S_P(Ĩ))` (Definition 4.2): the stability
+/// transformation recast on sets of negative literals. Its fixpoints are
+/// exactly the stable models of Gelfond–Lifschitz (represented by their
+/// false atoms); it is antimonotone.
+pub fn s_tilde(prog: &GroundProgram, i_tilde: &AtomSet) -> AtomSet {
+    s_p(prog, i_tilde).complement()
+}
+
+/// `A_P(Ĩ) = S̃_P(S̃_P(Ĩ))` (Definition 5.1): the alternating
+/// transformation. Monotone, being the composition of two antimonotone
+/// maps; its least fixpoint is the negative portion of the well-founded
+/// partial model (Theorem 7.8).
+pub fn a_p(prog: &GroundProgram, i_tilde: &AtomSet) -> AtomSet {
+    let over = s_tilde(prog, i_tilde);
+    s_tilde(prog, &over)
+}
+
+/// `Q_P(I) = S_P(S̃_P(Ī))` on sets of **positive** literals (Section 8.4).
+/// Iterating from `I₀ = S_P(∅̃)` yields `Iₙ = S_P(A_Pⁿ(∅̃))`
+/// (Lemma 8.9), converging to the positive part of the AFP model.
+pub fn q_p_op(prog: &GroundProgram, i_pos: &AtomSet) -> AtomSet {
+    let i_bar = i_pos.complement(); // conj: negative version of H − I
+    let s = s_tilde(prog, &i_bar);
+    s_p(prog, &s)
+}
+
+/// `Q(J) = T_P(J ∔ S̃_P(J̄))` — the one-step operator extracted from
+/// Immerman's simultaneous-fixpoint lemma (Section 8.4). Its least fixpoint
+/// `J_ω` equals `I_ω` of [`q_p_op`] (Theorem 8.10), i.e. the positive part
+/// of the AFP model; this equality is what places the alternating fixpoint
+/// inside FP on finite structures.
+pub fn q_op(prog: &GroundProgram, j_pos: &AtomSet) -> AtomSet {
+    let j_bar = j_pos.complement();
+    let s = s_tilde(prog, &j_bar);
+    c_p(prog, j_pos, &s)
+}
+
+/// Least fixpoint of a monotone operator on positive sets by iteration from
+/// the empty set. Used for the Section 8.4 operators in tests and benches.
+pub fn lfp_positive(
+    prog: &GroundProgram,
+    mut op: impl FnMut(&GroundProgram, &AtomSet) -> AtomSet,
+) -> AtomSet {
+    let mut current = prog.empty_set();
+    loop {
+        let next = op(prog, &current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_datalog::program::parse_ground;
+
+    fn named_set(prog: &GroundProgram, names: &[&str]) -> AtomSet {
+        let mut s = prog.empty_set();
+        for n in names {
+            let id = prog
+                .find_atom_by_name(n, &[])
+                .unwrap_or_else(|| panic!("unknown atom {n}"));
+            s.insert(id.0);
+        }
+        s
+    }
+
+    #[test]
+    fn s_tilde_is_antimonotone() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p. s :- not r.");
+        let small = g.empty_set();
+        let big = named_set(&g, &["q", "r"]);
+        assert!(small.is_subset(&big));
+        let st_small = s_tilde(&g, &small);
+        let st_big = s_tilde(&g, &big);
+        assert!(st_big.is_subset(&st_small), "S̃_P must reverse ⊆");
+    }
+
+    #[test]
+    fn a_p_is_monotone() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p. s :- not r.");
+        let small = g.empty_set();
+        let big = named_set(&g, &["q"]);
+        let a_small = a_p(&g, &small);
+        let a_big = a_p(&g, &big);
+        assert!(a_small.is_subset(&a_big), "A_P must preserve ⊆");
+    }
+
+    #[test]
+    fn t_p_single_step() {
+        let g = parse_ground("a. b :- a. c :- b, not d.");
+        let m = PartialModel::empty(g.atom_count());
+        let step = t_p(&g, &m);
+        assert_eq!(g.set_to_names(&step), vec!["a"]);
+    }
+
+    #[test]
+    fn stable_model_is_s_tilde_fixpoint() {
+        // p :- not q. q :- not p. has two stable models {p} and {q};
+        // as negative sets: {q} (¬q) and {p}.
+        let g = parse_ground("p :- not q. q :- not p.");
+        let not_q = named_set(&g, &["q"]);
+        assert_eq!(s_tilde(&g, &not_q), not_q);
+        let not_p = named_set(&g, &["p"]);
+        assert_eq!(s_tilde(&g, &not_p), not_p);
+        // ∅ is not a fixpoint.
+        assert_ne!(s_tilde(&g, &g.empty_set()), g.empty_set());
+    }
+
+    #[test]
+    fn q_operators_agree_with_each_other() {
+        let g = parse_ground(
+            "p :- not q. q :- not p. r :- p. r :- q. s. t :- s, not u. u :- not s.",
+        );
+        let via_qp = lfp_positive(&g, q_p_op);
+        let via_q = lfp_positive(&g, q_op);
+        assert_eq!(via_qp, via_q, "Theorem 8.10: J_ω = I_ω");
+    }
+
+    #[test]
+    fn horn_programs_s_p_ignores_negatives() {
+        let g = parse_ground("a. b :- a. c :- b.");
+        assert_eq!(s_p(&g, &g.empty_set()), s_p(&g, &g.full_set()));
+    }
+}

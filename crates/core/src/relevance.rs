@@ -1,0 +1,107 @@
+//! Query-directed relevance restriction.
+//!
+//! The paper's conclusion (Section 9) calls for "classes of unstratified
+//! programs and **queries on them** for which the alternating fixpoint
+//! semantics is computationally tractable". The simplest such lever, used
+//! by every practical engine, is *relevance*: the well-founded truth value
+//! of an atom depends only on the rules of atoms reachable from it in the
+//! dependency graph (through positive **and** negative arcs). Restricting
+//! the program to that cone before running the alternating fixpoint
+//! preserves the query's truth value while shrinking the instance.
+//!
+//! Soundness is the splitting property of the well-founded semantics: the
+//! cone `C` of the query is closed under rule bodies, so for atoms in `C`
+//! the operators `S_P`, `S̃_P`, `A_P` of the restricted program coincide
+//! with the originals on `C` — atoms outside `C` cannot influence any rule
+//! whose head is in `C`. Property-tested in `tests/relevance.rs`.
+
+use afp_datalog::atoms::AtomId;
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::GroundProgram;
+
+/// The relevance cone: atoms (transitively) reachable from the seeds
+/// through rule bodies.
+pub fn relevant_atoms(prog: &GroundProgram, seeds: &[AtomId]) -> AtomSet {
+    let mut cone = prog.empty_set();
+    let mut queue: Vec<AtomId> = Vec::new();
+    for &s in seeds {
+        if cone.insert(s.0) {
+            queue.push(s);
+        }
+    }
+    while let Some(atom) = queue.pop() {
+        for &rid in prog.rules_with_head(atom) {
+            let r = prog.rule(rid);
+            for &q in r.pos.iter().chain(r.neg.iter()) {
+                if cone.insert(q.0) {
+                    queue.push(q);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Restrict `prog` to the rules relevant to the seed atoms. The returned
+/// program shares the Herbrand base (atom ids remain valid); atoms outside
+/// the cone have no rules and are false in it.
+pub fn restrict_to_query(prog: &GroundProgram, seeds: &[AtomId]) -> GroundProgram {
+    let cone = relevant_atoms(prog, seeds);
+    prog.restrict_heads(&cone)
+}
+
+/// Convenience: the well-founded truth value of a single atom, computed on
+/// the relevance-restricted program.
+pub fn query(prog: &GroundProgram, atom: AtomId) -> crate::interp::Truth {
+    let restricted = restrict_to_query(prog, &[atom]);
+    let result = crate::afp::alternating_fixpoint(&restricted);
+    result.model.truth(atom.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afp::alternating_fixpoint;
+    use afp_datalog::program::parse_ground;
+
+    #[test]
+    fn cone_follows_both_polarities() {
+        let g = parse_ground("a :- b, not c. b :- d. c :- not e. x :- y.");
+        let a = g.find_atom_by_name("a", &[]).unwrap();
+        let cone = relevant_atoms(&g, &[a]);
+        let names = g.set_to_names(&cone);
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+        assert!(!names.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn restriction_preserves_query_truth() {
+        let g = parse_ground(
+            "goal :- p, not q. p. q :- not r. r :- not q.
+             unrelated1 :- not unrelated2. unrelated2 :- not unrelated1.
+             big :- unrelated1, unrelated2.",
+        );
+        let goal = g.find_atom_by_name("goal", &[]).unwrap();
+        let full = alternating_fixpoint(&g);
+        assert_eq!(query(&g, goal), full.model.truth(goal.0));
+        // The restriction dropped the unrelated rules.
+        let restricted = restrict_to_query(&g, &[goal]);
+        assert!(restricted.rule_count() < g.rule_count());
+    }
+
+    #[test]
+    fn query_on_sink_atom() {
+        let g = parse_ground("a :- b.");
+        let b = g.find_atom_by_name("b", &[]).unwrap();
+        assert_eq!(query(&g, b), crate::interp::Truth::False);
+    }
+
+    #[test]
+    fn seeds_union_their_cones() {
+        let g = parse_ground("a :- b. c :- d. e.");
+        let a = g.find_atom_by_name("a", &[]).unwrap();
+        let c = g.find_atom_by_name("c", &[]).unwrap();
+        let cone = relevant_atoms(&g, &[a, c]);
+        assert_eq!(g.set_to_names(&cone), vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Behavioural tests of the alternating fixpoint computation itself:
+//! iteration counts, trace invariants, scaling sanity, and the
+//! `is_stable_fixpoint` flag.
+
+use afp_core::afp::{
+    alternating_fixpoint, alternating_fixpoint_with, AfpOptions, Strategy,
+};
+use afp_datalog::program::{parse_ground, GroundProgram, GroundProgramBuilder};
+
+/// The negation ladder: p0. p1 ← ¬p0. … pk ← ¬p(k-1).
+fn ladder(k: usize) -> GroundProgram {
+    let mut b = GroundProgramBuilder::new();
+    let mut prev = b.prop("p0");
+    b.fact(prev);
+    for i in 1..=k {
+        let p = b.prop(&format!("p{i}"));
+        b.rule(p, vec![], vec![prev]);
+        prev = p;
+    }
+    b.finish()
+}
+
+/// A win–move path of n nodes (worst-case alternation depth).
+fn path_game(n: usize) -> GroundProgram {
+    let mut b = GroundProgramBuilder::new();
+    let atoms: Vec<_> = (0..n).map(|i| b.prop(&format!("w{i}"))).collect();
+    for i in 0..n.saturating_sub(1) {
+        b.rule(atoms[i], vec![], vec![atoms[i + 1]]);
+    }
+    b.finish()
+}
+
+#[test]
+fn ladder_is_decided_quickly() {
+    // Ladders are stratified: the whole ladder is decided, and because
+    // S_P sees all enabled negative facts at once, convergence needs few
+    // alternation steps even for deep ladders.
+    for k in [1usize, 2, 5, 20, 100] {
+        let g = ladder(k);
+        let r = alternating_fixpoint(&g);
+        assert!(r.is_total, "ladder {k}");
+        assert!(r.is_stable_fixpoint);
+        // Alternating truths up the ladder.
+        for i in 0..=k {
+            let atom = g.find_atom_by_name(&format!("p{i}"), &[]).unwrap();
+            if i % 2 == 0 {
+                assert!(r.model.pos.contains(atom.0));
+            } else {
+                assert!(r.model.neg.contains(atom.0));
+            }
+        }
+    }
+}
+
+#[test]
+fn path_game_alternation_depth_is_linear() {
+    for n in [2usize, 4, 8, 16, 32] {
+        let g = path_game(n);
+        let r = alternating_fixpoint(&g);
+        assert!(r.is_total);
+        // The loop needs Θ(n) S̃_P applications: each alternation round
+        // settles one more layer from the sink.
+        assert!(
+            r.iterations >= n && r.iterations <= n + 2,
+            "n={n}: iterations={}",
+            r.iterations
+        );
+    }
+}
+
+#[test]
+fn stable_fixpoint_flag_tracks_totality() {
+    for (src, expect_total) in [
+        ("a. b :- not a.", true),
+        ("p :- not q. q :- not p.", false),
+        ("w :- not l. l :- not w. t :- w. t :- l.", false),
+        ("x :- y. y :- x.", true),
+    ] {
+        let g = parse_ground(src);
+        let r = alternating_fixpoint(&g);
+        assert_eq!(r.is_total, expect_total, "{src}");
+        assert_eq!(
+            r.is_stable_fixpoint, expect_total,
+            "total ⟺ Ã is an S̃_P fixpoint: {src}"
+        );
+    }
+}
+
+#[test]
+fn trace_rows_always_alternate_and_converge() {
+    let g = parse_ground(
+        "p(a) :- p(c), not p(b). p(b) :- not p(a). p(c).
+         p(d) :- p(e), not p(f). p(d) :- p(f), not p(g). p(d) :- p(h).
+         p(e) :- p(d). p(f) :- p(e). p(f) :- not p(c).
+         p(i) :- p(c), not p(d).",
+    );
+    let r = alternating_fixpoint_with(
+        &g,
+        &AfpOptions {
+            record_trace: true,
+            strategy: Strategy::IncrementalUnder,
+        },
+    );
+    let t = r.trace.expect("trace");
+    // k values are consecutive from 0.
+    for (i, step) in t.steps.iter().enumerate() {
+        assert_eq!(step.k, i);
+    }
+    // The last row repeats an earlier even row (the convergence row).
+    let last = t.steps.last().unwrap();
+    assert_eq!(last.k % 2, 0);
+    let repeat = t
+        .steps
+        .iter()
+        .find(|s| s.k + 2 == last.k)
+        .expect("previous even row");
+    assert_eq!(repeat.i_tilde, last.i_tilde);
+    // The model equals the final row's data.
+    assert_eq!(r.negative_fixpoint, last.i_tilde);
+    assert_eq!(r.model.pos, last.s_p);
+}
+
+#[test]
+fn incremental_strategy_on_deep_paths() {
+    // Both strategies must agree on the alternation-heavy worst case.
+    for n in [63usize, 64, 65] {
+        let g = path_game(n);
+        let a = alternating_fixpoint_with(
+            &g,
+            &AfpOptions {
+                strategy: Strategy::Naive,
+                record_trace: false,
+            },
+        );
+        let b = alternating_fixpoint_with(
+            &g,
+            &AfpOptions {
+                strategy: Strategy::IncrementalUnder,
+                record_trace: false,
+            },
+        );
+        assert_eq!(a.model, b.model, "n={n}");
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn relevance_query_matches_full_computation_on_paths() {
+    let g = path_game(40);
+    let full = alternating_fixpoint(&g);
+    for i in [0usize, 1, 20, 39] {
+        let atom = g.find_atom_by_name(&format!("w{i}"), &[]).unwrap();
+        assert_eq!(
+            afp_core::relevance::query(&g, atom),
+            full.model.truth(atom.0),
+            "w{i}"
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! The abstract syntax of normal logic programs (Definition 3.1).
+//!
+//! A *normal rule* is `head ← l₁, …, lₙ` where the head is an atom and each
+//! `lᵢ` is a literal — an atom or a negated atom. A *normal logic program* is
+//! a finite set of normal rules. A *fact* is a variable-free rule with an
+//! empty body; the extensional database (EDB) of a program is exactly its
+//! facts (Section 2.5).
+//!
+//! Terms may contain function symbols (the paper works over general Herbrand
+//! universes); the grounder in [`mod@crate::ground`] bounds instantiation so that
+//! only finitely-derivable programs are accepted.
+
+use crate::symbol::{Symbol, SymbolStore};
+
+/// A first-order term: a variable, a constant, or a function application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A logical variable (`X`, `Y`, …). Variables are scoped to one rule.
+    Var(Symbol),
+    /// A constant (`a`, `42`, `'two words'`).
+    Const(Symbol),
+    /// A function application `f(t₁, …, tₖ)` with `k ≥ 1`.
+    App(Symbol, Vec<Term>),
+}
+
+impl Term {
+    /// True if no variable occurs in the term.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collect the variables of this term into `out` (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// An atomic formula `p(t₁, …, tₖ)`; `k = 0` atoms are propositions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate (relation) symbol.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(pred: Symbol, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// A zero-ary (propositional) atom.
+    pub fn prop(pred: Symbol) -> Self {
+        Atom { pred, args: vec![] }
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True if every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Collect variables (with duplicates) into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        for t in &self.args {
+            t.collect_vars(out);
+        }
+    }
+}
+
+/// A body literal: an atom or its negation. "¬ q" is read *q cannot be
+/// proved* (negation as failure), never classical negation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for a positive literal, `false` for a negated one.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Self {
+        Literal {
+            atom,
+            positive: true,
+        }
+    }
+
+    /// A negative literal.
+    pub fn neg(atom: Atom) -> Self {
+        Literal {
+            atom,
+            positive: false,
+        }
+    }
+}
+
+/// A normal rule `head ← body` (Definition 3.1). An empty body means the
+/// head holds unconditionally; if additionally the head is ground, the rule
+/// is a *fact*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The rule head.
+    pub head: Atom,
+    /// Conjunction of body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// A bodyless rule.
+    pub fn fact(head: Atom) -> Self {
+        Rule { head, body: vec![] }
+    }
+
+    /// True iff this is a fact: ground head, no body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// Positive body literals.
+    pub fn pos_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| l.positive).map(|l| &l.atom)
+    }
+
+    /// Negative body literals (their atoms).
+    pub fn neg_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| !l.positive).map(|l| &l.atom)
+    }
+
+    /// All variables of the rule, deduplicated, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut vars = Vec::new();
+        self.head.collect_vars(&mut vars);
+        for l in &self.body {
+            l.atom.collect_vars(&mut vars);
+        }
+        let mut seen = Vec::new();
+        for v in vars {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+}
+
+/// A normal logic program: a finite set of rules plus the symbol store all
+/// of its names live in.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+    /// Interned names.
+    pub symbols: SymbolStore,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Predicates that appear only as facts — the extensional database
+    /// (Section 2.5). Returned in first-appearance order.
+    pub fn edb_predicates(&self) -> Vec<Symbol> {
+        let mut order = Vec::new();
+        let mut intensional = Vec::new();
+        for r in &self.rules {
+            if !order.contains(&r.head.pred) {
+                order.push(r.head.pred);
+            }
+            if !r.is_fact() && !intensional.contains(&r.head.pred) {
+                intensional.push(r.head.pred);
+            }
+        }
+        order.retain(|p| !intensional.contains(p));
+        order
+    }
+
+    /// Predicates defined by at least one non-fact rule — the intentional
+    /// database.
+    pub fn idb_predicates(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if !r.is_fact() && !out.contains(&r.head.pred) {
+                out.push(r.head.pred);
+            }
+        }
+        out
+    }
+
+    /// Every predicate that occurs anywhere (head or body), in first
+    /// appearance order.
+    pub fn all_predicates(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let push = |p: Symbol, out: &mut Vec<Symbol>| {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        };
+        for r in &self.rules {
+            push(r.head.pred, &mut out);
+            for l in &r.body {
+                push(l.atom.pred, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Render the whole program in re-parseable syntax.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for r in &self.rules {
+            s.push_str(&display_rule(r, &self.symbols));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Render a term.
+pub fn display_term(t: &Term, store: &SymbolStore) -> String {
+    match t {
+        Term::Var(v) => store.name(*v).to_string(),
+        Term::Const(c) => quote_if_needed(store.name(*c)),
+        Term::App(f, args) => {
+            let inner: Vec<String> = args.iter().map(|a| display_term(a, store)).collect();
+            format!("{}({})", store.name(*f), inner.join(", "))
+        }
+    }
+}
+
+/// Render an atom.
+pub fn display_atom(a: &Atom, store: &SymbolStore) -> String {
+    if a.args.is_empty() {
+        store.name(a.pred).to_string()
+    } else {
+        let inner: Vec<String> = a.args.iter().map(|t| display_term(t, store)).collect();
+        format!("{}({})", store.name(a.pred), inner.join(", "))
+    }
+}
+
+/// Render a literal.
+pub fn display_literal(l: &Literal, store: &SymbolStore) -> String {
+    if l.positive {
+        display_atom(&l.atom, store)
+    } else {
+        format!("not {}", display_atom(&l.atom, store))
+    }
+}
+
+/// Render a rule, terminated with `.`.
+pub fn display_rule(r: &Rule, store: &SymbolStore) -> String {
+    if r.body.is_empty() {
+        format!("{}.", display_atom(&r.head, store))
+    } else {
+        let body: Vec<String> = r.body.iter().map(|l| display_literal(l, store)).collect();
+        format!("{} :- {}.", display_atom(&r.head, store), body.join(", "))
+    }
+}
+
+/// Quote a constant name when it would not re-parse as a bare constant.
+fn quote_if_needed(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if bare {
+        name.to_string()
+    } else {
+        format!("'{}'", name.replace('\\', "\\\\").replace('\'', "\\'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_program() -> Program {
+        // wins(X) :- move(X, Y), not wins(Y).   move(a,b).
+        let mut p = Program::new();
+        let wins = p.symbols.intern("wins");
+        let mv = p.symbols.intern("move");
+        let x = p.symbols.intern("X");
+        let y = p.symbols.intern("Y");
+        let a = p.symbols.intern("a");
+        let b = p.symbols.intern("b");
+        p.push(Rule::new(
+            Atom::new(wins, vec![Term::Var(x)]),
+            vec![
+                Literal::pos(Atom::new(mv, vec![Term::Var(x), Term::Var(y)])),
+                Literal::neg(Atom::new(wins, vec![Term::Var(y)])),
+            ],
+        ));
+        p.push(Rule::fact(Atom::new(
+            mv,
+            vec![Term::Const(a), Term::Const(b)],
+        )));
+        p
+    }
+
+    #[test]
+    fn groundness() {
+        let p = small_program();
+        assert!(!p.rules[0].head.is_ground());
+        assert!(p.rules[1].head.is_ground());
+        assert!(p.rules[1].is_fact());
+        assert!(!p.rules[0].is_fact());
+    }
+
+    #[test]
+    fn edb_idb_partition() {
+        let p = small_program();
+        let edb = p.edb_predicates();
+        let idb = p.idb_predicates();
+        assert_eq!(edb.len(), 1);
+        assert_eq!(p.symbols.name(edb[0]), "move");
+        assert_eq!(idb.len(), 1);
+        assert_eq!(p.symbols.name(idb[0]), "wins");
+    }
+
+    #[test]
+    fn variables_deduplicated_in_order() {
+        let p = small_program();
+        let vars = p.rules[0].variables();
+        let names: Vec<&str> = vars.iter().map(|v| p.symbols.name(*v)).collect();
+        assert_eq!(names, vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let p = small_program();
+        let text = p.to_text();
+        assert!(text.contains("wins(X) :- move(X, Y), not wins(Y)."));
+        assert!(text.contains("move(a, b)."));
+    }
+
+    #[test]
+    fn quoting_non_bare_constants() {
+        assert_eq!(quote_if_needed("abc"), "abc");
+        assert_eq!(quote_if_needed("a_b1"), "a_b1");
+        assert_eq!(quote_if_needed("Abc"), "'Abc'");
+        assert_eq!(quote_if_needed("two words"), "'two words'");
+        assert_eq!(quote_if_needed("it's"), "'it\\'s'");
+        assert_eq!(quote_if_needed("42"), "42");
+    }
+
+    #[test]
+    fn function_terms_display() {
+        let mut store = SymbolStore::new();
+        let f = store.intern("f");
+        let a = store.intern("a");
+        let x = store.intern("X");
+        let t = Term::App(f, vec![Term::Const(a), Term::Var(x)]);
+        assert_eq!(display_term(&t, &store), "f(a, X)");
+        assert!(!t.is_ground());
+    }
+
+    #[test]
+    fn pos_neg_body_iterators() {
+        let p = small_program();
+        assert_eq!(p.rules[0].pos_body().count(), 1);
+        assert_eq!(p.rules[0].neg_body().count(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Interning of ground terms and ground atoms — the Herbrand machinery.
+//!
+//! The *Herbrand universe* of a program is the set of ground terms built
+//! from its constants and function symbols; the *Herbrand base* `H` is the
+//! set of ground atoms over those terms (Section 3). Both are interned here
+//! into dense ids so that interpretations are bitsets ([`crate::bitset`])
+//! and rule bodies are flat id arrays.
+
+use crate::fx::FxHashMap;
+use crate::symbol::{Symbol, SymbolStore};
+use std::fmt;
+
+/// An interned ground term (element of the Herbrand universe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(u32);
+
+impl ConstId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The structure of an interned ground term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroundTerm {
+    /// A constant.
+    Const(Symbol),
+    /// A function application over already-interned arguments.
+    App(Symbol, Box<[ConstId]>),
+}
+
+/// An interned ground atom (element of the Herbrand base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Intern table for the Herbrand universe (ground terms) and Herbrand base
+/// (ground atoms) actually materialized by grounding.
+#[derive(Default, Clone)]
+pub struct HerbrandBase {
+    terms: Vec<GroundTerm>,
+    term_map: FxHashMap<GroundTerm, ConstId>,
+    atoms: Vec<(Symbol, Box<[ConstId]>)>,
+    atom_map: FxHashMap<(Symbol, Box<[ConstId]>), AtomId>,
+}
+
+impl HerbrandBase {
+    /// An empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a constant.
+    pub fn intern_const(&mut self, sym: Symbol) -> ConstId {
+        self.intern_term(GroundTerm::Const(sym))
+    }
+
+    /// Intern a ground term.
+    pub fn intern_term(&mut self, term: GroundTerm) -> ConstId {
+        if let Some(&id) = self.term_map.get(&term) {
+            return id;
+        }
+        let id = ConstId(u32::try_from(self.terms.len()).expect("too many ground terms"));
+        self.terms.push(term.clone());
+        self.term_map.insert(term, id);
+        id
+    }
+
+    /// Intern a ground atom `pred(args…)`.
+    pub fn intern_atom(&mut self, pred: Symbol, args: &[ConstId]) -> AtomId {
+        let key = (pred, args.to_vec().into_boxed_slice());
+        if let Some(&id) = self.atom_map.get(&key) {
+            return id;
+        }
+        let id = AtomId(u32::try_from(self.atoms.len()).expect("too many ground atoms"));
+        self.atoms.push(key.clone());
+        self.atom_map.insert(key, id);
+        id
+    }
+
+    /// Look up an atom without interning.
+    pub fn find_atom(&self, pred: Symbol, args: &[ConstId]) -> Option<AtomId> {
+        // Avoid allocating for the common probe path by linear check through
+        // the map with a temporary key only when needed.
+        let key = (pred, args.to_vec().into_boxed_slice());
+        self.atom_map.get(&key).copied()
+    }
+
+    /// Look up a ground term without interning.
+    pub fn find_term(&self, term: &GroundTerm) -> Option<ConstId> {
+        self.term_map.get(term).copied()
+    }
+
+    /// Number of interned atoms (the size of the materialized Herbrand base).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of interned ground terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Predicate and arguments of an atom.
+    pub fn atom(&self, id: AtomId) -> (Symbol, &[ConstId]) {
+        let (p, args) = &self.atoms[id.index()];
+        (*p, args)
+    }
+
+    /// Structure of a ground term.
+    pub fn term(&self, id: ConstId) -> &GroundTerm {
+        &self.terms[id.index()]
+    }
+
+    /// Render a ground term.
+    pub fn display_term(&self, id: ConstId, symbols: &SymbolStore) -> String {
+        match self.term(id) {
+            GroundTerm::Const(c) => symbols.name(*c).to_string(),
+            GroundTerm::App(f, args) => {
+                let inner: Vec<String> = args
+                    .iter()
+                    .map(|&a| self.display_term(a, symbols))
+                    .collect();
+                format!("{}({})", symbols.name(*f), inner.join(", "))
+            }
+        }
+    }
+
+    /// Render a ground atom.
+    pub fn display_atom(&self, id: AtomId, symbols: &SymbolStore) -> String {
+        let (pred, args) = self.atom(id);
+        if args.is_empty() {
+            symbols.name(pred).to_string()
+        } else {
+            let inner: Vec<String> = args
+                .iter()
+                .map(|&a| self.display_term(a, symbols))
+                .collect();
+            format!("{}({})", symbols.name(pred), inner.join(", "))
+        }
+    }
+
+    /// Iterate over all interned atom ids.
+    pub fn atom_ids(&self) -> impl Iterator<Item = AtomId> {
+        (0..self.atoms.len() as u32).map(AtomId)
+    }
+
+    /// All atoms of a given predicate.
+    pub fn atoms_of(&self, pred: Symbol) -> impl Iterator<Item = AtomId> + '_ {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(move |(_, (p, _))| *p == pred)
+            .map(|(i, _)| AtomId(i as u32))
+    }
+}
+
+impl fmt::Debug for HerbrandBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HerbrandBase")
+            .field("terms", &self.terms.len())
+            .field("atoms", &self.atoms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_atoms_is_idempotent() {
+        let mut syms = SymbolStore::new();
+        let p = syms.intern("p");
+        let a = syms.intern("a");
+        let mut hb = HerbrandBase::new();
+        let ca = hb.intern_const(a);
+        let id1 = hb.intern_atom(p, &[ca]);
+        let id2 = hb.intern_atom(p, &[ca]);
+        assert_eq!(id1, id2);
+        assert_eq!(hb.atom_count(), 1);
+    }
+
+    #[test]
+    fn distinct_args_distinct_atoms() {
+        let mut syms = SymbolStore::new();
+        let p = syms.intern("p");
+        let a = hbc(&mut syms, "a");
+        let mut hb = HerbrandBase::new();
+        let ca = hb.intern_const(a);
+        let cb = hb.intern_const(hbc(&mut syms, "b"));
+        assert_ne!(hb.intern_atom(p, &[ca]), hb.intern_atom(p, &[cb]));
+    }
+
+    fn hbc(syms: &mut SymbolStore, s: &str) -> Symbol {
+        syms.intern(s)
+    }
+
+    #[test]
+    fn function_terms_display() {
+        let mut syms = SymbolStore::new();
+        let f = syms.intern("f");
+        let a = syms.intern("a");
+        let p = syms.intern("p");
+        let mut hb = HerbrandBase::new();
+        let ca = hb.intern_const(a);
+        let fa = hb.intern_term(GroundTerm::App(f, vec![ca].into_boxed_slice()));
+        let ffa = hb.intern_term(GroundTerm::App(f, vec![fa].into_boxed_slice()));
+        let atom = hb.intern_atom(p, &[ffa]);
+        assert_eq!(hb.display_atom(atom, &syms), "p(f(f(a)))");
+        assert_eq!(hb.term_count(), 3);
+    }
+
+    #[test]
+    fn find_without_intern() {
+        let mut syms = SymbolStore::new();
+        let p = syms.intern("p");
+        let a = syms.intern("a");
+        let mut hb = HerbrandBase::new();
+        let ca = hb.intern_const(a);
+        assert!(hb.find_atom(p, &[ca]).is_none());
+        let id = hb.intern_atom(p, &[ca]);
+        assert_eq!(hb.find_atom(p, &[ca]), Some(id));
+    }
+
+    #[test]
+    fn atoms_of_filters_by_predicate() {
+        let mut syms = SymbolStore::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let a = syms.intern("a");
+        let mut hb = HerbrandBase::new();
+        let ca = hb.intern_const(a);
+        hb.intern_atom(p, &[ca]);
+        hb.intern_atom(q, &[ca]);
+        hb.intern_atom(p, &[]);
+        assert_eq!(hb.atoms_of(p).count(), 2);
+        assert_eq!(hb.atoms_of(q).count(), 1);
+    }
+}

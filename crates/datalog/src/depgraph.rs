@@ -1,0 +1,455 @@
+//! Predicate dependency graphs, stratification, and strictness.
+//!
+//! The *dependency graph* of a program (Definition 8.3) has the relation
+//! symbols as nodes and an arc `p → q` whenever `q` occurs in the body of a
+//! rule with head `p`. Arcs are labeled positive, negative, or mixed
+//! according to the polarity of `q`'s occurrences.
+//!
+//! On top of it we provide:
+//!
+//! * **Stratification** (Section 2.3): a program is stratified when no
+//!   negative arc lies inside a strongly connected component; the stratum
+//!   assignment drives the iterated-fixpoint evaluation in
+//!   `afp-semantics::stratified`.
+//! * **Strictness** (Definition 8.3, Section 8.2): a pair `(p, q)` is strict
+//!   when all paths `p ⇝ q` cross an even number of negative arcs and no
+//!   mixed arc, or all cross an odd number and no mixed arc, or there is no
+//!   path. Strictness-in-the-IDB is the side condition of the
+//!   expressiveness theorems (8.6, 8.7).
+
+use crate::ast::Program;
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// Polarity label of a dependency arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgePolarity {
+    /// Some occurrence of the target is positive.
+    pub positive: bool,
+    /// Some occurrence of the target is negative.
+    pub negative: bool,
+}
+
+impl EdgePolarity {
+    /// "Mixed" per Definition 8.3: the target occurs both ways.
+    pub fn is_mixed(&self) -> bool {
+        self.positive && self.negative
+    }
+}
+
+/// The dependency graph of a program.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    preds: Vec<Symbol>,
+    index: FxHashMap<Symbol, usize>,
+    /// `edges[p]` maps a successor node to the arc polarity.
+    edges: Vec<FxHashMap<usize, EdgePolarity>>,
+}
+
+impl DepGraph {
+    /// Build the graph from a program. Every predicate that occurs anywhere
+    /// becomes a node.
+    pub fn build(program: &Program) -> Self {
+        let preds = program.all_predicates();
+        let mut index = FxHashMap::default();
+        for (i, &p) in preds.iter().enumerate() {
+            index.insert(p, i);
+        }
+        let mut edges = vec![FxHashMap::<usize, EdgePolarity>::default(); preds.len()];
+        for rule in &program.rules {
+            let from = index[&rule.head.pred];
+            for lit in &rule.body {
+                let to = index[&lit.atom.pred];
+                let e = edges[from].entry(to).or_default();
+                if lit.positive {
+                    e.positive = true;
+                } else {
+                    e.negative = true;
+                }
+            }
+        }
+        DepGraph {
+            preds,
+            index,
+            edges,
+        }
+    }
+
+    /// Build a graph from raw `(head, body, positive-occurrence)` triples —
+    /// used by the first-order extension (`afp-fol`), where bodies are
+    /// formulas rather than literal lists. Every symbol mentioned becomes a
+    /// node.
+    pub fn from_edges(edges: &[(Symbol, Symbol, bool)]) -> Self {
+        let mut preds = Vec::new();
+        let mut index: FxHashMap<Symbol, usize> = FxHashMap::default();
+        let node = |s: Symbol, preds: &mut Vec<Symbol>, index: &mut FxHashMap<Symbol, usize>| {
+            *index.entry(s).or_insert_with(|| {
+                preds.push(s);
+                preds.len() - 1
+            })
+        };
+        let mut edge_list = Vec::new();
+        for &(from, to, positive) in edges {
+            let f = node(from, &mut preds, &mut index);
+            let t = node(to, &mut preds, &mut index);
+            edge_list.push((f, t, positive));
+        }
+        let mut adj = vec![FxHashMap::<usize, EdgePolarity>::default(); preds.len()];
+        for (f, t, positive) in edge_list {
+            let e = adj[f].entry(t).or_default();
+            if positive {
+                e.positive = true;
+            } else {
+                e.negative = true;
+            }
+        }
+        DepGraph {
+            preds,
+            index,
+            edges: adj,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Node id of a predicate, if present.
+    pub fn node(&self, pred: Symbol) -> Option<usize> {
+        self.index.get(&pred).copied()
+    }
+
+    /// Predicate of a node id.
+    pub fn pred(&self, node: usize) -> Symbol {
+        self.preds[node]
+    }
+
+    /// The polarity of the arc `p → q`, if it exists.
+    pub fn edge(&self, p: usize, q: usize) -> Option<EdgePolarity> {
+        self.edges[p].get(&q).copied()
+    }
+
+    /// Iterate over the successors of a node.
+    pub fn successors(&self, p: usize) -> impl Iterator<Item = (usize, EdgePolarity)> + '_ {
+        self.edges[p].iter().map(|(&q, &e)| (q, e))
+    }
+
+    /// Strongly connected components in *dependency order*: if any node of
+    /// component `A` depends (directly or transitively) on a node of
+    /// component `B ≠ A`, then `B` appears before `A` in the result.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let adj: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|m| m.keys().copied().collect())
+            .collect();
+        tarjan_sccs(&adj)
+    }
+
+    /// Stratum assignment per node, or `None` if the program is not
+    /// stratified (a negative or mixed arc inside an SCC). EDB predicates
+    /// and other bottom predicates get stratum 0.
+    pub fn stratification(&self) -> Option<Vec<u32>> {
+        let sccs = self.sccs();
+        let mut comp_of = vec![usize::MAX; self.len()];
+        for (cid, comp) in sccs.iter().enumerate() {
+            for &n in comp {
+                comp_of[n] = cid;
+            }
+        }
+        // Reject negative arcs within a component.
+        for (p, succ) in self.edges.iter().enumerate() {
+            for (&q, e) in succ {
+                if comp_of[p] == comp_of[q] && e.negative {
+                    return None;
+                }
+            }
+        }
+        // Components come in dependency order, so one pass suffices.
+        let mut comp_stratum = vec![0u32; sccs.len()];
+        for (cid, comp) in sccs.iter().enumerate() {
+            let mut s = 0;
+            for &p in comp {
+                for (q, e) in self.successors(p) {
+                    let qc = comp_of[q];
+                    if qc != cid {
+                        let need = comp_stratum[qc] + u32::from(e.negative);
+                        s = s.max(need);
+                    }
+                }
+            }
+            comp_stratum[cid] = s;
+        }
+        Some((0..self.len()).map(|n| comp_stratum[comp_of[n]]).collect())
+    }
+
+    /// True iff the program is stratified.
+    pub fn is_stratified(&self) -> bool {
+        self.stratification().is_some()
+    }
+
+    /// Parity-reachability from `p`: for each node `q`, which parities of
+    /// negative-arc counts are achievable on some path `p ⇝ q`. Traversing
+    /// a mixed arc makes both parities achievable from that point on.
+    /// The null path makes `p` even-reachable from itself.
+    ///
+    /// Returned as `(even, odd)` bit vectors.
+    pub fn parity_reachability(&self, p: usize) -> (Vec<bool>, Vec<bool>) {
+        let n = self.len();
+        let mut even = vec![false; n];
+        let mut odd = vec![false; n];
+        let mut queue: Vec<(usize, bool)> = Vec::new(); // (node, parity-is-odd)
+        even[p] = true;
+        queue.push((p, false));
+        while let Some((u, is_odd)) = queue.pop() {
+            for (v, e) in self.successors(u) {
+                let push = |v: usize, po: bool, even: &mut Vec<bool>, odd: &mut Vec<bool>,
+                                queue: &mut Vec<(usize, bool)>| {
+                    let seen = if po { &mut odd[v] } else { &mut even[v] };
+                    if !*seen {
+                        *seen = true;
+                        queue.push((v, po));
+                    }
+                };
+                if e.is_mixed() {
+                    push(v, false, &mut even, &mut odd, &mut queue);
+                    push(v, true, &mut even, &mut odd, &mut queue);
+                } else if e.negative {
+                    push(v, !is_odd, &mut even, &mut odd, &mut queue);
+                } else {
+                    push(v, is_odd, &mut even, &mut odd, &mut queue);
+                }
+            }
+        }
+        (even, odd)
+    }
+
+    /// Is the ordered pair `(p, q)` strict (Definition 8.3)?
+    pub fn is_strict_pair(&self, p: usize, q: usize) -> bool {
+        let (even, odd) = self.parity_reachability(p);
+        !(even[q] && odd[q])
+    }
+
+    /// Is the whole program strict?
+    pub fn is_strict(&self) -> bool {
+        (0..self.len()).all(|p| {
+            let (even, odd) = self.parity_reachability(p);
+            (0..self.len()).all(|q| !(even[q] && odd[q]))
+        })
+    }
+
+    /// Is the program strict when restricted to pairs of IDB predicates?
+    pub fn is_strict_in_idb(&self, idb: &[Symbol]) -> bool {
+        let idb_nodes: Vec<usize> = idb.iter().filter_map(|&s| self.node(s)).collect();
+        idb_nodes.iter().all(|&p| {
+            let (even, odd) = self.parity_reachability(p);
+            idb_nodes.iter().all(|&q| !(even[q] && odd[q]))
+        })
+    }
+}
+
+/// Iterative Tarjan SCC. Components are returned in reverse topological
+/// order of the condensation — i.e. if there is an arc from a node of `A`
+/// to a node of `B` (A depends on B), `B` is emitted before `A`.
+pub fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != u32::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == u32::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn graph(src: &str) -> (DepGraph, Program) {
+        let p = parse_program(src).unwrap();
+        (DepGraph::build(&p), p)
+    }
+
+    #[test]
+    fn builds_labeled_edges() {
+        let (g, p) = graph("p(X) :- q(X), not r(X). q(a).");
+        let pn = g.node(p.symbols.get("p").unwrap()).unwrap();
+        let qn = g.node(p.symbols.get("q").unwrap()).unwrap();
+        let rn = g.node(p.symbols.get("r").unwrap()).unwrap();
+        assert_eq!(
+            g.edge(pn, qn),
+            Some(EdgePolarity {
+                positive: true,
+                negative: false
+            })
+        );
+        assert!(g.edge(pn, rn).unwrap().negative);
+        assert!(g.edge(qn, pn).is_none());
+    }
+
+    #[test]
+    fn mixed_edges_detected() {
+        let (g, p) = graph("p(X) :- q(X), not q(X).");
+        let pn = g.node(p.symbols.get("p").unwrap()).unwrap();
+        let qn = g.node(p.symbols.get("q").unwrap()).unwrap();
+        assert!(g.edge(pn, qn).unwrap().is_mixed());
+    }
+
+    #[test]
+    fn tc_program_is_stratified() {
+        let (g, p) = graph(
+            "tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y).
+             ntc(X,Y) :- d(X), d(Y), not tc(X,Y). e(a,b). d(a).",
+        );
+        let strata = g.stratification().expect("stratified");
+        let s = |name: &str| strata[g.node(p.symbols.get(name).unwrap()).unwrap()];
+        assert_eq!(s("e"), 0);
+        assert_eq!(s("tc"), 0);
+        assert_eq!(s("ntc"), 1);
+        assert!(g.is_stratified());
+    }
+
+    #[test]
+    fn win_move_is_not_stratified() {
+        let (g, _) = graph("wins(X) :- move(X,Y), not wins(Y). move(a,b).");
+        assert!(!g.is_stratified());
+        assert!(g.stratification().is_none());
+    }
+
+    #[test]
+    fn even_odd_cycle_stratification() {
+        // p :- not q. q :- not p.  — a 2-cycle through negation: unstratified.
+        let (g, _) = graph("p :- not q. q :- not p.");
+        assert!(!g.is_stratified());
+    }
+
+    #[test]
+    fn sccs_in_dependency_order() {
+        let (g, p) = graph("a :- b. b :- a. c :- a.");
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 2);
+        // {a, b} must come before {c}.
+        let first: Vec<&str> = sccs[0]
+            .iter()
+            .map(|&n| p.symbols.name(g.pred(n)))
+            .collect();
+        assert!(first.contains(&"a") && first.contains(&"b"));
+        assert_eq!(p.symbols.name(g.pred(sccs[1][0])), "c");
+    }
+
+    #[test]
+    fn strictness_of_win_move() {
+        // wins depends on itself through one negation: paths wins⇝wins have
+        // lengths 0, 1, 2, … negations — both parities ⇒ not strict.
+        let (g, p) = graph("wins(X) :- move(X,Y), not wins(Y). move(a,b).");
+        let w = g.node(p.symbols.get("wins").unwrap()).unwrap();
+        assert!(!g.is_strict_pair(w, w));
+        assert!(!g.is_strict());
+        // But restricted to {move} as "IDB" it is trivially strict.
+        assert!(g.is_strict_in_idb(&[p.symbols.get("move").unwrap()]));
+    }
+
+    #[test]
+    fn strict_program_example_8_2() {
+        // w(X) :- not u(X).  u(X) :- e(Y,X), not w(Y).  (Example 8.2)
+        // Paths w⇝w: w→u→w with 2 negations; w⇝u: 1 negation; all strict.
+        let (g, p) = graph(
+            "w(X) :- not u(X). u(X) :- e(Y, X), not w(Y). e(a, b).",
+        );
+        assert!(g.is_strict());
+        let idb = [p.symbols.get("w").unwrap(), p.symbols.get("u").unwrap()];
+        assert!(g.is_strict_in_idb(&idb));
+    }
+
+    #[test]
+    fn mixed_arc_breaks_strictness() {
+        let (g, p) = graph("p(X) :- q(X), not q(X). q(a).");
+        let pn = g.node(p.symbols.get("p").unwrap()).unwrap();
+        let qn = g.node(p.symbols.get("q").unwrap()).unwrap();
+        assert!(!g.is_strict_pair(pn, qn));
+    }
+
+    #[test]
+    fn tarjan_on_larger_graph() {
+        // 0→1→2→0 cycle; 3→0; 4 isolated.
+        let adj = vec![vec![1], vec![2], vec![0], vec![0], vec![]];
+        let sccs = tarjan_sccs(&adj);
+        assert_eq!(sccs.len(), 3);
+        let cycle = sccs.iter().find(|c| c.len() == 3).unwrap();
+        let mut sorted = cycle.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        // The cycle must precede node 3 (which depends on it).
+        let cycle_pos = sccs.iter().position(|c| c.len() == 3).unwrap();
+        let three_pos = sccs.iter().position(|c| c == &vec![3]).unwrap();
+        assert!(cycle_pos < three_pos);
+    }
+
+    #[test]
+    fn stratification_depth_chain() {
+        let (g, p) = graph(
+            "s1(X) :- e(X). s2(X) :- e(X), not s1(X). s3(X) :- e(X), not s2(X). e(a).",
+        );
+        let strata = g.stratification().unwrap();
+        let s = |name: &str| strata[g.node(p.symbols.get(name).unwrap()).unwrap()];
+        assert_eq!(s("e"), 0);
+        assert_eq!(s("s1"), 0);
+        assert_eq!(s("s2"), 1);
+        assert_eq!(s("s3"), 2);
+    }
+}

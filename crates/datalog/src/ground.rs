@@ -1,0 +1,616 @@
+//! Grounding: from a normal program with variables to its relevant Herbrand
+//! instantiation `P_H`.
+//!
+//! The paper's operators are defined on the full instantiation of `P`
+//! (Section 3.3), which is wasteful or infinite to materialize directly.
+//! We instead instantiate over the **positive envelope**: the least model of
+//! the program with every negative literal erased. Any atom outside the
+//! envelope has no derivation even with all negative literals granted, so it
+//! is false in the well-founded, stable, Fitting, stratified, *and*
+//! inflationary semantics; rule instances whose positive body leaves the
+//! envelope can never fire under any of them. Concretely:
+//!
+//! * rule instances are enumerated by joining the positive body over the
+//!   envelope;
+//! * a negative literal `¬q` whose instantiation lies outside the envelope
+//!   is certainly true and is deleted from the instance;
+//! * everything else is kept verbatim.
+//!
+//! This is the standard "intelligent grounding" argument; the proptest
+//! `grounding_preserves_semantics` in the workspace integration tests
+//! checks it against full instantiation on random programs.
+//!
+//! # Safety
+//!
+//! A rule is *safe* when every variable occurring in its head or in a
+//! negative subgoal also occurs in a positive subgoal. Unsafe rules are
+//! rejected by default ([`SafetyPolicy::Reject`]); with
+//! [`SafetyPolicy::ActiveDomain`] each unguarded variable is instead
+//! restricted to the active domain (all ground terms appearing in facts
+//! plus all constants in rules), which matches the finite-structure
+//! convention of fixpoint logic used in Section 8.
+
+use crate::ast::{Program, Rule, Term};
+use crate::atoms::{AtomId, ConstId, HerbrandBase};
+use crate::error::GroundError;
+use crate::fx::FxHashMap;
+use crate::program::{GroundProgram, GroundRule};
+use crate::relation::{Database, Relation, Tuple};
+use crate::seminaive::{
+    compile_neg_atoms, compile_rule, evaluate_positive, join, try_eval_pat, CompiledAtom,
+    CompiledRule, EvalLimits, Pat,
+};
+use crate::symbol::Symbol;
+
+/// What to do with unsafe rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SafetyPolicy {
+    /// Return [`GroundError::UnsafeRule`].
+    #[default]
+    Reject,
+    /// Guard every unsafe variable with the active domain.
+    ActiveDomain,
+}
+
+/// Grounding options.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundOptions {
+    /// Safety policy for rules with unguarded variables.
+    pub safety: SafetyPolicy,
+    /// Cap on materialized envelope tuples (defends against infinite
+    /// Herbrand universes introduced by function symbols).
+    pub max_envelope_tuples: usize,
+    /// Cap on emitted ground rules.
+    pub max_ground_rules: usize,
+}
+
+impl Default for GroundOptions {
+    fn default() -> Self {
+        GroundOptions {
+            safety: SafetyPolicy::Reject,
+            max_envelope_tuples: 10_000_000,
+            max_ground_rules: 50_000_000,
+        }
+    }
+}
+
+/// Ground `program` into its relevant instantiation.
+pub fn ground(program: &Program) -> Result<GroundProgram, GroundError> {
+    ground_with(program, &GroundOptions::default())
+}
+
+/// Ground with explicit options.
+pub fn ground_with(
+    program: &Program,
+    options: &GroundOptions,
+) -> Result<GroundProgram, GroundError> {
+    let mut symbols = program.symbols.clone();
+    let dom_pred = symbols.intern_fresh("$dom");
+    let mut base = HerbrandBase::new();
+
+    // ---- Pass 1: safety analysis & compilation --------------------------
+    let mut compiled: Vec<(usize, CompiledRule, Vec<CompiledAtom>)> = Vec::new();
+    let mut facts: Vec<(Symbol, Tuple)> = Vec::new();
+    let mut need_dom = false;
+    for (ix, rule) in program.rules.iter().enumerate() {
+        if rule.is_fact() {
+            let tuple: Vec<ConstId> = rule
+                .head
+                .args
+                .iter()
+                .map(|t| intern_ground_term(t, &mut base))
+                .collect();
+            facts.push((rule.head.pred, tuple.into_boxed_slice()));
+            continue;
+        }
+        let unsafe_vars = unsafe_variables(rule);
+        let guards: Vec<CompiledAtom> = if unsafe_vars.is_empty() {
+            vec![]
+        } else {
+            match options.safety {
+                SafetyPolicy::Reject => {
+                    return Err(GroundError::UnsafeRule {
+                        rule: crate::ast::display_rule(rule, &symbols),
+                        variable: symbols.name(unsafe_vars[0]).to_string(),
+                    });
+                }
+                SafetyPolicy::ActiveDomain => {
+                    need_dom = true;
+                    // Guards are compiled against the same slot assignment
+                    // as the rule; compute slots first.
+                    let probe = compile_rule(rule, &[]);
+                    let mut slot_of: FxHashMap<Symbol, usize> = FxHashMap::default();
+                    for (i, v) in probe.var_names.iter().enumerate() {
+                        slot_of.insert(*v, i);
+                    }
+                    unsafe_vars
+                        .iter()
+                        .map(|v| CompiledAtom {
+                            pred: dom_pred,
+                            pats: vec![Pat::Var(slot_of[v])],
+                        })
+                        .collect()
+                }
+            }
+        };
+        let negs = compile_neg_atoms(rule);
+        let cr = compile_rule(rule, &guards);
+        compiled.push((ix, cr, negs));
+    }
+
+    // ---- Active domain facts --------------------------------------------
+    if need_dom {
+        let mut dom_terms: Vec<ConstId> = Vec::new();
+        for (_, tuple) in &facts {
+            for &t in tuple.iter() {
+                collect_subterms(t, &base, &mut dom_terms);
+            }
+        }
+        // Constants syntactically present in rules.
+        for rule in &program.rules {
+            collect_rule_consts(rule, &mut base, &mut dom_terms);
+        }
+        dom_terms.sort_unstable();
+        dom_terms.dedup();
+        if dom_terms.is_empty() {
+            return Err(GroundError::EmptyDomain);
+        }
+        for t in dom_terms {
+            facts.push((dom_pred, vec![t].into_boxed_slice()));
+        }
+    }
+
+    // ---- Pass 2: positive envelope --------------------------------------
+    let rules_only: Vec<CompiledRule> = compiled.iter().map(|(_, r, _)| r.clone()).collect();
+    let limits = EvalLimits {
+        max_tuples: options.max_envelope_tuples,
+    };
+    let mut envelope = evaluate_positive(&rules_only, &facts, &mut base, &limits)?;
+
+    // ---- Pass 3: instantiate rules over the envelope ---------------------
+    // Index every column of every relation once for the final joins.
+    let preds: Vec<Symbol> = envelope.iter().map(|(p, _)| p).collect();
+    for p in preds {
+        if let Some(rel) = envelope.relation(p) {
+            let arity = rel.arity();
+            let rel = envelope.relation_mut(p, arity);
+            for col in 0..arity {
+                rel.ensure_index(col);
+            }
+        }
+    }
+
+    let mut atom_ids: FxHashMap<(Symbol, Tuple), AtomId> = FxHashMap::default();
+    let mut atom_count: u32 = 0;
+    let mut out_rules: Vec<GroundRule> = Vec::new();
+    let empty = Relation::new(0);
+
+    // Keep the final Herbrand base in a fresh interner so ids are dense in
+    // emission order (nicer traces); remember pred/args for display.
+    let mut final_base = HerbrandBase::new();
+    let intern_final =
+        |pred: Symbol,
+         args: &[ConstId],
+         base: &HerbrandBase,
+         final_base: &mut HerbrandBase,
+         atom_ids: &mut FxHashMap<(Symbol, Tuple), AtomId>,
+         atom_count: &mut u32| {
+            let key = (pred, args.to_vec().into_boxed_slice());
+            if let Some(&id) = atom_ids.get(&key) {
+                return id;
+            }
+            // Re-intern the argument terms into the final base.
+            let new_args: Vec<ConstId> = args
+                .iter()
+                .map(|&a| reintern_term(a, base, final_base))
+                .collect();
+            let id = final_base.intern_atom(pred, &new_args);
+            debug_assert_eq!(id.0, *atom_count);
+            *atom_count += 1;
+            atom_ids.insert(key, id);
+            id
+        };
+
+    // EDB facts become bodyless ground rules.
+    for (pred, tuple) in &facts {
+        if *pred == dom_pred {
+            continue; // the synthetic domain guard is not part of H
+        }
+        let head = intern_final(
+            *pred,
+            tuple,
+            &base,
+            &mut final_base,
+            &mut atom_ids,
+            &mut atom_count,
+        );
+        out_rules.push(GroundRule::new(head, vec![], vec![]));
+        if out_rules.len() > options.max_ground_rules {
+            return Err(GroundError::RuleBudgetExceeded {
+                limit: options.max_ground_rules,
+            });
+        }
+    }
+
+    for (_, cr, negs) in &compiled {
+        let rels: Vec<&Relation> = cr
+            .body
+            .iter()
+            .map(|atom| envelope.relation(atom.pred).unwrap_or(&empty))
+            .collect();
+        let mut env: Vec<Option<ConstId>> = vec![None; cr.nvars];
+        // (head args, positive body args, negative body args-or-dropped)
+        type Emission = (Vec<ConstId>, Vec<Vec<ConstId>>, Vec<Option<Vec<ConstId>>>);
+        let mut emissions: Vec<Emission> = Vec::new();
+        join(&cr.body, &rels, &base, &mut env, &mut |env, base| {
+            // Head and positive body are fully determined and inside the
+            // envelope (positive atoms matched against it). The head may
+            // still name a never-interned term only if the rule head has a
+            // ground term not in the envelope — impossible, since the
+            // envelope closure derived this very instance. Negative atoms
+            // are ground by safety; resolve them against the envelope.
+            let head: Vec<ConstId> = cr
+                .head
+                .pats
+                .iter()
+                .map(|p| try_eval_pat(p, env, base).expect("head term is in the envelope"))
+                .collect();
+            let pos: Vec<Vec<ConstId>> = cr
+                .body
+                .iter()
+                .filter(|a| a.pred != dom_pred)
+                .map(|a| {
+                    a.pats
+                        .iter()
+                        .map(|p| try_eval_pat(p, env, base).expect("pos body term matched"))
+                        .collect()
+                })
+                .collect();
+            let neg: Vec<Option<Vec<ConstId>>> = negs
+                .iter()
+                .map(|a| {
+                    let args: Option<Vec<ConstId>> = a
+                        .pats
+                        .iter()
+                        .map(|p| try_eval_pat(p, env, base))
+                        .collect();
+                    args.filter(|args| envelope.contains(a.pred, args))
+                })
+                .collect();
+            emissions.push((head, pos, neg));
+        });
+
+        let (_, cr, negs) = (&(), cr, negs); // keep names in scope for clarity
+        for (head_args, pos_args, neg_args) in emissions {
+            let head = intern_final(
+                cr.head.pred,
+                &head_args,
+                &base,
+                &mut final_base,
+                &mut atom_ids,
+                &mut atom_count,
+            );
+            let mut pos_ids = Vec::with_capacity(pos_args.len());
+            for (atom, args) in cr
+                .body
+                .iter()
+                .filter(|a| a.pred != dom_pred)
+                .zip(pos_args.iter())
+            {
+                pos_ids.push(intern_final(
+                    atom.pred,
+                    args,
+                    &base,
+                    &mut final_base,
+                    &mut atom_ids,
+                    &mut atom_count,
+                ));
+            }
+            let mut neg_ids = Vec::new();
+            for (atom, args) in negs.iter().zip(neg_args.iter()) {
+                if let Some(args) = args {
+                    neg_ids.push(intern_final(
+                        atom.pred,
+                        args,
+                        &base,
+                        &mut final_base,
+                        &mut atom_ids,
+                        &mut atom_count,
+                    ));
+                }
+            }
+            out_rules.push(GroundRule::new(head, pos_ids, neg_ids));
+            if out_rules.len() > options.max_ground_rules {
+                return Err(GroundError::RuleBudgetExceeded {
+                    limit: options.max_ground_rules,
+                });
+            }
+        }
+    }
+
+    let mut builder = crate::program::GroundProgramBuilder::with_symbols(symbols);
+    *builder.base_mut() = final_base;
+    for r in out_rules {
+        builder.rule(r.head, r.pos.to_vec(), r.neg.to_vec());
+    }
+    Ok(builder.finish())
+}
+
+/// The variables of `rule` that occur in the head or a negative subgoal but
+/// in no positive subgoal.
+pub fn unsafe_variables(rule: &Rule) -> Vec<Symbol> {
+    let mut bound = Vec::new();
+    for atom in rule.pos_body() {
+        atom.collect_vars(&mut bound);
+    }
+    let mut needed = Vec::new();
+    rule.head.collect_vars(&mut needed);
+    for atom in rule.neg_body() {
+        atom.collect_vars(&mut needed);
+    }
+    let mut out = Vec::new();
+    for v in needed {
+        if !bound.contains(&v) && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// True iff every rule of the program is safe.
+pub fn is_safe(program: &Program) -> bool {
+    program.rules.iter().all(|r| unsafe_variables(r).is_empty())
+}
+
+fn intern_ground_term(t: &Term, base: &mut HerbrandBase) -> ConstId {
+    match t {
+        Term::Const(c) => base.intern_const(*c),
+        Term::App(f, args) => {
+            let ids: Vec<ConstId> = args.iter().map(|a| intern_ground_term(a, base)).collect();
+            base.intern_term(crate::atoms::GroundTerm::App(*f, ids.into_boxed_slice()))
+        }
+        Term::Var(_) => unreachable!("caller checked groundness"),
+    }
+}
+
+/// Add `t` and all its subterms to `out`.
+fn collect_subterms(t: ConstId, base: &HerbrandBase, out: &mut Vec<ConstId>) {
+    out.push(t);
+    if let crate::atoms::GroundTerm::App(_, args) = base.term(t) {
+        for &a in args.clone().iter() {
+            collect_subterms(a, base, out);
+        }
+    }
+}
+
+/// Intern every constant appearing syntactically in `rule` and add it to
+/// `out` (for the active domain).
+fn collect_rule_consts(rule: &Rule, base: &mut HerbrandBase, out: &mut Vec<ConstId>) {
+    fn walk(t: &Term, base: &mut HerbrandBase, out: &mut Vec<ConstId>) {
+        match t {
+            Term::Const(c) => out.push(base.intern_const(*c)),
+            Term::App(_, args) => {
+                for a in args {
+                    walk(a, base, out);
+                }
+            }
+            Term::Var(_) => {}
+        }
+    }
+    for t in &rule.head.args {
+        walk(t, base, out);
+    }
+    for l in &rule.body {
+        for t in &l.atom.args {
+            walk(t, base, out);
+        }
+    }
+}
+
+/// Copy a term from one base into another (id spaces differ).
+fn reintern_term(t: ConstId, from: &HerbrandBase, to: &mut HerbrandBase) -> ConstId {
+    match from.term(t).clone() {
+        crate::atoms::GroundTerm::Const(c) => to.intern_const(c),
+        crate::atoms::GroundTerm::App(f, args) => {
+            let new_args: Vec<ConstId> = args
+                .iter()
+                .map(|&a| reintern_term(a, from, to))
+                .collect();
+            to.intern_term(crate::atoms::GroundTerm::App(f, new_args.into_boxed_slice()))
+        }
+    }
+}
+
+/// Compute only the positive envelope of a program (exposed for the
+/// benchmarks and for diagnostics).
+pub fn positive_envelope(
+    program: &Program,
+    options: &GroundOptions,
+) -> Result<Database, GroundError> {
+    let mut base = HerbrandBase::new();
+    let mut facts = Vec::new();
+    let mut rules = Vec::new();
+    for rule in &program.rules {
+        if rule.is_fact() {
+            let tuple: Vec<ConstId> = rule
+                .head
+                .args
+                .iter()
+                .map(|t| intern_ground_term(t, &mut base))
+                .collect();
+            facts.push((rule.head.pred, tuple.into_boxed_slice()));
+        } else {
+            rules.push(compile_rule(rule, &[]));
+        }
+    }
+    evaluate_positive(
+        &rules,
+        &facts,
+        &mut base,
+        &EvalLimits {
+            max_tuples: options.max_envelope_tuples,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn ground_src(src: &str) -> GroundProgram {
+        ground(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn win_move_grounding() {
+        let g = ground_src(
+            "wins(X) :- move(X, Y), not wins(Y).
+             move(a, b). move(b, a). move(b, c).",
+        );
+        // Atoms: 3 move facts + wins(a), wins(b), wins(c) heads... wins(c)
+        // appears only in a negative literal of the instance for wins(b).
+        // Envelope(wins) = {a, b} (sources of edges); wins(c) is outside
+        // the envelope so `not wins(c)` is dropped.
+        let names: Vec<String> = (0..g.atom_count() as u32)
+            .map(|i| g.atom_name(AtomId(i)))
+            .collect();
+        assert!(names.contains(&"wins(a)".to_string()));
+        assert!(names.contains(&"wins(b)".to_string()));
+        assert!(!names.contains(&"wins(c)".to_string()));
+        // Rules: 3 facts + wins(a):-move(a,b),¬wins(b);
+        // wins(b):-move(b,a),¬wins(a); wins(b):-move(b,c) (literal dropped).
+        assert_eq!(g.rule_count(), 6);
+        let dropped = g
+            .rules()
+            .iter()
+            .find(|r| !r.pos.is_empty() && r.neg.is_empty())
+            .expect("the wins(b) :- move(b,c) instance lost its negative literal");
+        assert_eq!(g.atom_name(dropped.head), "wins(b)");
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_by_default() {
+        let p = parse_program("p(X) :- not q(X). q(a).").unwrap();
+        let err = ground(&p).unwrap_err();
+        assert!(matches!(err, GroundError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        let p = parse_program("p(X, Y) :- q(X). q(a).").unwrap();
+        let err = ground(&p).unwrap_err();
+        assert!(matches!(err, GroundError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn active_domain_guards_unsafe_rules() {
+        let p = parse_program("p(X) :- not q(X). q(a). r(b).").unwrap();
+        let g = ground_with(
+            &p,
+            &GroundOptions {
+                safety: SafetyPolicy::ActiveDomain,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Active domain {a, b}: p(a) :- not q(a); p(b) (not q(b) dropped,
+        // q(b) outside envelope).
+        let pa = g.find_atom_by_name("p", &["a"]).unwrap();
+        let pb = g.find_atom_by_name("p", &["b"]).unwrap();
+        let qa = g.find_atom_by_name("q", &["a"]).unwrap();
+        assert!(g.find_atom_by_name("q", &["b"]).is_none());
+        let pa_rules = g.rules_with_head(pa);
+        assert_eq!(pa_rules.len(), 1);
+        assert_eq!(g.rule(pa_rules[0]).neg.as_ref(), &[qa]);
+        let pb_rules = g.rules_with_head(pb);
+        assert_eq!(pb_rules.len(), 1);
+        assert!(g.rule(pb_rules[0]).is_fact());
+    }
+
+    #[test]
+    fn empty_domain_reported() {
+        let p = parse_program("p(X) :- not q(X).").unwrap();
+        let err = ground_with(
+            &p,
+            &GroundOptions {
+                safety: SafetyPolicy::ActiveDomain,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GroundError::EmptyDomain));
+    }
+
+    #[test]
+    fn envelope_prunes_underivable_instances() {
+        let g = ground_src(
+            "p(X) :- e(X, Y), p(Y).
+             p(a) :- not q(a).
+             q(a) :- not p(a).
+             e(b, a). e(c, b).",
+        );
+        // Envelope: p{a,b,c}, q(a); instances p(b):-e(b,a),p(a) etc.
+        assert!(g.find_atom_by_name("p", &["c"]).is_some());
+        // No instance with head p over constants not reachable: only a,b,c.
+        for r in g.rules() {
+            assert!(r.pos.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn propositional_programs_ground_to_themselves() {
+        let g = ground_src("p :- not q. q :- not p. r :- p, q.");
+        assert_eq!(g.rule_count(), 3);
+        assert_eq!(g.atom_count(), 3);
+    }
+
+    #[test]
+    fn budget_error_on_function_symbol_divergence() {
+        let p = parse_program("n(z). n(s(X)) :- n(X).").unwrap();
+        let err = ground_with(
+            &p,
+            &GroundOptions {
+                max_envelope_tuples: 1000,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GroundError::AtomBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn bounded_function_symbols_ground_fine() {
+        let g = ground_src(
+            "n(z). n(s(X)) :- n(X), small(X). small(z).",
+        );
+        // n(z), n(s(z)); small(z); the rule instance for X=s(z) is pruned
+        // because small(s(z)) is outside the envelope.
+        assert!(g.find_atom_by_name("n", &[]).is_none()); // arity mismatch probe
+        let names: Vec<String> = (0..g.atom_count() as u32)
+            .map(|i| g.atom_name(AtomId(i)))
+            .collect();
+        assert!(names.contains(&"n(s(z))".to_string()));
+        assert!(!names.iter().any(|n| n.contains("s(s(z))")));
+    }
+
+    #[test]
+    fn positive_envelope_standalone() {
+        let p = parse_program(
+            "tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y). e(a,b). e(b,c).",
+        )
+        .unwrap();
+        let env = positive_envelope(&p, &GroundOptions::default()).unwrap();
+        let tc = p.symbols.get("tc").unwrap();
+        assert_eq!(env.relation(tc).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn safety_analysis_lists_offending_variable() {
+        let p = parse_program("p(X) :- q(Y), not r(X, Z).").unwrap();
+        let v = unsafe_variables(&p.rules[0]);
+        let names: Vec<&str> = v.iter().map(|s| p.symbols.name(*s)).collect();
+        assert_eq!(names, vec!["X", "Z"]);
+        assert!(!is_safe(&p));
+    }
+}

@@ -1,0 +1,485 @@
+//! Ground (instantiated) programs `P_H` with rule indices.
+//!
+//! The paper's operators all work on the *Herbrand instantiation* of a
+//! program (Section 3.3): every rule has ground terms substituted for its
+//! variables in all possible ways. [`GroundProgram`] stores that
+//! instantiation with atoms interned to dense [`AtomId`]s and three
+//! occurrence indices (by head, by positive-body, by negative-body) so that
+//! every fixpoint operator runs in time linear in the program size.
+
+use crate::ast::{Program, Term};
+use crate::atoms::{AtomId, HerbrandBase};
+use crate::bitset::AtomSet;
+use crate::symbol::SymbolStore;
+use std::fmt;
+
+/// Index of a rule within a [`GroundProgram`].
+pub type RuleId = u32;
+
+/// A ground normal rule `head ← pos₁,…,posₖ, ¬neg₁,…,¬negₘ`.
+///
+/// `pos` and `neg` are sorted and deduplicated at construction so that the
+/// counter-based propagation engines can decrement exactly once per
+/// (atom, rule) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundRule {
+    /// Head atom.
+    pub head: AtomId,
+    /// Positive body atoms (sorted, deduplicated).
+    pub pos: Box<[AtomId]>,
+    /// Negated body atoms (sorted, deduplicated).
+    pub neg: Box<[AtomId]>,
+}
+
+impl GroundRule {
+    /// Normalize body lists: sort and deduplicate.
+    pub fn new(head: AtomId, mut pos: Vec<AtomId>, mut neg: Vec<AtomId>) -> Self {
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        GroundRule {
+            head,
+            pos: pos.into_boxed_slice(),
+            neg: neg.into_boxed_slice(),
+        }
+    }
+
+    /// True iff the rule has an empty body.
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+}
+
+/// An instantiated program together with its interned Herbrand base and
+/// occurrence indices.
+#[derive(Clone)]
+pub struct GroundProgram {
+    rules: Vec<GroundRule>,
+    base: HerbrandBase,
+    symbols: SymbolStore,
+    head_index: Vec<Vec<RuleId>>,
+    pos_index: Vec<Vec<RuleId>>,
+    neg_index: Vec<Vec<RuleId>>,
+}
+
+impl GroundProgram {
+    /// The rules.
+    pub fn rules(&self) -> &[GroundRule] {
+        &self.rules
+    }
+
+    /// A rule by id.
+    pub fn rule(&self, id: RuleId) -> &GroundRule {
+        &self.rules[id as usize]
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Size of the Herbrand base (number of distinct atoms). This is the
+    /// universe every [`AtomSet`] over this program ranges over.
+    pub fn atom_count(&self) -> usize {
+        self.base.atom_count()
+    }
+
+    /// The interned Herbrand base.
+    pub fn base(&self) -> &HerbrandBase {
+        &self.base
+    }
+
+    /// The symbol store names resolve through.
+    pub fn symbols(&self) -> &SymbolStore {
+        &self.symbols
+    }
+
+    /// Rules whose head is `atom`.
+    pub fn rules_with_head(&self, atom: AtomId) -> &[RuleId] {
+        &self.head_index[atom.index()]
+    }
+
+    /// Rules with `atom` in their positive body.
+    pub fn rules_with_pos(&self, atom: AtomId) -> &[RuleId] {
+        &self.pos_index[atom.index()]
+    }
+
+    /// Rules with `atom` in their negative body.
+    pub fn rules_with_neg(&self, atom: AtomId) -> &[RuleId] {
+        &self.neg_index[atom.index()]
+    }
+
+    /// An empty atom set sized for this program's Herbrand base.
+    pub fn empty_set(&self) -> AtomSet {
+        AtomSet::empty(self.atom_count())
+    }
+
+    /// The full Herbrand base as a set.
+    pub fn full_set(&self) -> AtomSet {
+        AtomSet::full(self.atom_count())
+    }
+
+    /// Render a ground atom.
+    pub fn atom_name(&self, id: AtomId) -> String {
+        self.base.display_atom(id, &self.symbols)
+    }
+
+    /// Resolve an atom by textual predicate name and constant arguments.
+    /// Returns `None` if any name is unknown or the atom was never
+    /// materialized during grounding (such an atom is false in every
+    /// semantics computed over this program).
+    pub fn find_atom_by_name(&self, pred: &str, args: &[&str]) -> Option<AtomId> {
+        let p = self.symbols.get(pred)?;
+        let mut ids = Vec::with_capacity(args.len());
+        for a in args {
+            let sym = self.symbols.get(a)?;
+            let id = self
+                .base
+                .find_term(&crate::atoms::GroundTerm::Const(sym))?;
+            ids.push(id);
+        }
+        self.base.find_atom(p, &ids)
+    }
+
+    /// Render a set of atoms sorted by display name — handy in tests and
+    /// the experiment harness.
+    pub fn set_to_names(&self, set: &AtomSet) -> Vec<String> {
+        let mut v: Vec<String> = set.iter().map(|id| self.atom_name(AtomId(id))).collect();
+        v.sort();
+        v
+    }
+
+    /// Total size: Σ over rules of (1 + |pos| + |neg|). The complexity
+    /// bounds in DESIGN.md are stated against this quantity.
+    pub fn size(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| 1 + r.pos.len() + r.neg.len())
+            .sum()
+    }
+
+    /// A copy of this program over the **same Herbrand base and atom ids**
+    /// but keeping only the rules whose head is in `keep`. Atoms outside
+    /// `keep` lose all their rules and become false in every semantics —
+    /// which is exactly what query-directed relevance restriction wants
+    /// (see `afp-core::relevance`).
+    pub fn restrict_heads(&self, keep: &crate::bitset::AtomSet) -> GroundProgram {
+        let rules: Vec<GroundRule> = self
+            .rules
+            .iter()
+            .filter(|r| keep.contains(r.head.0))
+            .cloned()
+            .collect();
+        let n = self.atom_count();
+        let mut head_index = vec![Vec::new(); n];
+        let mut pos_index = vec![Vec::new(); n];
+        let mut neg_index = vec![Vec::new(); n];
+        for (i, r) in rules.iter().enumerate() {
+            let id = i as RuleId;
+            head_index[r.head.index()].push(id);
+            for &p in r.pos.iter() {
+                pos_index[p.index()].push(id);
+            }
+            for &q in r.neg.iter() {
+                neg_index[q.index()].push(id);
+            }
+        }
+        GroundProgram {
+            rules,
+            base: self.base.clone(),
+            symbols: self.symbols.clone(),
+            head_index,
+            pos_index,
+            neg_index,
+        }
+    }
+}
+
+impl fmt::Debug for GroundProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroundProgram")
+            .field("rules", &self.rules.len())
+            .field("atoms", &self.atom_count())
+            .finish()
+    }
+}
+
+impl fmt::Display for GroundProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            write!(f, "{}", self.atom_name(r.head))?;
+            if !r.is_fact() {
+                write!(f, " :- ")?;
+                let mut first = true;
+                for &p in r.pos.iter() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", self.atom_name(p))?;
+                }
+                for &n in r.neg.iter() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "not {}", self.atom_name(n))?;
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`GroundProgram`].
+#[derive(Default)]
+pub struct GroundProgramBuilder {
+    rules: Vec<GroundRule>,
+    base: HerbrandBase,
+    symbols: SymbolStore,
+}
+
+impl GroundProgramBuilder {
+    /// Start from an empty Herbrand base and symbol store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from an existing symbol store (e.g. the one a [`Program`] was
+    /// parsed into) so that displayed names match the source.
+    pub fn with_symbols(symbols: SymbolStore) -> Self {
+        GroundProgramBuilder {
+            rules: Vec::new(),
+            base: HerbrandBase::new(),
+            symbols,
+        }
+    }
+
+    /// Access the symbol store mutably (to intern new names).
+    pub fn symbols_mut(&mut self) -> &mut SymbolStore {
+        &mut self.symbols
+    }
+
+    /// Access the Herbrand base mutably (to intern terms/atoms).
+    pub fn base_mut(&mut self) -> &mut HerbrandBase {
+        &mut self.base
+    }
+
+    /// Intern a propositional atom by name.
+    pub fn prop(&mut self, name: &str) -> AtomId {
+        let sym = self.symbols.intern(name);
+        self.base.intern_atom(sym, &[])
+    }
+
+    /// Intern an atom `pred(c1, …, ck)` over constant names.
+    pub fn atom(&mut self, pred: &str, args: &[&str]) -> AtomId {
+        let p = self.symbols.intern(pred);
+        let ids: Vec<_> = args
+            .iter()
+            .map(|a| {
+                let sym = self.symbols.intern(a);
+                self.base.intern_const(sym)
+            })
+            .collect();
+        self.base.intern_atom(p, &ids)
+    }
+
+    /// Add a rule.
+    pub fn rule(&mut self, head: AtomId, pos: Vec<AtomId>, neg: Vec<AtomId>) -> &mut Self {
+        self.rules.push(GroundRule::new(head, pos, neg));
+        self
+    }
+
+    /// Add a fact.
+    pub fn fact(&mut self, head: AtomId) -> &mut Self {
+        self.rules.push(GroundRule::new(head, vec![], vec![]));
+        self
+    }
+
+    /// Current number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.base.atom_count()
+    }
+
+    /// Current number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Build the indices and finish.
+    pub fn finish(self) -> GroundProgram {
+        let n = self.base.atom_count();
+        let mut head_index = vec![Vec::new(); n];
+        let mut pos_index = vec![Vec::new(); n];
+        let mut neg_index = vec![Vec::new(); n];
+        for (i, r) in self.rules.iter().enumerate() {
+            let id = i as RuleId;
+            head_index[r.head.index()].push(id);
+            for &p in r.pos.iter() {
+                pos_index[p.index()].push(id);
+            }
+            for &q in r.neg.iter() {
+                neg_index[q.index()].push(id);
+            }
+        }
+        GroundProgram {
+            rules: self.rules,
+            base: self.base,
+            symbols: self.symbols,
+            head_index,
+            pos_index,
+            neg_index,
+        }
+    }
+}
+
+/// Build a ground program directly from an AST [`Program`] whose rules are
+/// all ground (no variables). This bypasses the grounder for propositional
+/// programs — the common case in tests, random workloads, and the paper's
+/// propositional examples.
+///
+/// # Errors
+/// Returns the display string of the first non-ground rule encountered.
+pub fn ground_program_from_ast(program: &Program) -> Result<GroundProgram, String> {
+    let mut b = GroundProgramBuilder::with_symbols(program.symbols.clone());
+    for rule in &program.rules {
+        let head = intern_ground_atom(&mut b, rule)?;
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for lit in &rule.body {
+            let id = intern_atom_checked(&mut b, &lit.atom, rule, &program.symbols)?;
+            if lit.positive {
+                pos.push(id);
+            } else {
+                neg.push(id);
+            }
+        }
+        b.rule(head, pos, neg);
+    }
+    Ok(b.finish())
+}
+
+fn intern_ground_atom(
+    b: &mut GroundProgramBuilder,
+    rule: &crate::ast::Rule,
+) -> Result<AtomId, String> {
+    let symbols = b.symbols.clone();
+    intern_atom_checked(b, &rule.head.clone(), rule, &symbols)
+}
+
+fn intern_atom_checked(
+    b: &mut GroundProgramBuilder,
+    atom: &crate::ast::Atom,
+    rule: &crate::ast::Rule,
+    symbols: &SymbolStore,
+) -> Result<AtomId, String> {
+    if !atom.is_ground() {
+        return Err(format!(
+            "rule is not ground: {}",
+            crate::ast::display_rule(rule, symbols)
+        ));
+    }
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        args.push(intern_ground_term(b, t));
+    }
+    Ok(b.base.intern_atom(atom.pred, &args))
+}
+
+fn intern_ground_term(b: &mut GroundProgramBuilder, t: &Term) -> crate::atoms::ConstId {
+    match t {
+        Term::Const(c) => b.base.intern_const(*c),
+        Term::App(f, args) => {
+            let ids: Vec<_> = args.iter().map(|a| intern_ground_term(b, a)).collect();
+            b.base
+                .intern_term(crate::atoms::GroundTerm::App(*f, ids.into_boxed_slice()))
+        }
+        Term::Var(_) => unreachable!("groundness checked by caller"),
+    }
+}
+
+/// Parse a propositional (already-ground) program from text — a convenience
+/// wrapper for tests and examples.
+pub fn parse_ground(src: &str) -> GroundProgram {
+    let ast = crate::parser::parse_program(src).expect("parse error");
+    ground_program_from_ast(&ast).expect("program must be ground")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_indices() {
+        let mut b = GroundProgramBuilder::new();
+        let p = b.prop("p");
+        let q = b.prop("q");
+        let r = b.prop("r");
+        b.rule(p, vec![q], vec![r]);
+        b.fact(q);
+        let g = b.finish();
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.atom_count(), 3);
+        assert_eq!(g.rules_with_head(p), &[0]);
+        assert_eq!(g.rules_with_pos(q), &[0]);
+        assert_eq!(g.rules_with_neg(r), &[0]);
+        assert_eq!(g.rules_with_head(q), &[1]);
+        assert_eq!(g.size(), 2 + 1 + 1 + 1 - 1); // rule0: 1+1+1, rule1: 1
+    }
+
+    #[test]
+    fn duplicate_body_literals_are_deduped() {
+        let mut b = GroundProgramBuilder::new();
+        let p = b.prop("p");
+        let q = b.prop("q");
+        b.rule(p, vec![q, q], vec![q, q]);
+        let g = b.finish();
+        assert_eq!(g.rule(0).pos.len(), 1);
+        assert_eq!(g.rule(0).neg.len(), 1);
+    }
+
+    #[test]
+    fn from_ast_ground_program() {
+        let g = parse_ground("p :- q, not r. q. r :- not s.");
+        assert_eq!(g.rule_count(), 3);
+        assert_eq!(g.atom_count(), 4);
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        assert_eq!(g.atom_name(p), "p");
+    }
+
+    #[test]
+    fn from_ast_rejects_variables() {
+        let ast = crate::parser::parse_program("p(X) :- q(X).").unwrap();
+        let err = ground_program_from_ast(&ast).unwrap_err();
+        assert!(err.contains("not ground"));
+    }
+
+    #[test]
+    fn from_ast_with_relational_facts() {
+        let g = parse_ground("e(a, b). e(b, c). p(a, c) :- e(a, b), e(b, c).");
+        assert_eq!(g.atom_count(), 3);
+        let atom = g.find_atom_by_name("e", &["a", "b"]).unwrap();
+        assert_eq!(g.atom_name(atom), "e(a, b)");
+        assert!(g.find_atom_by_name("e", &["a", "c"]).is_none());
+        assert!(g.find_atom_by_name("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let g = parse_ground("p :- q, not r. q.");
+        let text = g.to_string();
+        assert!(text.contains("p :- q, not r."));
+        assert!(text.contains("q."));
+    }
+
+    #[test]
+    fn function_symbol_ground_atoms() {
+        let g = parse_ground("p(f(a)). q :- p(f(a)).");
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        assert_eq!(g.atom_name(q), "q");
+        assert_eq!(g.atom_count(), 2);
+        assert_eq!(g.rule(1).pos.len(), 1);
+    }
+}

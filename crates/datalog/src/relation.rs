@@ -1,0 +1,227 @@
+//! Tuple storage: relations and database instances.
+//!
+//! The grounder evaluates the positive part of a program bottom-up over
+//! *relations* — sets of tuples of interned ground terms — exactly the
+//! EDB/IDB view of Section 2.5 (Figure 1). A [`Relation`] stores its tuples
+//! densely with a hash map for deduplication and optional per-column hash
+//! indices for join lookups.
+
+use crate::atoms::ConstId;
+use crate::fx::FxHashMap;
+use crate::symbol::Symbol;
+
+/// A tuple of interned ground terms.
+pub type Tuple = Box<[ConstId]>;
+
+/// A set of tuples of fixed arity with optional per-column indices.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    map: FxHashMap<Tuple, u32>,
+    /// `indices[col]`, when built, maps a term id to the row numbers whose
+    /// `col`-th component equals it. Maintained incrementally by `insert`.
+    indices: FxHashMap<usize, FxHashMap<ConstId, Vec<u32>>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            map: FxHashMap::default(),
+            indices: FxHashMap::default(),
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the tuple's arity is wrong.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.map.contains_key(&tuple) {
+            return false;
+        }
+        let row = self.rows.len() as u32;
+        for (&col, index) in self.indices.iter_mut() {
+            index.entry(tuple[col]).or_default().push(row);
+        }
+        self.map.insert(tuple.clone(), row);
+        self.rows.push(tuple);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[ConstId]) -> bool {
+        self.map.contains_key(tuple)
+    }
+
+    /// All tuples, in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Build (if absent) the index for `col`.
+    pub fn ensure_index(&mut self, col: usize) {
+        debug_assert!(col < self.arity);
+        if self.indices.contains_key(&col) {
+            return;
+        }
+        let mut index: FxHashMap<ConstId, Vec<u32>> = FxHashMap::default();
+        for (row, t) in self.rows.iter().enumerate() {
+            index.entry(t[col]).or_default().push(row as u32);
+        }
+        self.indices.insert(col, index);
+    }
+
+    /// Row numbers whose `col`-th component is `value`, if that column is
+    /// indexed.
+    pub fn probe(&self, col: usize, value: ConstId) -> Option<&[u32]> {
+        self.indices
+            .get(&col)
+            .map(|ix| ix.get(&value).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// A tuple by row number.
+    pub fn row(&self, row: u32) -> &Tuple {
+        &self.rows[row as usize]
+    }
+}
+
+/// A database instance: one relation per predicate symbol.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: FxHashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relation for `pred`, creating it (with the given arity) if absent.
+    pub fn relation_mut(&mut self, pred: Symbol, arity: usize) -> &mut Relation {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+    }
+
+    /// The relation for `pred`, if any tuples or schema were ever recorded.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Insert a tuple; creates the relation on first use.
+    pub fn insert(&mut self, pred: Symbol, tuple: Tuple) -> bool {
+        let arity = tuple.len();
+        self.relation_mut(pred, arity).insert(tuple)
+    }
+
+    /// Membership test (false if the relation does not exist).
+    pub fn contains(&self, pred: Symbol, tuple: &[ConstId]) -> bool {
+        self.relations
+            .get(&pred)
+            .map(|r| r.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Total tuple count across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterate over `(pred, relation)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Relation)> {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::HerbrandBase;
+    use crate::symbol::SymbolStore;
+
+    fn consts(n: usize) -> (HerbrandBase, Vec<ConstId>, SymbolStore) {
+        let mut syms = SymbolStore::new();
+        let mut hb = HerbrandBase::new();
+        let ids = (0..n)
+            .map(|i| {
+                let s = syms.intern(&format!("c{i}"));
+                hb.intern_const(s)
+            })
+            .collect();
+        (hb, ids, syms)
+    }
+
+    #[test]
+    fn insert_dedup_and_contains() {
+        let (_, c, _) = consts(3);
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![c[0], c[1]].into()));
+        assert!(!r.insert(vec![c[0], c[1]].into()));
+        assert!(r.insert(vec![c[1], c[2]].into()));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[c[0], c[1]]));
+        assert!(!r.contains(&[c[2], c[0]]));
+    }
+
+    #[test]
+    fn index_probe_finds_rows() {
+        let (_, c, _) = consts(4);
+        let mut r = Relation::new(2);
+        r.insert(vec![c[0], c[1]].into());
+        r.insert(vec![c[0], c[2]].into());
+        r.insert(vec![c[3], c[1]].into());
+        r.ensure_index(0);
+        let rows = r.probe(0, c[0]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(r.probe(0, c[3]).unwrap().len(), 1);
+        assert!(r.probe(1, c[1]).is_none(), "column 1 not indexed");
+    }
+
+    #[test]
+    fn index_is_maintained_across_inserts() {
+        let (_, c, _) = consts(3);
+        let mut r = Relation::new(1);
+        r.ensure_index(0);
+        r.insert(vec![c[0]].into());
+        r.insert(vec![c[1]].into());
+        assert_eq!(r.probe(0, c[0]).unwrap(), &[0]);
+        assert_eq!(r.probe(0, c[1]).unwrap(), &[1]);
+        assert_eq!(r.probe(0, c[2]).unwrap(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let (_, c, mut syms) = consts(2);
+        let e = syms.intern("e");
+        let mut db = Database::new();
+        assert!(db.insert(e, vec![c[0], c[1]].into()));
+        assert!(!db.insert(e, vec![c[0], c[1]].into()));
+        assert!(db.contains(e, &[c[0], c[1]]));
+        assert!(!db.contains(e, &[c[1], c[0]]));
+        assert_eq!(db.total_tuples(), 1);
+        let missing = syms.intern("missing");
+        assert!(db.relation(missing).is_none());
+        assert!(!db.contains(missing, &[c[0]]));
+    }
+}

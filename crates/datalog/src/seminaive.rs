@@ -1,0 +1,611 @@
+//! Semi-naive bottom-up evaluation of positive programs.
+//!
+//! This is the classical Horn-clause least-fixpoint `T_P↑ω` of van Emden &
+//! Kowalski computed at the *relational* level: rules are compiled to
+//! backtracking joins over indexed relations, and each round only re-joins
+//! against the tuples newly derived in the previous round (the semi-naive
+//! delta discipline). The grounder ([`mod@crate::ground`]) runs this engine on
+//! the negation-erased program to obtain the *positive envelope* — the set
+//! of atoms with any derivation at all — and then instantiates rules only
+//! over that envelope.
+
+use crate::ast::{Rule, Term};
+use crate::atoms::{ConstId, GroundTerm, HerbrandBase};
+use crate::error::GroundError;
+use crate::fx::FxHashMap;
+use crate::relation::{Database, Relation, Tuple};
+use crate::symbol::Symbol;
+
+/// A term pattern with rule variables renamed to dense slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pat {
+    /// Slot in the binding environment.
+    Var(usize),
+    /// A constant symbol (interned to a term id lazily during matching).
+    Const(Symbol),
+    /// Function application over sub-patterns.
+    App(Symbol, Vec<Pat>),
+}
+
+impl Pat {
+
+    /// True when every variable in the pattern is bound in `env`.
+    fn is_determined(&self, env: &[Option<ConstId>]) -> bool {
+        match self {
+            Pat::Var(v) => env[*v].is_some(),
+            Pat::Const(_) => true,
+            Pat::App(_, args) => args.iter().all(|a| a.is_determined(env)),
+        }
+    }
+}
+
+/// A compiled atom: predicate plus argument patterns.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// Predicate symbol.
+    pub pred: Symbol,
+    /// Argument patterns.
+    pub pats: Vec<Pat>,
+}
+
+/// A rule compiled for join evaluation. Only positive body literals are
+/// retained here; callers that need the negative literals (the grounder)
+/// keep them separately.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Compiled head.
+    pub head: CompiledAtom,
+    /// Compiled positive body, in evaluation order.
+    pub body: Vec<CompiledAtom>,
+    /// Number of variable slots.
+    pub nvars: usize,
+    /// Map from slot to the source variable symbol (for diagnostics).
+    pub var_names: Vec<Symbol>,
+}
+
+/// Compile a rule's head and positive body. `extra_guards` are appended to
+/// the body after compilation (used for active-domain safety guards).
+pub fn compile_rule(rule: &Rule, extra_guards: &[CompiledAtom]) -> CompiledRule {
+    let mut slots: FxHashMap<Symbol, usize> = FxHashMap::default();
+    let mut var_names = Vec::new();
+    let compile_term = |t: &Term, slots: &mut FxHashMap<Symbol, usize>,
+                            var_names: &mut Vec<Symbol>|
+     -> Pat { compile_term_rec(t, slots, var_names) };
+    let mut body = Vec::new();
+    for lit in rule.body.iter().filter(|l| l.positive) {
+        let pats = lit
+            .atom
+            .args
+            .iter()
+            .map(|t| compile_term(t, &mut slots, &mut var_names))
+            .collect();
+        body.push(CompiledAtom {
+            pred: lit.atom.pred,
+            pats,
+        });
+    }
+    let head_pats = rule
+        .head
+        .args
+        .iter()
+        .map(|t| compile_term(t, &mut slots, &mut var_names))
+        .collect();
+    // Also assign slots to variables that occur only in negative literals,
+    // so the grounder can substitute them (they are guarded separately).
+    for lit in rule.body.iter().filter(|l| !l.positive) {
+        for t in &lit.atom.args {
+            compile_term(t, &mut slots, &mut var_names);
+        }
+    }
+    body.extend(extra_guards.iter().cloned());
+    CompiledRule {
+        head: CompiledAtom {
+            pred: rule.head.pred,
+            pats: head_pats,
+        },
+        body,
+        nvars: slots.len(),
+        var_names,
+    }
+}
+
+fn compile_term_rec(
+    t: &Term,
+    slots: &mut FxHashMap<Symbol, usize>,
+    var_names: &mut Vec<Symbol>,
+) -> Pat {
+    match t {
+        Term::Var(v) => {
+            let next = slots.len();
+            let slot = *slots.entry(*v).or_insert(next);
+            if slot == var_names.len() {
+                var_names.push(*v);
+            }
+            Pat::Var(slot)
+        }
+        Term::Const(c) => Pat::Const(*c),
+        Term::App(f, args) => Pat::App(
+            *f,
+            args.iter()
+                .map(|a| compile_term_rec(a, slots, var_names))
+                .collect(),
+        ),
+    }
+}
+
+/// Compile a negative literal's atom against the slot assignment of an
+/// already-compiled rule (slots must match — call with the same rule).
+pub fn compile_neg_atoms(rule: &Rule) -> Vec<CompiledAtom> {
+    // Recompute the same slot assignment deterministically.
+    let compiled = compile_rule(rule, &[]);
+    let mut slots: FxHashMap<Symbol, usize> = FxHashMap::default();
+    for (i, v) in compiled.var_names.iter().enumerate() {
+        slots.insert(*v, i);
+    }
+    let mut out = Vec::new();
+    for lit in rule.body.iter().filter(|l| !l.positive) {
+        let pats = lit
+            .atom
+            .args
+            .iter()
+            .map(|t| compile_term_ro(t, &slots))
+            .collect();
+        out.push(CompiledAtom {
+            pred: lit.atom.pred,
+            pats,
+        });
+    }
+    out
+}
+
+fn compile_term_ro(t: &Term, slots: &FxHashMap<Symbol, usize>) -> Pat {
+    match t {
+        Term::Var(v) => Pat::Var(*slots.get(v).expect("slot assigned for every rule variable")),
+        Term::Const(c) => Pat::Const(*c),
+        Term::App(f, args) => Pat::App(
+            *f,
+            args.iter().map(|a| compile_term_ro(a, slots)).collect(),
+        ),
+    }
+}
+
+/// Match a pattern against an interned ground term, extending `env`.
+/// Returns false (without fully undoing bindings — the caller snapshots)
+/// when the match fails.
+fn match_pat(pat: &Pat, value: ConstId, env: &mut [Option<ConstId>], base: &HerbrandBase) -> bool {
+    match pat {
+        Pat::Var(slot) => match env[*slot] {
+            Some(bound) => bound == value,
+            None => {
+                env[*slot] = Some(value);
+                true
+            }
+        },
+        Pat::Const(c) => match base.find_term(&GroundTerm::Const(*c)) {
+            Some(id) => id == value,
+            None => false,
+        },
+        Pat::App(f, pats) => match base.term(value) {
+            GroundTerm::App(g, args) if g == f && args.len() == pats.len() => {
+                let args = args.clone();
+                pats.iter()
+                    .zip(args.iter())
+                    .all(|(p, &a)| match_pat(p, a, env, base))
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Evaluate a fully determined pattern to a term id, interning new terms as
+/// needed (head construction).
+pub fn eval_pat(pat: &Pat, env: &[Option<ConstId>], base: &mut HerbrandBase) -> ConstId {
+    match pat {
+        Pat::Var(slot) => env[*slot].expect("pattern not determined"),
+        Pat::Const(c) => base.intern_const(*c),
+        Pat::App(f, pats) => {
+            let args: Vec<ConstId> = pats.iter().map(|p| eval_pat(p, env, base)).collect();
+            base.intern_term(GroundTerm::App(*f, args.into_boxed_slice()))
+        }
+    }
+}
+
+/// Evaluate a fully determined pattern without interning; `None` when some
+/// sub-term was never materialized (in which case no tuple can match it).
+pub fn try_eval_pat(pat: &Pat, env: &[Option<ConstId>], base: &HerbrandBase) -> Option<ConstId> {
+    match pat {
+        Pat::Var(slot) => env[*slot],
+        Pat::Const(c) => base.find_term(&GroundTerm::Const(*c)),
+        Pat::App(f, pats) => {
+            let mut args = Vec::with_capacity(pats.len());
+            for p in pats {
+                args.push(try_eval_pat(p, env, base)?);
+            }
+            base.find_term(&GroundTerm::App(*f, args.into_boxed_slice()))
+        }
+    }
+}
+
+/// Backtracking join: enumerate every binding of `body` against the given
+/// relations (one per body atom, parallel arrays) and call `emit` with the
+/// complete environment.
+pub fn join(
+    body: &[CompiledAtom],
+    rels: &[&Relation],
+    base: &HerbrandBase,
+    env: &mut Vec<Option<ConstId>>,
+    emit: &mut dyn FnMut(&[Option<ConstId>], &HerbrandBase),
+) {
+    join_rec(body, rels, base, env, 0, emit);
+}
+
+fn join_rec(
+    body: &[CompiledAtom],
+    rels: &[&Relation],
+    base: &HerbrandBase,
+    env: &mut Vec<Option<ConstId>>,
+    depth: usize,
+    emit: &mut dyn FnMut(&[Option<ConstId>], &HerbrandBase),
+) {
+    if depth == body.len() {
+        emit(env, base);
+        return;
+    }
+    let atom = &body[depth];
+    let rel = rels[depth];
+    // Pick an indexed probe if some column's pattern is fully determined.
+    let mut probe: Option<(usize, ConstId)> = None;
+    for (col, pat) in atom.pats.iter().enumerate() {
+        if pat.is_determined(env) {
+            match try_eval_pat(pat, env, base) {
+                Some(v) => {
+                    probe = Some((col, v));
+                    break;
+                }
+                // A determined pattern naming a term that was never
+                // materialized matches nothing.
+                None => return,
+            }
+        }
+    }
+    let snapshot = env.clone();
+    let try_row = |row: &Tuple,
+                       env: &mut Vec<Option<ConstId>>,
+                       emit: &mut dyn FnMut(&[Option<ConstId>], &HerbrandBase)| {
+        let mut ok = true;
+        for (pat, &val) in atom.pats.iter().zip(row.iter()) {
+            if !match_pat(pat, val, env, base) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            join_rec(body, rels, base, env, depth + 1, emit);
+        }
+        env.copy_from_slice(&snapshot);
+    };
+    match probe {
+        Some((col, value)) => match rel.probe(col, value) {
+            Some(rows) => {
+                for &r in rows {
+                    try_row(rel.row(r), env, emit);
+                }
+            }
+            None => {
+                // Column not indexed: fall back to a scan with the
+                // determined column as a filter (match_pat handles it).
+                for row in rel.rows() {
+                    try_row(row, env, emit);
+                }
+            }
+        },
+        None => {
+            for row in rel.rows() {
+                try_row(row, env, emit);
+            }
+        }
+    }
+}
+
+/// Resource bounds for evaluation; exceeding them aborts with an error
+/// instead of diverging (function symbols can make the envelope infinite).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalLimits {
+    /// Maximum number of tuples across all relations.
+    pub max_tuples: usize,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        EvalLimits {
+            max_tuples: 10_000_000,
+        }
+    }
+}
+
+/// Compute the least model of a *positive* program (facts plus compiled
+/// rules) by semi-naive iteration.
+///
+/// `facts` are inserted first; `rules` are the compiled non-fact rules.
+/// Returns the full database. Rounds stop when no new tuple is derived.
+pub fn evaluate_positive(
+    rules: &[CompiledRule],
+    facts: &[(Symbol, Tuple)],
+    base: &mut HerbrandBase,
+    limits: &EvalLimits,
+) -> Result<Database, GroundError> {
+    let mut full = Database::new();
+    let mut delta = Database::new();
+    for (pred, tuple) in facts {
+        if full.insert(*pred, tuple.clone()) {
+            delta.insert(*pred, tuple.clone());
+        }
+    }
+    // Zero-body compiled rules (ground heads after compilation) fire once.
+    let mut buffer: Vec<(Symbol, Tuple)> = Vec::new();
+    for rule in rules.iter().filter(|r| r.body.is_empty()) {
+        let env: Vec<Option<ConstId>> = vec![None; rule.nvars];
+        let head: Vec<ConstId> = rule
+            .head
+            .pats
+            .iter()
+            .map(|p| eval_pat(p, &env, base))
+            .collect();
+        buffer.push((rule.head.pred, head.into_boxed_slice()));
+    }
+    for (pred, tuple) in buffer.drain(..) {
+        if full.insert(pred, tuple.clone()) {
+            delta.insert(pred, tuple);
+        }
+    }
+
+    loop {
+        if full.total_tuples() > limits.max_tuples {
+            return Err(GroundError::AtomBudgetExceeded {
+                limit: limits.max_tuples,
+            });
+        }
+        // Ensure indices for every column of every relation used in a body.
+        for rule in rules {
+            for atom in &rule.body {
+                for db in [&mut full, &mut delta] {
+                    if let Some(rel) = db.relation(atom.pred) {
+                        let arity = rel.arity();
+                        let rel = db.relation_mut(atom.pred, arity);
+                        for col in 0..arity {
+                            rel.ensure_index(col);
+                        }
+                    }
+                }
+            }
+        }
+        buffer.clear();
+        let empty = Relation::new(0);
+        for rule in rules.iter().filter(|r| !r.body.is_empty()) {
+            for focus in 0..rule.body.len() {
+                // Occurrence `focus` ranges over the last delta; a derivation
+                // with no delta tuple was already found in an earlier round.
+                let rels: Vec<&Relation> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .map(|(i, atom)| {
+                        let db = if i == focus { &delta } else { &full };
+                        db.relation(atom.pred).unwrap_or(&empty)
+                    })
+                    .collect();
+                if rels[focus].is_empty() {
+                    continue;
+                }
+                let mut env: Vec<Option<ConstId>> = vec![None; rule.nvars];
+                let head_pred = rule.head.pred;
+                let head_pats = &rule.head.pats;
+                let mut local: Vec<(Symbol, Vec<ConstId>)> = Vec::new();
+                join(
+                    &rule.body,
+                    &rels,
+                    base,
+                    &mut env,
+                    &mut |env, base| {
+                        let head: Vec<ConstId> = head_pats
+                            .iter()
+                            .map(|p| {
+                                try_eval_pat(p, env, base).map(Ok).unwrap_or(Err(()))
+                            })
+                            .collect::<Result<_, _>>()
+                            .unwrap_or_default();
+                        if head.len() == head_pats.len() {
+                            local.push((head_pred, head));
+                        } else {
+                            // Head mentions a term not yet interned; record
+                            // the env so we can intern outside the borrow.
+                            local.push((head_pred, vec![]));
+                        }
+                    },
+                );
+                // Second pass for heads that needed interning: rerun with
+                // mutable base access. To keep the hot path allocation-free
+                // we only rerun when at least one head failed to resolve.
+                if local.iter().any(|(_, h)| h.len() != rule.head.pats.len()) {
+                    local.clear();
+                    let mut envs: Vec<Vec<Option<ConstId>>> = Vec::new();
+                    let mut env2: Vec<Option<ConstId>> = vec![None; rule.nvars];
+                    join(&rule.body, &rels, base, &mut env2, &mut |env, _| {
+                        envs.push(env.to_vec());
+                    });
+                    for env in envs {
+                        let head: Vec<ConstId> = rule
+                            .head
+                            .pats
+                            .iter()
+                            .map(|p| eval_pat(p, &env, base))
+                            .collect();
+                        local.push((head_pred, head));
+                    }
+                }
+                for (pred, head) in local {
+                    buffer.push((pred, head.into_boxed_slice()));
+                }
+            }
+        }
+        let mut next_delta = Database::new();
+        let mut grew = false;
+        for (pred, tuple) in buffer.drain(..) {
+            if !full.contains(pred, &tuple) {
+                full.insert(pred, tuple.clone());
+                next_delta.insert(pred, tuple);
+                grew = true;
+            }
+        }
+        delta = next_delta;
+        if !grew {
+            return Ok(full);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Helper: run the positive part of a parsed program.
+    fn run(src: &str) -> (Database, HerbrandBase, crate::symbol::SymbolStore) {
+        let prog = parse_program(src).unwrap();
+        let mut base = HerbrandBase::new();
+        let mut facts = Vec::new();
+        let mut rules = Vec::new();
+        for rule in &prog.rules {
+            if rule.is_fact() {
+                let tuple: Vec<ConstId> = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| intern_ground(t, &mut base))
+                    .collect();
+                facts.push((rule.head.pred, tuple.into_boxed_slice()));
+            } else {
+                rules.push(compile_rule(rule, &[]));
+            }
+        }
+        let db =
+            evaluate_positive(&rules, &facts, &mut base, &EvalLimits::default()).unwrap();
+        (db, base, prog.symbols)
+    }
+
+    fn intern_ground(t: &Term, base: &mut HerbrandBase) -> ConstId {
+        match t {
+            Term::Const(c) => base.intern_const(*c),
+            Term::App(f, args) => {
+                let ids: Vec<ConstId> =
+                    args.iter().map(|a| intern_ground(a, base)).collect();
+                base.intern_term(GroundTerm::App(*f, ids.into_boxed_slice()))
+            }
+            Term::Var(_) => panic!("fact with variable"),
+        }
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (db, base, syms) = run(
+            "e(a,b). e(b,c). e(c,d).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- e(X,Z), tc(Z,Y).",
+        );
+        let tc = syms.get("tc").unwrap();
+        let rel = db.relation(tc).unwrap();
+        assert_eq!(rel.len(), 6); // ab ac ad bc bd cd
+        let a = base.find_term(&GroundTerm::Const(syms.get("a").unwrap())).unwrap();
+        let d = base.find_term(&GroundTerm::Const(syms.get("d").unwrap())).unwrap();
+        assert!(rel.contains(&[a, d]));
+        assert!(!rel.contains(&[d, a]));
+    }
+
+    #[test]
+    fn join_with_repeated_variables() {
+        let (db, _, syms) = run(
+            "e(a,a). e(a,b). loop(X) :- e(X,X).",
+        );
+        let l = syms.get("loop").unwrap();
+        assert_eq!(db.relation(l).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn constants_in_rule_bodies() {
+        let (db, _, syms) = run(
+            "e(a,b). e(b,c). from_a(Y) :- e(a,Y).",
+        );
+        assert_eq!(db.relation(syms.get("from_a").unwrap()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn function_symbols_in_heads() {
+        // Successor-bounded arithmetic: derivations build new terms.
+        let (db, base, syms) = run(
+            "n(z).
+             n(s(X)) :- n(X), small(X).
+             small(z). small(s(z)).",
+        );
+        let n = syms.get("n").unwrap();
+        // z, s(z), s(s(z)) — growth stops because small/1 is finite.
+        assert_eq!(db.relation(n).unwrap().len(), 3);
+        assert!(base.term_count() >= 3);
+    }
+
+    #[test]
+    fn budget_stops_runaway_programs() {
+        let prog = parse_program("n(z). n(s(X)) :- n(X).").unwrap();
+        let mut base = HerbrandBase::new();
+        let mut facts = Vec::new();
+        let mut rules = Vec::new();
+        for rule in &prog.rules {
+            if rule.is_fact() {
+                let t: Vec<ConstId> = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| intern_ground(t, &mut base))
+                    .collect();
+                facts.push((rule.head.pred, t.into_boxed_slice()));
+            } else {
+                rules.push(compile_rule(rule, &[]));
+            }
+        }
+        let err = evaluate_positive(
+            &rules,
+            &facts,
+            &mut base,
+            &EvalLimits { max_tuples: 100 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GroundError::AtomBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn seminaive_equals_expected_on_cycles() {
+        let (db, _, syms) = run(
+            "e(a,b). e(b,a).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- e(X,Z), tc(Z,Y).",
+        );
+        // {a,b}² — cycles must terminate.
+        assert_eq!(db.relation(syms.get("tc").unwrap()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn propositional_rules_work() {
+        let (db, _, syms) = run("p. q :- p. r :- q, p.");
+        assert!(db.contains(syms.get("r").unwrap(), &[]));
+    }
+
+    #[test]
+    fn compile_assigns_slots_to_negative_only_vars() {
+        let prog = parse_program("p(X) :- e(X, Y), not q(Y, Z).").unwrap();
+        let compiled = compile_rule(&prog.rules[0], &[]);
+        // X, Y from positive body and head; Z from the negative literal.
+        assert_eq!(compiled.nvars, 3);
+        let negs = compile_neg_atoms(&prog.rules[0]);
+        assert_eq!(negs.len(), 1);
+        assert_eq!(negs[0].pats.len(), 2);
+    }
+}

@@ -1,0 +1,615 @@
+//! First-order rule bodies (Section 8.1).
+//!
+//! A *general logic program* (Lloyd–Topor) permits arbitrary first-order
+//! formulas with equality as rule bodies. Truth of a closed formula is
+//! assigned by an arbitrary set of literals `Z` per Definition 8.2:
+//!
+//! 1. put the formula into *explicit literal form* (every negative atom has
+//!    its negation immediately above — our negation normal form);
+//! 2. a ground literal is true iff it occurs in `Z` — note the asymmetry:
+//!    a positive literal needs `p ∈ Z`, a negative one needs `¬p ∈ Z`;
+//!    *absence of positive p literals is not enough* (Example 8.1);
+//! 3. connectives and quantifiers evaluate classically, with quantifiers
+//!    ranging over a finite domain (the active domain of the program).
+//!
+//! Equality follows the Clark equational theory: ground terms are equal iff
+//! syntactically identical.
+
+use afp_datalog::ast::{Atom, Term};
+use afp_datalog::atoms::{ConstId, HerbrandBase};
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::fx::FxHashMap;
+use afp_datalog::symbol::{Symbol, SymbolStore};
+
+/// A first-order formula over atoms and equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// An atomic formula.
+    Atom(Atom),
+    /// Term equality under the Clark equational theory.
+    Eq(Term, Term),
+    /// Verum.
+    True,
+    /// Falsum.
+    False,
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Symbol>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Symbol>, Box<Formula>),
+}
+
+impl Formula {
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `∃ vars. φ`.
+    pub fn exists(vars: Vec<Symbol>, f: Formula) -> Formula {
+        Formula::Exists(vars, Box::new(f))
+    }
+
+    /// `∀ vars. φ`.
+    pub fn forall(vars: Vec<Symbol>, f: Formula) -> Formula {
+        Formula::Forall(vars, Box::new(f))
+    }
+
+    /// Free variables, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.free_vars_rec(&mut bound, &mut out);
+        out
+    }
+
+    fn free_vars_rec(&self, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match self {
+            Formula::Atom(a) => {
+                let mut vars = Vec::new();
+                a.collect_vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Formula::Eq(l, r) => {
+                let mut vars = Vec::new();
+                l.collect_vars(&mut vars);
+                r.collect_vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Formula::True | Formula::False => {}
+            Formula::Not(f) => f.free_vars_rec(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.free_vars_rec(bound, out);
+                }
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let depth = bound.len();
+                bound.extend(vars.iter().copied());
+                f.free_vars_rec(bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+
+    /// Every `(predicate, polarity)` occurrence in the formula, where the
+    /// polarity is that of the atom within this formula (Definition 8.1:
+    /// positive under an even number of negations).
+    pub fn predicate_occurrences(&self) -> Vec<(Symbol, bool)> {
+        let mut out = Vec::new();
+        self.occ_rec(true, &mut out);
+        out
+    }
+
+    fn occ_rec(&self, positive: bool, out: &mut Vec<(Symbol, bool)>) {
+        match self {
+            Formula::Atom(a) => out.push((a.pred, positive)),
+            Formula::Eq(..) | Formula::True | Formula::False => {}
+            Formula::Not(f) => f.occ_rec(!positive, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.occ_rec(positive, out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.occ_rec(positive, out),
+        }
+    }
+
+    /// Render with a symbol store (for diagnostics).
+    pub fn display(&self, store: &SymbolStore) -> String {
+        match self {
+            Formula::Atom(a) => afp_datalog::ast::display_atom(a, store),
+            Formula::Eq(l, r) => format!(
+                "{} = {}",
+                afp_datalog::ast::display_term(l, store),
+                afp_datalog::ast::display_term(r, store)
+            ),
+            Formula::True => "true".into(),
+            Formula::False => "false".into(),
+            Formula::Not(f) => format!("¬({})", f.display(store)),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|f| f.display(store)).collect();
+                format!("({})", parts.join(" ∧ "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|f| f.display(store)).collect();
+                format!("({})", parts.join(" ∨ "))
+            }
+            Formula::Exists(vars, f) => {
+                let vs: Vec<&str> = vars.iter().map(|v| store.name(*v)).collect();
+                format!("∃{}[{}]", vs.join(","), f.display(store))
+            }
+            Formula::Forall(vars, f) => {
+                let vs: Vec<&str> = vars.iter().map(|v| store.name(*v)).collect();
+                format!("∀{}[{}]", vs.join(","), f.display(store))
+            }
+        }
+    }
+}
+
+/// A rule with a first-order body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralRule {
+    /// Head atom (its variables are the rule's universal variables).
+    pub head: Atom,
+    /// First-order body.
+    pub body: Formula,
+}
+
+/// A general logic program: general rules plus ground EDB facts.
+#[derive(Debug, Clone, Default)]
+pub struct GeneralProgram {
+    /// The rules.
+    pub rules: Vec<GeneralRule>,
+    /// Ground facts (the EDB).
+    pub facts: Vec<Atom>,
+    /// Names.
+    pub symbols: SymbolStore,
+}
+
+impl GeneralProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// IDB predicates: those with a rule head.
+    pub fn idb_predicates(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.head.pred) {
+                out.push(r.head.pred);
+            }
+        }
+        out
+    }
+
+    /// EDB predicates: those with facts and no rules.
+    pub fn edb_predicates(&self) -> Vec<Symbol> {
+        let idb = self.idb_predicates();
+        let mut out = Vec::new();
+        for f in &self.facts {
+            if !idb.contains(&f.pred) && !out.contains(&f.pred) {
+                out.push(f.pred);
+            }
+        }
+        out
+    }
+}
+
+/// A literal set `Z` for Definition 8.2 evaluation: positive and negative
+/// literals over an interned ground-atom universe.
+#[derive(Debug, Clone)]
+pub struct LiteralSet {
+    /// Atoms appearing positively in `Z`.
+    pub pos: AtomSet,
+    /// Atoms appearing negatively in `Z`.
+    pub neg: AtomSet,
+}
+
+/// Evaluation context: a finite domain plus the interned atom universe.
+pub struct EvalContext<'a> {
+    /// Interned ground atoms; atoms absent from the base are simply not in
+    /// `Z` (both their literals evaluate false).
+    pub base: &'a HerbrandBase,
+    /// The finite domain quantifiers range over.
+    pub domain: &'a [ConstId],
+}
+
+/// Negation normal form — the executable version of "explicit literal
+/// form" (Definition 8.1).
+#[derive(Debug, Clone)]
+pub enum Nnf {
+    /// A literal: atom with polarity.
+    Lit(Atom, bool),
+    /// Equality literal with polarity.
+    EqLit(Term, Term, bool),
+    /// Verum.
+    True,
+    /// Falsum.
+    False,
+    /// Conjunction.
+    And(Vec<Nnf>),
+    /// Disjunction.
+    Or(Vec<Nnf>),
+    /// Existential.
+    Exists(Vec<Symbol>, Box<Nnf>),
+    /// Universal.
+    Forall(Vec<Symbol>, Box<Nnf>),
+}
+
+/// Convert to negation normal form.
+pub fn to_nnf(f: &Formula) -> Nnf {
+    nnf_rec(f, true)
+}
+
+fn nnf_rec(f: &Formula, positive: bool) -> Nnf {
+    match f {
+        Formula::Atom(a) => Nnf::Lit(a.clone(), positive),
+        Formula::Eq(l, r) => Nnf::EqLit(l.clone(), r.clone(), positive),
+        Formula::True => {
+            if positive {
+                Nnf::True
+            } else {
+                Nnf::False
+            }
+        }
+        Formula::False => {
+            if positive {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        Formula::Not(g) => nnf_rec(g, !positive),
+        Formula::And(fs) => {
+            let parts = fs.iter().map(|g| nnf_rec(g, positive)).collect();
+            if positive {
+                Nnf::And(parts)
+            } else {
+                Nnf::Or(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts = fs.iter().map(|g| nnf_rec(g, positive)).collect();
+            if positive {
+                Nnf::Or(parts)
+            } else {
+                Nnf::And(parts)
+            }
+        }
+        Formula::Exists(vars, g) => {
+            let inner = Box::new(nnf_rec(g, positive));
+            if positive {
+                Nnf::Exists(vars.clone(), inner)
+            } else {
+                Nnf::Forall(vars.clone(), inner)
+            }
+        }
+        Formula::Forall(vars, g) => {
+            let inner = Box::new(nnf_rec(g, positive));
+            if positive {
+                Nnf::Forall(vars.clone(), inner)
+            } else {
+                Nnf::Exists(vars.clone(), inner)
+            }
+        }
+    }
+}
+
+/// Evaluate a formula under the literal set `z` with the environment `env`
+/// binding its free variables (Definition 8.2).
+pub fn eval_formula(
+    f: &Formula,
+    z: &LiteralSet,
+    ctx: &EvalContext<'_>,
+    env: &mut FxHashMap<Symbol, ConstId>,
+) -> bool {
+    let nnf = to_nnf(f);
+    eval_nnf(&nnf, z, ctx, env)
+}
+
+/// Evaluate an NNF formula.
+pub fn eval_nnf(
+    f: &Nnf,
+    z: &LiteralSet,
+    ctx: &EvalContext<'_>,
+    env: &mut FxHashMap<Symbol, ConstId>,
+) -> bool {
+    match f {
+        Nnf::True => true,
+        Nnf::False => false,
+        Nnf::Lit(a, positive) => {
+            let Some(id) = resolve_atom(a, ctx.base, env) else {
+                // An atom over terms never materialized is in no literal
+                // set: both its positive and negative literal are false.
+                return false;
+            };
+            if *positive {
+                z.pos.contains(id.0)
+            } else {
+                z.neg.contains(id.0)
+            }
+        }
+        Nnf::EqLit(l, r, positive) => {
+            let lv = resolve_term(l, ctx.base, env);
+            let rv = resolve_term(r, ctx.base, env);
+            match (lv, rv) {
+                (Some(a), Some(b)) => (a == b) == *positive,
+                // Clark equality on unresolvable terms: unequal.
+                _ => !*positive,
+            }
+        }
+        Nnf::And(fs) => fs.iter().all(|g| eval_nnf(g, z, ctx, env)),
+        Nnf::Or(fs) => fs.iter().any(|g| eval_nnf(g, z, ctx, env)),
+        Nnf::Exists(vars, g) => quantify(vars, g, z, ctx, env, true),
+        Nnf::Forall(vars, g) => quantify(vars, g, z, ctx, env, false),
+    }
+}
+
+fn quantify(
+    vars: &[Symbol],
+    body: &Nnf,
+    z: &LiteralSet,
+    ctx: &EvalContext<'_>,
+    env: &mut FxHashMap<Symbol, ConstId>,
+    existential: bool,
+) -> bool {
+    if vars.is_empty() {
+        return eval_nnf(body, z, ctx, env);
+    }
+    let (v, rest) = (vars[0], &vars[1..]);
+    let saved = env.get(&v).copied();
+    for &d in ctx.domain {
+        env.insert(v, d);
+        let r = quantify(rest, body, z, ctx, env, existential);
+        if r == existential {
+            restore(env, v, saved);
+            return existential;
+        }
+    }
+    restore(env, v, saved);
+    !existential
+}
+
+fn restore(env: &mut FxHashMap<Symbol, ConstId>, v: Symbol, saved: Option<ConstId>) {
+    match saved {
+        Some(x) => {
+            env.insert(v, x);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+/// Resolve a term under `env` without interning; `None` when a sub-term was
+/// never materialized.
+pub fn resolve_term(
+    t: &Term,
+    base: &HerbrandBase,
+    env: &FxHashMap<Symbol, ConstId>,
+) -> Option<ConstId> {
+    match t {
+        Term::Var(v) => env.get(v).copied(),
+        Term::Const(c) => base.find_term(&afp_datalog::atoms::GroundTerm::Const(*c)),
+        Term::App(f, args) => {
+            let mut ids = Vec::with_capacity(args.len());
+            for a in args {
+                ids.push(resolve_term(a, base, env)?);
+            }
+            base.find_term(&afp_datalog::atoms::GroundTerm::App(
+                *f,
+                ids.into_boxed_slice(),
+            ))
+        }
+    }
+}
+
+/// Resolve an atom under `env` without interning.
+pub fn resolve_atom(
+    a: &Atom,
+    base: &HerbrandBase,
+    env: &FxHashMap<Symbol, ConstId>,
+) -> Option<afp_datalog::AtomId> {
+    let mut args = Vec::with_capacity(a.args.len());
+    for t in &a.args {
+        args.push(resolve_term(t, base, env)?);
+    }
+    base.find_atom(a.pred, &args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        symbols: SymbolStore,
+        base: HerbrandBase,
+        domain: Vec<ConstId>,
+        p: Symbol,
+        x: Symbol,
+    }
+
+    fn fixture() -> Fixture {
+        let mut symbols = SymbolStore::new();
+        let p = symbols.intern("p");
+        let x = symbols.intern("X");
+        let mut base = HerbrandBase::new();
+        let mut domain = Vec::new();
+        for name in ["a", "b", "c"] {
+            let s = symbols.intern(name);
+            let c = base.intern_const(s);
+            base.intern_atom(p, &[c]);
+            domain.push(c);
+        }
+        Fixture {
+            symbols,
+            base,
+            domain,
+            p,
+            x,
+        }
+    }
+
+    fn z(fx: &Fixture, pos: &[u32], neg: &[u32]) -> LiteralSet {
+        let n = fx.base.atom_count();
+        LiteralSet {
+            pos: AtomSet::from_iter(n, pos.iter().copied()),
+            neg: AtomSet::from_iter(n, neg.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn example_8_1_absence_is_not_falsity() {
+        // φ = ¬∃X p(X), explicit literal form ∀X ¬p(X): true only when
+        // ¬p(t) ∈ Z for ALL t; absence of positive p literals is not
+        // enough.
+        let fx = fixture();
+        let phi = Formula::not(Formula::exists(
+            vec![fx.x],
+            Formula::Atom(Atom::new(fx.p, vec![Term::Var(fx.x)])),
+        ));
+        let ctx = EvalContext {
+            base: &fx.base,
+            domain: &fx.domain,
+        };
+        let mut env = FxHashMap::default();
+        // Z empty: not true (no ¬p literals present).
+        assert!(!eval_formula(&phi, &z(&fx, &[], &[]), &ctx, &mut env));
+        // Z = {¬p(a), ¬p(b), ¬p(c)}: true.
+        assert!(eval_formula(&phi, &z(&fx, &[], &[0, 1, 2]), &ctx, &mut env));
+        // Missing one: false.
+        assert!(!eval_formula(&phi, &z(&fx, &[], &[0, 1]), &ctx, &mut env));
+
+        // ψ = ¬φ: p(X) is positive in ψ; ψ is true iff some p(t) ∈ Z⁺…
+        let psi = Formula::not(phi);
+        assert!(eval_formula(&psi, &z(&fx, &[1], &[]), &ctx, &mut env));
+        // …and with Z empty, ψ = ∃X ¬¬p(X) → needs a positive p literal.
+        assert!(!eval_formula(&psi, &z(&fx, &[], &[2]), &ctx, &mut env));
+    }
+
+    #[test]
+    fn nnf_dualizes_connectives() {
+        let fx = fixture();
+        let f = Formula::not(Formula::And(vec![
+            Formula::Atom(Atom::new(fx.p, vec![Term::Var(fx.x)])),
+            Formula::True,
+        ]));
+        match to_nnf(&f) {
+            Nnf::Or(parts) => {
+                assert!(matches!(&parts[0], Nnf::Lit(_, false)));
+                assert!(matches!(&parts[1], Nnf::False));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_restores_polarity() {
+        let fx = fixture();
+        let f = Formula::not(Formula::not(Formula::Atom(Atom::new(
+            fx.p,
+            vec![Term::Var(fx.x)],
+        ))));
+        assert!(matches!(to_nnf(&f), Nnf::Lit(_, true)));
+        assert_eq!(f.predicate_occurrences(), vec![(fx.p, true)]);
+    }
+
+    #[test]
+    fn equality_is_syntactic_identity() {
+        let fx = fixture();
+        let a = fx.symbols.get("a").unwrap();
+        let b = fx.symbols.get("b").unwrap();
+        let ctx = EvalContext {
+            base: &fx.base,
+            domain: &fx.domain,
+        };
+        let mut env = FxHashMap::default();
+        let zero = z(&fx, &[], &[]);
+        assert!(eval_formula(
+            &Formula::Eq(Term::Const(a), Term::Const(a)),
+            &zero,
+            &ctx,
+            &mut env
+        ));
+        assert!(!eval_formula(
+            &Formula::Eq(Term::Const(a), Term::Const(b)),
+            &zero,
+            &ctx,
+            &mut env
+        ));
+        assert!(eval_formula(
+            &Formula::not(Formula::Eq(Term::Const(a), Term::Const(b))),
+            &zero,
+            &ctx,
+            &mut env
+        ));
+    }
+
+    #[test]
+    fn forall_over_empty_domain_is_true() {
+        let fx = fixture();
+        let ctx = EvalContext {
+            base: &fx.base,
+            domain: &[],
+        };
+        let mut env = FxHashMap::default();
+        let f = Formula::forall(
+            vec![fx.x],
+            Formula::Atom(Atom::new(fx.p, vec![Term::Var(fx.x)])),
+        );
+        assert!(eval_formula(&f, &z(&fx, &[], &[]), &ctx, &mut env));
+        let g = Formula::exists(
+            vec![fx.x],
+            Formula::Atom(Atom::new(fx.p, vec![Term::Var(fx.x)])),
+        );
+        assert!(!eval_formula(&g, &z(&fx, &[], &[]), &ctx, &mut env));
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let mut symbols = SymbolStore::new();
+        let p = symbols.intern("p");
+        let x = symbols.intern("X");
+        let y = symbols.intern("Y");
+        let f = Formula::exists(
+            vec![y],
+            Formula::Atom(Atom::new(p, vec![Term::Var(x), Term::Var(y)])),
+        );
+        assert_eq!(f.free_vars(), vec![x]);
+    }
+
+    #[test]
+    fn predicate_occurrences_through_quantifiers() {
+        let mut symbols = SymbolStore::new();
+        let e = symbols.intern("e");
+        let w = symbols.intern("w");
+        let x = symbols.intern("X");
+        let y = symbols.intern("Y");
+        // ¬∃Y[e(Y,X) ∧ ¬w(Y)] — Example 8.2's body.
+        let f = Formula::not(Formula::exists(
+            vec![y],
+            Formula::And(vec![
+                Formula::Atom(Atom::new(e, vec![Term::Var(y), Term::Var(x)])),
+                Formula::not(Formula::Atom(Atom::new(w, vec![Term::Var(y)]))),
+            ]),
+        ));
+        let occ = f.predicate_occurrences();
+        assert_eq!(occ, vec![(e, false), (w, true)]);
+    }
+}

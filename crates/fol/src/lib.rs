@@ -1,0 +1,32 @@
+//! # afp-fol — first-order rule bodies and expressive power (Section 8)
+//!
+//! The paper's Section 8 extends the alternating fixpoint to *general logic
+//! programs* whose rule bodies are arbitrary first-order formulas with
+//! equality, and uses the extension to relate alternating fixpoint logic to
+//! fixpoint logic (FP):
+//!
+//! * [`formula`] — formula AST, polarity (Definition 8.1), and truth under
+//!   a literal set (Definition 8.2, with Example 8.1's subtlety);
+//! * [`transform`] — EDNF rewriting and the Lloyd–Topor reduction by
+//!   elementary simplification (Definition 8.4), with the global polarity
+//!   classification of Definition 8.5;
+//! * [`eval`] — direct evaluation: general `S_P`, the general alternating
+//!   fixpoint, and FP least models (Theorem 8.1).
+//!
+//! Theorem 8.7 — reducing an FP system to a normal program preserves the
+//! positive AFP model on the original relations — is exercised end-to-end
+//! in the workspace integration tests: general program → [`transform`] →
+//! `afp_datalog::ground` → `afp_core::alternating_fixpoint`, compared
+//! against [`eval::fp_model`].
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod formula;
+pub mod parser;
+pub mod transform;
+
+pub use eval::{afp_general, fp_model, s_p_general, GeneralAfpResult, GeneralContext, GeneralError};
+pub use formula::{Formula, GeneralProgram, GeneralRule, LiteralSet};
+pub use parser::{parse_general, FolParseError};
+pub use transform::{dependency_graph, lloyd_topor, AuxPred, Transformed};

@@ -1,0 +1,391 @@
+//! Parser for general logic programs (first-order rule bodies).
+//!
+//! Grammar (binding strength: `not` > `&` > `|`; quantifiers take a
+//! parenthesized body):
+//!
+//! ```text
+//! program := item*
+//! item    := atom "." | atom "<-" formula "."
+//! formula := disj
+//! disj    := conj ( ("|" | ";") conj )*
+//! conj    := unary ( ("&" | ",") unary )*
+//! unary   := ("not" | "~" | "¬") unary
+//!          | ("exists" | "forall") VAR+ "(" formula ")"
+//!          | "true" | "false"
+//!          | "(" formula ")"
+//!          | term "=" term
+//!          | atom
+//! ```
+//!
+//! Example (the well-founded-nodes formula of Example 8.2):
+//!
+//! ```text
+//! w(X) <- node(X) & not exists Y (e(Y, X) & not w(Y)).
+//! node(a). e(a, b).
+//! ```
+
+use crate::formula::{Formula, GeneralProgram, GeneralRule};
+use afp_datalog::ast::{Atom, Term};
+use afp_datalog::symbol::Symbol;
+use std::fmt;
+
+/// Errors from the general-program parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FolParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for FolParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for FolParseError {}
+
+/// Parse a general logic program.
+pub fn parse_general(src: &str) -> Result<GeneralProgram, FolParseError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+        program: GeneralProgram::new(),
+    };
+    p.skip_ws();
+    while p.pos < p.src.len() {
+        p.item()?;
+        p.skip_ws();
+    }
+    Ok(p.program)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    program: GeneralProgram,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, FolParseError> {
+        Err(FolParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        let bytes = token.as_bytes();
+        if self.src[self.pos..].starts_with(bytes) {
+            // Word tokens must not run into identifier characters.
+            let is_word = bytes[0].is_ascii_alphabetic();
+            let end = self.pos + bytes.len();
+            if is_word
+                && end < self.src.len()
+                && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+            {
+                return false;
+            }
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_char(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn ident(&mut self) -> Result<(String, bool), FolParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected an identifier");
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| FolParseError {
+                message: "invalid utf-8".into(),
+                offset: start,
+            })?
+            .to_string();
+        let first = text.as_bytes()[0];
+        let is_var = first.is_ascii_uppercase() || first == b'_';
+        Ok((text, is_var))
+    }
+
+    fn item(&mut self) -> Result<(), FolParseError> {
+        let head = self.atom()?;
+        if self.eat("<-") || self.eat("←") {
+            let body = self.disj()?;
+            if !self.eat(".") {
+                return self.err("expected '.' after rule");
+            }
+            self.program.rules.push(GeneralRule { head, body });
+        } else if self.eat(".") {
+            if !head.is_ground() {
+                return self.err("facts must be ground");
+            }
+            self.program.facts.push(head);
+        } else {
+            return self.err("expected '<-' or '.' after atom");
+        }
+        Ok(())
+    }
+
+    fn disj(&mut self) -> Result<Formula, FolParseError> {
+        let mut parts = vec![self.conj()?];
+        while self.eat("|") || self.eat(";") {
+            parts.push(self.conj()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn conj(&mut self) -> Result<Formula, FolParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.eat("&") || self.eat(",") {
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, FolParseError> {
+        if self.eat("not") || self.eat("~") || self.eat("¬") {
+            return Ok(Formula::not(self.unary()?));
+        }
+        if self.eat("exists") {
+            return self.quantifier(true);
+        }
+        if self.eat("forall") {
+            return self.quantifier(false);
+        }
+        if self.eat("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat("false") {
+            return Ok(Formula::False);
+        }
+        if self.eat("(") {
+            let inner = self.disj()?;
+            if !self.eat(")") {
+                return self.err("expected ')'");
+            }
+            return Ok(inner);
+        }
+        // term "=" term, or an atom.
+        let save = self.pos;
+        let (name, is_var) = self.ident()?;
+        if is_var {
+            // Must be the left side of an equality.
+            let v = self.program.symbols.intern(&name);
+            if !self.eat("=") {
+                return self.err("a bare variable can only start an equality");
+            }
+            let rhs = self.term()?;
+            return Ok(Formula::Eq(Term::Var(v), rhs));
+        }
+        // Lowercase: atom or constant-equality.
+        if self.peek_char() == Some(b'=') {
+            self.pos += 1;
+            let lhs = Term::Const(self.program.symbols.intern(&name));
+            let rhs = self.term()?;
+            return Ok(Formula::Eq(lhs, rhs));
+        }
+        self.pos = save;
+        Ok(Formula::Atom(self.atom()?))
+    }
+
+    fn quantifier(&mut self, existential: bool) -> Result<Formula, FolParseError> {
+        let mut vars: Vec<Symbol> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(c) if c.is_ascii_uppercase() || *c == b'_' => {
+                    let (name, _) = self.ident()?;
+                    vars.push(self.program.symbols.intern(&name));
+                    let _ = self.eat(",");
+                }
+                _ => break,
+            }
+        }
+        if vars.is_empty() {
+            return self.err("quantifier needs at least one variable");
+        }
+        if !self.eat("(") {
+            return self.err("quantifier body must be parenthesized");
+        }
+        let body = self.disj()?;
+        if !self.eat(")") {
+            return self.err("expected ')' closing quantifier body");
+        }
+        Ok(if existential {
+            Formula::exists(vars, body)
+        } else {
+            Formula::forall(vars, body)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Atom, FolParseError> {
+        let (name, is_var) = self.ident()?;
+        if is_var {
+            return self.err("predicate symbols start lowercase");
+        }
+        let pred = self.program.symbols.intern(&name);
+        let mut args = Vec::new();
+        if self.eat("(") {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            if !self.eat(")") {
+                return self.err("expected ')' closing atom");
+            }
+        }
+        Ok(Atom::new(pred, args))
+    }
+
+    fn term(&mut self) -> Result<Term, FolParseError> {
+        let (name, is_var) = self.ident()?;
+        let sym = self.program.symbols.intern(&name);
+        Ok(if is_var {
+            Term::Var(sym)
+        } else {
+            Term::Const(sym)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_8_2() {
+        let y = parse_general(
+            "w(X) <- node(X) & not exists Y (e(Y, X) & not w(Y)).
+             node(a). node(b). e(a, b).",
+        )
+        .unwrap();
+        assert_eq!(y.rules.len(), 1);
+        assert_eq!(y.facts.len(), 3);
+        match &y.rules[0].body {
+            Formula::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::Not(_)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers_and_connectives() {
+        let y = parse_general("p <- forall X (q(X) | exists Y (r(X, Y))).").unwrap();
+        match &y.rules[0].body {
+            Formula::Forall(vars, inner) => {
+                assert_eq!(vars.len(), 1);
+                assert!(matches!(**inner, Formula::Or(_)));
+            }
+            other => panic!("expected Forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_variable_quantifier() {
+        let y = parse_general("p <- exists X, Y (e(X, Y)).").unwrap();
+        match &y.rules[0].body {
+            Formula::Exists(vars, _) => assert_eq!(vars.len(), 2),
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_literals() {
+        let y = parse_general("p <- exists X (d(X) & not X = a). d(a). d(b).").unwrap();
+        assert_eq!(y.rules.len(), 1);
+        let rendered = y.rules[0].body.display(&y.symbols);
+        assert!(rendered.contains('='), "{rendered}");
+    }
+
+    #[test]
+    fn true_false_literals() {
+        let y = parse_general("p <- true. q <- false.").unwrap();
+        assert_eq!(y.rules[0].body, Formula::True);
+        assert_eq!(y.rules[1].body, Formula::False);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let y = parse_general("% header\np <- q. % trailing\nq.").unwrap();
+        assert_eq!(y.rules.len(), 1);
+        assert_eq!(y.facts.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_general("p <- exists (q).").unwrap_err();
+        assert!(e.message.contains("variable"));
+        let e = parse_general("p <- q").unwrap_err();
+        assert!(e.message.contains('.'));
+        let e = parse_general("p(X).").unwrap_err();
+        assert!(e.message.contains("ground"));
+    }
+
+    #[test]
+    fn parsed_program_evaluates() {
+        // End-to-end: parse Example 8.2 and get the right answer.
+        let y = parse_general(
+            "w(X) <- node(X) & not exists Y (e(Y, X) & not w(Y)).
+             node(a). node(b). node(c).
+             e(a, b). e(b, a). e(a, c).",
+        )
+        .unwrap();
+        let (m, ctx) = crate::eval::fp_model(&y).unwrap();
+        let names = ctx.set_to_names(&y, &m);
+        // Cycle a ⇄ b poisons everything it reaches.
+        assert!(!names.contains(&"w(a)".to_string()));
+        assert!(!names.contains(&"w(b)".to_string()));
+        assert!(!names.contains(&"w(c)".to_string()));
+    }
+
+    #[test]
+    fn nested_negation_roundtrip() {
+        let y = parse_general("p <- not not q. q.").unwrap();
+        let (m, ctx) = crate::eval::fp_model(&y).unwrap_or_else(|e| panic!("{e}"));
+        // ¬¬q: q occurs positively (even negations) — still an FP system.
+        let names = ctx.set_to_names(&y, &m);
+        assert!(names.contains(&"p".to_string()));
+    }
+}

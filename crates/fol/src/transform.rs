@@ -1,0 +1,672 @@
+//! EDNF rewriting and the Lloyd–Topor reduction to normal programs
+//! (Section 8.3, Definition 8.4).
+//!
+//! A general rule body is rewritten into *existential disjunctive normal
+//! form* (steps 1–4 of Section 8.3):
+//!
+//! 1. replace `∀X φ` by `¬∃X ¬φ`;
+//! 2. push negations down to atoms or `∃`, eliminating `¬¬`;
+//! 3. distribute `∧` over `∨`;
+//! 4. push `∃` through `∨`.
+//!
+//! Negative existential subformulas are then *extracted* by elementary
+//! simplification: `¬∃v̄ φ(ū,v̄)` is replaced by `¬q(ū)` for a fresh
+//! auxiliary (ADB) relation `q` with the rule `q(ū) ← φ`, recursively,
+//! until only normal rules remain. Each auxiliary relation is classified
+//! globally positive or globally negative according to the polarity of the
+//! subformula it replaces (Definition 8.5); the original IDB relations are
+//! globally positive. Theorems 8.6/8.7 — the positive AFP model of the
+//! original relations is preserved — are verified in this crate's tests
+//! and the workspace integration tests.
+
+use crate::formula::{Formula, GeneralProgram};
+use afp_datalog::ast::{Atom, Literal, Program, Rule, Term};
+use afp_datalog::depgraph::DepGraph;
+use afp_datalog::fx::FxHashMap;
+use afp_datalog::symbol::{Symbol, SymbolStore};
+
+/// An auxiliary (ADB) predicate created by the reduction.
+#[derive(Debug, Clone)]
+pub struct AuxPred {
+    /// The fresh predicate symbol.
+    pub pred: Symbol,
+    /// Global polarity class (Definition 8.5).
+    pub globally_positive: bool,
+    /// Display form of the subformula it replaced (diagnostics).
+    pub replaced: String,
+}
+
+/// Result of the reduction.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The normal logic program (plus the original EDB facts).
+    pub program: Program,
+    /// The auxiliary predicates, in creation order.
+    pub aux: Vec<AuxPred>,
+    /// Global polarity class for every IDB and ADB predicate.
+    pub classification: FxHashMap<Symbol, bool>,
+}
+
+/// Reduce a general program to a normal one by repeated elementary
+/// simplification.
+pub fn lloyd_topor(y: &GeneralProgram) -> Transformed {
+    let mut out = Program {
+        rules: Vec::new(),
+        symbols: y.symbols.clone(),
+    };
+    let mut aux = Vec::new();
+    let mut classification: FxHashMap<Symbol, bool> = FxHashMap::default();
+    for p in y.idb_predicates() {
+        classification.insert(p, true); // original IDB: globally positive
+    }
+    for f in &y.facts {
+        out.rules.push(Rule::fact(f.clone()));
+    }
+
+    let mut counter = 0usize;
+    // Worklist of (head, body, polarity of this rule's head class).
+    let mut work: Vec<(Atom, Formula, bool)> = y
+        .rules
+        .iter()
+        .map(|r| (r.head.clone(), r.body.clone(), true))
+        .collect();
+
+    while let Some((head, body, polarity)) = work.pop() {
+        let body = standardize_apart(&body, &mut out.symbols, &mut counter);
+        let disjuncts = ednf(&body, true);
+        for conj in disjuncts {
+            let mut lits = Vec::new();
+            for item in conj {
+                match item {
+                    EItem::Lit(atom, positive) => lits.push(Literal { atom, positive }),
+                    EItem::EqLit(l, r, positive) => {
+                        // Clark equality: resolve syntactic (in)equality of
+                        // ground terms now; variable equalities become a
+                        // substitution constraint, which we encode by the
+                        // special `$eq` predicate with reflexive facts over
+                        // the active domain — but for fidelity and
+                        // simplicity we only support ground or
+                        // trivially-identical equalities here.
+                        match (l, r) {
+                            (l, r) if l == r => {
+                                if !positive {
+                                    lits.push(Literal {
+                                        atom: Atom::prop(out.symbols.intern("$false")),
+                                        positive: true,
+                                    });
+                                }
+                            }
+                            (Term::Const(a), Term::Const(b)) => {
+                                let truth = a == b;
+                                if truth != positive {
+                                    lits.push(Literal {
+                                        atom: Atom::prop(out.symbols.intern("$false")),
+                                        positive: true,
+                                    });
+                                }
+                            }
+                            (l, r) => {
+                                // Variable (in)equality: encode via $eq.
+                                let eq = out.symbols.intern("$eq");
+                                lits.push(Literal {
+                                    atom: Atom::new(eq, vec![l, r]),
+                                    positive,
+                                });
+                            }
+                        }
+                    }
+                    EItem::NegExists(vars, inner) => {
+                        // Elementary simplification: fresh q(ū) ← inner.
+                        let mut free = inner.free_vars();
+                        free.retain(|v| !vars.contains(v));
+                        let qname = format!("adb{}", aux.len() + 1);
+                        let q = out.symbols.intern_fresh(&qname);
+                        let q_polarity = !polarity;
+                        classification.insert(q, q_polarity);
+                        aux.push(AuxPred {
+                            pred: q,
+                            globally_positive: q_polarity,
+                            replaced: Formula::exists(vars.clone(), inner.clone())
+                                .display(&out.symbols),
+                        });
+                        let args: Vec<Term> = free.iter().map(|&v| Term::Var(v)).collect();
+                        let q_head = Atom::new(q, args.clone());
+                        work.push((q_head, inner, q_polarity));
+                        lits.push(Literal {
+                            atom: Atom::new(q, args),
+                            positive: false,
+                        });
+                    }
+                }
+            }
+            // A conjunct containing the unsatisfiable marker is dropped.
+            let false_marker = out.symbols.get("$false");
+            if lits
+                .iter()
+                .any(|l| Some(l.atom.pred) == false_marker && l.positive)
+            {
+                continue;
+            }
+            out.rules.push(Rule::new(head.clone(), lits));
+        }
+    }
+    // Variable equalities were encoded with `$eq`; give it its reflexive
+    // extension over the active domain so the encoding is self-contained.
+    if let Some(eq) = out.symbols.get("$eq") {
+        let mut consts: Vec<Symbol> = Vec::new();
+        for f in &y.facts {
+            collect_atom_consts(f, &mut consts);
+        }
+        for r in &y.rules {
+            collect_formula_consts(&r.body, &mut consts);
+            collect_atom_consts(&r.head, &mut consts);
+        }
+        consts.sort_unstable();
+        consts.dedup();
+        for c in consts {
+            out.rules.push(Rule::fact(Atom::new(
+                eq,
+                vec![Term::Const(c), Term::Const(c)],
+            )));
+        }
+    }
+    Transformed {
+        program: out,
+        aux,
+        classification,
+    }
+}
+
+fn collect_term_consts(t: &Term, out: &mut Vec<Symbol>) {
+    match t {
+        Term::Const(c) => out.push(*c),
+        Term::App(_, args) => {
+            for a in args {
+                collect_term_consts(a, out);
+            }
+        }
+        Term::Var(_) => {}
+    }
+}
+
+fn collect_atom_consts(a: &Atom, out: &mut Vec<Symbol>) {
+    for t in &a.args {
+        collect_term_consts(t, out);
+    }
+}
+
+fn collect_formula_consts(f: &Formula, out: &mut Vec<Symbol>) {
+    match f {
+        Formula::Atom(a) => collect_atom_consts(a, out),
+        Formula::Eq(l, r) => {
+            collect_term_consts(l, out);
+            collect_term_consts(r, out);
+        }
+        Formula::True | Formula::False => {}
+        Formula::Not(g) => collect_formula_consts(g, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect_formula_consts(g, out);
+            }
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => collect_formula_consts(g, out),
+    }
+}
+
+/// Items of an EDNF conjunct.
+#[derive(Debug, Clone)]
+enum EItem {
+    /// A literal.
+    Lit(Atom, bool),
+    /// An equality literal.
+    EqLit(Term, Term, bool),
+    /// A negated existential subformula `¬∃v̄ φ` awaiting extraction.
+    NegExists(Vec<Symbol>, Formula),
+}
+
+/// Rewrite into EDNF: a disjunction (outer `Vec`) of conjunctions (inner
+/// `Vec`) of items. Quantified variables must be standardized apart first.
+fn ednf(f: &Formula, positive: bool) -> Vec<Vec<EItem>> {
+    match f {
+        Formula::Atom(a) => vec![vec![EItem::Lit(a.clone(), positive)]],
+        Formula::Eq(l, r) => vec![vec![EItem::EqLit(l.clone(), r.clone(), positive)]],
+        Formula::True => {
+            if positive {
+                vec![vec![]]
+            } else {
+                vec![]
+            }
+        }
+        Formula::False => {
+            if positive {
+                vec![]
+            } else {
+                vec![vec![]]
+            }
+        }
+        Formula::Not(g) => ednf(g, !positive),
+        Formula::And(fs) => {
+            if positive {
+                distribute(fs, true)
+            } else {
+                // ¬(f₁ ∧ … ∧ fₙ) = ¬f₁ ∨ … ∨ ¬fₙ
+                fs.iter().flat_map(|g| ednf(g, false)).collect()
+            }
+        }
+        Formula::Or(fs) => {
+            if positive {
+                fs.iter().flat_map(|g| ednf(g, true)).collect()
+            } else {
+                distribute(fs, false)
+            }
+        }
+        Formula::Exists(vars, g) => {
+            if positive {
+                // Push ∃ through ∨; the variables stay implicitly
+                // existential in each conjunct (rule-body convention).
+                ednf(g, true)
+            } else {
+                // ¬∃ — an extraction point.
+                vec![vec![EItem::NegExists(vars.clone(), (**g).clone())]]
+            }
+        }
+        Formula::Forall(vars, g) => {
+            if positive {
+                // ∀v̄ g = ¬∃v̄ ¬g — an extraction point.
+                vec![vec![EItem::NegExists(
+                    vars.clone(),
+                    Formula::not((**g).clone()),
+                )]]
+            } else {
+                // ¬∀v̄ g = ∃v̄ ¬g — inline.
+                ednf(g, false)
+            }
+        }
+    }
+}
+
+/// Cross-product distribution of `∧` over `∨` (or the dual when
+/// `positive = false`).
+fn distribute(fs: &[Formula], positive: bool) -> Vec<Vec<EItem>> {
+    let mut acc: Vec<Vec<EItem>> = vec![vec![]];
+    for g in fs {
+        let parts = ednf(g, positive);
+        if parts.is_empty() {
+            return vec![]; // conjunct with an unsatisfiable member
+        }
+        let mut next = Vec::with_capacity(acc.len() * parts.len());
+        for a in &acc {
+            for p in &parts {
+                let mut combined = a.clone();
+                combined.extend(p.iter().cloned());
+                next.push(combined);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// Rename every quantified variable to a fresh one so that pushing `∃`
+/// through connectives cannot capture.
+fn standardize_apart(f: &Formula, symbols: &mut SymbolStore, counter: &mut usize) -> Formula {
+    let mut map: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    rename(f, symbols, counter, &mut map)
+}
+
+fn rename(
+    f: &Formula,
+    symbols: &mut SymbolStore,
+    counter: &mut usize,
+    map: &mut FxHashMap<Symbol, Symbol>,
+) -> Formula {
+    match f {
+        Formula::Atom(a) => Formula::Atom(Atom::new(
+            a.pred,
+            a.args.iter().map(|t| rename_term(t, map)).collect(),
+        )),
+        Formula::Eq(l, r) => Formula::Eq(rename_term(l, map), rename_term(r, map)),
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Not(g) => Formula::not(rename(g, symbols, counter, map)),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| rename(g, symbols, counter, map))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| rename(g, symbols, counter, map))
+                .collect(),
+        ),
+        Formula::Exists(vars, g) | Formula::Forall(vars, g) => {
+            let mut fresh_vars = Vec::with_capacity(vars.len());
+            let mut saved = Vec::with_capacity(vars.len());
+            for &v in vars {
+                *counter += 1;
+                let fresh = symbols.intern_fresh(&format!("V{counter}"));
+                saved.push((v, map.insert(v, fresh)));
+                fresh_vars.push(fresh);
+            }
+            let inner = rename(g, symbols, counter, map);
+            for (v, old) in saved.into_iter().rev() {
+                match old {
+                    Some(o) => {
+                        map.insert(v, o);
+                    }
+                    None => {
+                        map.remove(&v);
+                    }
+                }
+            }
+            match f {
+                Formula::Exists(..) => Formula::exists(fresh_vars, inner),
+                _ => Formula::forall(fresh_vars, inner),
+            }
+        }
+    }
+}
+
+fn rename_term(t: &Term, map: &FxHashMap<Symbol, Symbol>) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(map.get(v).copied().unwrap_or(*v)),
+        Term::Const(c) => Term::Const(*c),
+        Term::App(f, args) => {
+            Term::App(*f, args.iter().map(|a| rename_term(a, map)).collect())
+        }
+    }
+}
+
+/// Dependency graph of a general program (predicate polarity read off the
+/// formula bodies) — the Definition 8.3 graph for the pre-transformation
+/// program.
+pub fn dependency_graph(y: &GeneralProgram) -> DepGraph {
+    let mut edges = Vec::new();
+    for r in &y.rules {
+        for (pred, positive) in r.body.predicate_occurrences() {
+            edges.push((r.head.pred, pred, positive));
+        }
+    }
+    for f in &y.facts {
+        edges.push((f.pred, f.pred, true)); // ensure EDB nodes exist
+    }
+    DepGraph::from_edges(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::GeneralRule;
+
+    /// Example 8.2's FP formula for well-founded nodes:
+    /// `w(X) ← ¬∃Y[e(Y,X) ∧ ¬w(Y)]`.
+    fn example_8_2() -> GeneralProgram {
+        let mut y = GeneralProgram::new();
+        let w = y.symbols.intern("w");
+        let e = y.symbols.intern("e");
+        let x = y.symbols.intern("X");
+        let yv = y.symbols.intern("Y");
+        let body = Formula::not(Formula::exists(
+            vec![yv],
+            Formula::And(vec![
+                Formula::Atom(Atom::new(e, vec![Term::Var(yv), Term::Var(x)])),
+                Formula::not(Formula::Atom(Atom::new(w, vec![Term::Var(yv)]))),
+            ]),
+        ));
+        y.rules.push(GeneralRule {
+            head: Atom::new(w, vec![Term::Var(x)]),
+            body,
+        });
+        let a = y.symbols.intern("a");
+        let b = y.symbols.intern("b");
+        y.facts.push(Atom::new(e, vec![Term::Const(a), Term::Const(b)]));
+        y
+    }
+
+    #[test]
+    fn example_8_2_transforms_to_w_u_program() {
+        let y = example_8_2();
+        let t = lloyd_topor(&y);
+        // Expect: w(X) :- not adb1(X).  adb1(X) :- e(Y', X), not w(Y').
+        // plus the e fact.
+        assert_eq!(t.aux.len(), 1);
+        let u = t.aux[0].pred;
+        assert!(!t.aux[0].globally_positive, "u replaces a negative subformula");
+        let texts: Vec<String> = t
+            .program
+            .rules
+            .iter()
+            .map(|r| afp_datalog::ast::display_rule(r, &t.program.symbols))
+            .collect();
+        let uname = t.program.symbols.name(u).to_string();
+        assert!(
+            texts.iter().any(|s| s.contains(&format!("not {uname}("))),
+            "w rule must negate the aux: {texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|s| s.starts_with(&format!("{uname}(")) && s.contains("not w(")),
+            "aux rule must be u(X) :- e(Y,X), not w(Y): {texts:?}"
+        );
+        // Classification: w globally positive, u globally negative.
+        let w = y.symbols.get("w").unwrap();
+        assert_eq!(t.classification.get(&w), Some(&true));
+        assert_eq!(t.classification.get(&u), Some(&false));
+        // The result is strict in the IDB (Definition 8.3).
+        let dg = afp_datalog::depgraph::DepGraph::build(&t.program);
+        assert!(dg.is_strict_in_idb(&[w, u]));
+    }
+
+    #[test]
+    fn plain_conjunction_passes_through() {
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let q = y.symbols.intern("q");
+        let r = y.symbols.intern("r");
+        let x = y.symbols.intern("X");
+        y.rules.push(GeneralRule {
+            head: Atom::new(p, vec![Term::Var(x)]),
+            body: Formula::And(vec![
+                Formula::Atom(Atom::new(q, vec![Term::Var(x)])),
+                Formula::not(Formula::Atom(Atom::new(r, vec![Term::Var(x)]))),
+            ]),
+        });
+        let t = lloyd_topor(&y);
+        assert!(t.aux.is_empty());
+        assert_eq!(t.program.rules.len(), 1);
+        let text = afp_datalog::ast::display_rule(&t.program.rules[0], &t.program.symbols);
+        assert_eq!(text, "p(X) :- q(X), not r(X).");
+    }
+
+    #[test]
+    fn disjunction_splits_into_rules() {
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let q = y.symbols.intern("q");
+        let r = y.symbols.intern("r");
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::Or(vec![
+                Formula::Atom(Atom::prop(q)),
+                Formula::Atom(Atom::prop(r)),
+            ]),
+        });
+        let t = lloyd_topor(&y);
+        assert_eq!(t.program.rules.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_distributes_over_disjunction() {
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let a = y.symbols.intern("qa");
+        let b = y.symbols.intern("qb");
+        let c = y.symbols.intern("qc");
+        let d = y.symbols.intern("qd");
+        // p ← (a ∨ b) ∧ (c ∨ d): four rules.
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::And(vec![
+                Formula::Or(vec![
+                    Formula::Atom(Atom::prop(a)),
+                    Formula::Atom(Atom::prop(b)),
+                ]),
+                Formula::Or(vec![
+                    Formula::Atom(Atom::prop(c)),
+                    Formula::Atom(Atom::prop(d)),
+                ]),
+            ]),
+        });
+        let t = lloyd_topor(&y);
+        assert_eq!(t.program.rules.len(), 4);
+        assert!(t.aux.is_empty());
+    }
+
+    #[test]
+    fn negated_conjunction_uses_de_morgan_not_aux() {
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let q = y.symbols.intern("q");
+        let r = y.symbols.intern("r");
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::not(Formula::And(vec![
+                Formula::Atom(Atom::prop(q)),
+                Formula::Atom(Atom::prop(r)),
+            ])),
+        });
+        let t = lloyd_topor(&y);
+        // ¬(q ∧ r) = ¬q ∨ ¬r: two rules, no aux.
+        assert_eq!(t.program.rules.len(), 2);
+        assert!(t.aux.is_empty());
+    }
+
+    #[test]
+    fn universal_quantifier_creates_negative_aux() {
+        // p(X) ← ∀Y [¬e(X, Y)]   ("X has no successors")
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let e = y.symbols.intern("e");
+        let x = y.symbols.intern("X");
+        let yv = y.symbols.intern("Y");
+        y.rules.push(GeneralRule {
+            head: Atom::new(p, vec![Term::Var(x)]),
+            body: Formula::forall(
+                vec![yv],
+                Formula::not(Formula::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(yv)]))),
+            ),
+        });
+        let t = lloyd_topor(&y);
+        assert_eq!(t.aux.len(), 1);
+        assert!(!t.aux[0].globally_positive);
+        // aux(X) :- e(X, V).  p(X) :- not aux(X).
+        let texts: Vec<String> = t
+            .program
+            .rules
+            .iter()
+            .map(|r| afp_datalog::ast::display_rule(r, &t.program.symbols))
+            .collect();
+        assert!(texts.iter().any(|s| s.contains(":- e(X,")));
+    }
+
+    #[test]
+    fn nested_negation_alternates_polarity() {
+        // p ← ¬∃X[q(X) ∧ ¬∃Y[r(X,Y)]]
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let q = y.symbols.intern("q");
+        let r = y.symbols.intern("r");
+        let x = y.symbols.intern("X");
+        let yv = y.symbols.intern("Y");
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::not(Formula::exists(
+                vec![x],
+                Formula::And(vec![
+                    Formula::Atom(Atom::new(q, vec![Term::Var(x)])),
+                    Formula::not(Formula::exists(
+                        vec![yv],
+                        Formula::Atom(Atom::new(r, vec![Term::Var(x), Term::Var(yv)])),
+                    )),
+                ]),
+            )),
+        });
+        let t = lloyd_topor(&y);
+        assert_eq!(t.aux.len(), 2);
+        // First extraction (outer) is negative; second (inner) positive.
+        let outer = t.aux.iter().find(|a| !a.globally_positive);
+        let inner = t.aux.iter().find(|a| a.globally_positive);
+        assert!(outer.is_some() && inner.is_some());
+    }
+
+    #[test]
+    fn standardize_apart_prevents_capture() {
+        // p ← ∃X q(X) ∧ ∃X r(X): flattening must rename the two X's apart.
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let q = y.symbols.intern("q");
+        let r = y.symbols.intern("r");
+        let x = y.symbols.intern("X");
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::And(vec![
+                Formula::exists(vec![x], Formula::Atom(Atom::new(q, vec![Term::Var(x)]))),
+                Formula::exists(vec![x], Formula::Atom(Atom::new(r, vec![Term::Var(x)]))),
+            ]),
+        });
+        let t = lloyd_topor(&y);
+        assert_eq!(t.program.rules.len(), 1);
+        let rule = &t.program.rules[0];
+        let v1 = match &rule.body[0].atom.args[0] {
+            Term::Var(v) => *v,
+            other => panic!("expected var, got {other:?}"),
+        };
+        let v2 = match &rule.body[1].atom.args[0] {
+            Term::Var(v) => *v,
+            other => panic!("expected var, got {other:?}"),
+        };
+        assert_ne!(v1, v2, "bound variables must be standardized apart");
+    }
+
+    #[test]
+    fn ground_equality_resolved_statically() {
+        let mut y = GeneralProgram::new();
+        let p = y.symbols.intern("p");
+        let a = y.symbols.intern("a");
+        let b = y.symbols.intern("b");
+        // p ← a = a: becomes a bodyless rule. p2 ← a = b: dropped.
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p),
+            body: Formula::Eq(Term::Const(a), Term::Const(a)),
+        });
+        let p2 = y.symbols.intern("p2");
+        y.rules.push(GeneralRule {
+            head: Atom::prop(p2),
+            body: Formula::Eq(Term::Const(a), Term::Const(b)),
+        });
+        let t = lloyd_topor(&y);
+        let texts: Vec<String> = t
+            .program
+            .rules
+            .iter()
+            .map(|r| afp_datalog::ast::display_rule(r, &t.program.symbols))
+            .collect();
+        assert!(texts.contains(&"p.".to_string()));
+        assert!(!texts.iter().any(|s| s.starts_with("p2")));
+    }
+
+    #[test]
+    fn general_dependency_graph_polarities() {
+        let y = example_8_2();
+        let dg = dependency_graph(&y);
+        let w = y.symbols.get("w").unwrap();
+        let e = y.symbols.get("e").unwrap();
+        let wn = dg.node(w).unwrap();
+        let en = dg.node(e).unwrap();
+        // In ¬∃Y[e ∧ ¬w]: e occurs negatively, w positively.
+        assert!(dg.edge(wn, en).unwrap().negative);
+        assert!(dg.edge(wn, wn).unwrap().positive);
+        assert!(!dg.edge(wn, wn).unwrap().negative);
+    }
+}

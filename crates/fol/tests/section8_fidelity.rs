@@ -1,0 +1,190 @@
+//! Fidelity tests for the subtle claims of Section 8.
+//!
+//! The sharpest one is the closing remark of Example 8.2: the **general**
+//! alternating fixpoint of the FP system derives the negative `w` literals
+//! (non-well-founded nodes come out *false*), while the **normal** program
+//! obtained by elementary simplification leaves them *undefined* — the
+//! alternating fixpoint on normal programs "captures the negation of
+//! positive existential closures (such as transitive closure), but not the
+//! negation of positive universal closures (such as well-foundedness)".
+//! Only the positive parts agree (Theorem 8.7); the negative parts
+//! genuinely differ, and this suite pins both directions.
+
+use afp_datalog::ast::{Atom, Term};
+use afp_fol::{afp_general, lloyd_topor, parse_general, Formula};
+
+fn well_founded_nodes_system() -> afp_fol::GeneralProgram {
+    parse_general(
+        "w(X) <- node(X) & not exists Y (e(Y, X) & not w(Y)).
+         node(a). node(b). node(c). node(d).
+         e(a, b). e(b, a). e(a, c). e(d, c).",
+    )
+    .expect("parses")
+}
+
+#[test]
+fn general_afp_falsifies_unfounded_nodes() {
+    let y = well_founded_nodes_system();
+    let r = afp_general(&y).expect("evaluates");
+    let neg = r.ctx.set_to_names(&y, &r.model.neg);
+    // a, b sit on the cycle; c is fed by both the cycle and the
+    // well-founded d — still not well-founded.
+    assert!(neg.contains(&"w(a)".to_string()));
+    assert!(neg.contains(&"w(b)".to_string()));
+    assert!(neg.contains(&"w(c)".to_string()));
+    let pos = r.ctx.set_to_names(&y, &r.model.pos);
+    assert!(pos.contains(&"w(d)".to_string()));
+}
+
+#[test]
+fn normal_program_leaves_cycle_w_undefined() {
+    let y = well_founded_nodes_system();
+    let t = lloyd_topor(&y);
+    let ground = afp_datalog::ground_with(
+        &t.program,
+        &afp_datalog::GroundOptions {
+            safety: afp_datalog::SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        },
+    )
+    .expect("grounds");
+    let r = afp_core::alternating_fixpoint(&ground);
+    // Positive parts agree (Theorem 8.7)…
+    let pos: Vec<String> = ground
+        .set_to_names(&r.model.pos)
+        .into_iter()
+        .filter(|n| n.starts_with("w("))
+        .collect();
+    assert_eq!(pos, vec!["w(d)".to_string()]);
+    // …but the cycle nodes are *undefined*, not false.
+    let undef: Vec<String> = ground
+        .set_to_names(&r.undefined())
+        .into_iter()
+        .filter(|n| n.starts_with("w("))
+        .collect();
+    assert_eq!(
+        undef,
+        vec!["w(a)".to_string(), "w(b)".to_string(), "w(c)".to_string()],
+        "normal-program AFP must NOT falsify the universal closure"
+    );
+    // And the paper's other remark: no positive literals for the aux
+    // relation in the AFP model.
+    let aux_name = t.program.symbols.name(t.aux[0].pred).to_string();
+    let aux_pos = ground
+        .set_to_names(&r.model.pos)
+        .into_iter()
+        .filter(|n| n.starts_with(&aux_name))
+        .count();
+    assert_eq!(aux_pos, 0);
+}
+
+#[test]
+fn ntc_the_existential_closure_is_captured_by_normal_programs() {
+    // Contrast: the *existential* closure (transitive closure) negates
+    // fine in normal programs (Section 8.5's point that ntc is "expressed
+    // naturally and concisely in AFP").
+    let src = "
+        tc(X, Y) :- e(X, Y).
+        tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ntc(X, Y) :- node(X), node(Y), not tc(X, Y).
+        node(a). node(b). node(c).
+        e(a, b). e(b, a).
+    ";
+    let program = afp_datalog::parse_program(src).unwrap();
+    let ground = afp_datalog::ground(&program).unwrap();
+    let r = afp_core::alternating_fixpoint(&ground);
+    assert!(r.is_total, "tc/ntc is decided everywhere");
+    let ntc_ac = ground.find_atom_by_name("ntc", &["a", "c"]).unwrap();
+    assert!(r.model.pos.contains(ntc_ac.0));
+}
+
+#[test]
+fn general_afp_handles_unstratified_fo_bodies() {
+    // A general program that is NOT an FP system: w occurs negatively at
+    // the top level. fp_model refuses; afp_general computes the
+    // three-valued answer.
+    let y = parse_general(
+        "p(X) <- node(X) & not q(X).
+         q(X) <- node(X) & not p(X).
+         node(a).",
+    )
+    .unwrap();
+    assert!(afp_fol::fp_model(&y).is_err());
+    let r = afp_general(&y).unwrap();
+    let undef = r.model.undefined();
+    // p(a), q(a) undefined.
+    assert_eq!(
+        r.ctx
+            .set_to_names(&y, &undef)
+            .iter()
+            .filter(|n| n.starts_with("p(") || n.starts_with("q("))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn forall_in_head_position_polarity() {
+    // ∀ at positive polarity creates a *negative* aux (∀ = ¬∃¬), and the
+    // doubly-nested case flips back to positive — Definition 8.5 polarity
+    // bookkeeping through two levels.
+    let mut y = afp_fol::GeneralProgram::new();
+    let p = y.symbols.intern("p");
+    let e = y.symbols.intern("e");
+    let x = y.symbols.intern("X");
+    let yv = y.symbols.intern("Y");
+    let z = y.symbols.intern("Z");
+    // p(X) ← ∀Y [ ∃Z e(Y,Z) → e(X,Y) ]  ≡ ∀Y [ ¬∃Z e(Y,Z) ∨ e(X,Y) ]
+    y.rules.push(afp_fol::GeneralRule {
+        head: Atom::new(p, vec![Term::Var(x)]),
+        body: Formula::forall(
+            vec![yv],
+            Formula::Or(vec![
+                Formula::not(Formula::exists(
+                    vec![z],
+                    Formula::Atom(Atom::new(e, vec![Term::Var(yv), Term::Var(z)])),
+                )),
+                Formula::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(yv)])),
+            ]),
+        ),
+    });
+    let a = y.symbols.intern("a");
+    let b = y.symbols.intern("b");
+    y.facts
+        .push(Atom::new(e, vec![Term::Const(a), Term::Const(b)]));
+    let t = lloyd_topor(&y);
+    // The outer ∀ gives one globally-negative aux. The inner ¬∃ sits
+    // under that aux's negation, so EDNF's double-negation elimination
+    // inlines it as a plain positive conjunct — no second aux.
+    let negatives = t.aux.iter().filter(|a| !a.globally_positive).count();
+    let positives = t.aux.iter().filter(|a| a.globally_positive).count();
+    assert_eq!(negatives, 1);
+    assert_eq!(positives, 0);
+    // The aux rule body is e(Y,Z) ∧ ¬e(X,Y): one positive, one negative
+    // literal.
+    let aux_rule = t
+        .program
+        .rules
+        .iter()
+        .find(|r| r.head.pred == t.aux[0].pred)
+        .expect("aux rule exists");
+    assert_eq!(aux_rule.body.iter().filter(|l| l.positive).count(), 1);
+    assert_eq!(aux_rule.body.iter().filter(|l| !l.positive).count(), 1);
+    // "p covers every node that has successors": a→b means a must be
+    // covered by X; only nodes X with e(X, a)… none. But b has no
+    // successors, so only the e(X,Y) disjunct matters for Y=a.
+    let (m, ctx) = afp_fol::fp_model(&y).expect("still an FP system");
+    let names = ctx.set_to_names(&y, &m);
+    // No node has an edge to a, so no p holds.
+    assert!(!names.iter().any(|n| n.starts_with("p(")));
+}
+
+#[test]
+fn definition_8_2_on_parsed_formulas() {
+    // Example 8.1 through the parser: ψ = ¬¬∃X p(X) needs a positive
+    // p literal; the inner ¬∃X p(X) needs all negative ones.
+    let y = parse_general("holds <- not not exists X (p(X)). p(a). dm(b).").unwrap();
+    let (m, ctx) = afp_fol::fp_model(&y).unwrap();
+    let names = ctx.set_to_names(&y, &m);
+    assert!(names.contains(&"holds".to_string()));
+}

@@ -1,0 +1,446 @@
+//! Justifications: *why* is an atom true, false, or undefined in the
+//! well-founded model?
+//!
+//! The paper's two halves of the semantics provide exactly the two
+//! explanation shapes:
+//!
+//! * a **true** atom has a derivation in `S_P(W̃)` — a rule whose positive
+//!   subgoals were derived strictly earlier and whose negated subgoals are
+//!   well-founded-false;
+//! * a **false** atom belongs to an unfounded set, so *every* rule for it
+//!   has a *witness of unusability* (Definition 6.1): a body literal false
+//!   in the model, or a positive subgoal that is itself in the unfounded
+//!   set;
+//! * an **undefined** atom is neither: it always has a rule whose
+//!   usability hinges on undefined literals only.
+//!
+//! Explanations are one-step (each reason references subgoal atoms, which
+//! can be explained in turn); [`Explainer::render`] follows them into an
+//! indented tree with cycle cut-off.
+
+use afp_core::interp::{PartialModel, Truth};
+use afp_datalog::atoms::AtomId;
+use afp_datalog::program::{GroundProgram, RuleId};
+
+/// Why a rule cannot be used to derive its head (Definition 6.1's
+/// "witness of unusability", extended with the undefined case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// A positive subgoal is false in the model.
+    FalsePositiveSubgoal(AtomId),
+    /// A negated subgoal's atom is true in the model.
+    TrueNegatedSubgoal(AtomId),
+    /// A positive subgoal is itself unfounded (condition 2 of
+    /// Definition 6.1) — the circular-support case.
+    UnfoundedPositiveSubgoal(AtomId),
+}
+
+/// One-step justification for an atom's truth value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reason {
+    /// True: derived by this rule; `subgoals` are its positive subgoals
+    /// (each derived strictly earlier) and `assumed_false` its negated
+    /// subgoals (each false in the model).
+    DerivedBy {
+        /// The firing rule.
+        rule: RuleId,
+        /// Positive subgoals, derived earlier.
+        subgoals: Vec<AtomId>,
+        /// Negated subgoals, all well-founded-false.
+        assumed_false: Vec<AtomId>,
+    },
+    /// False: the atom has no rules at all.
+    NoRules,
+    /// False: every rule has a witness of unusability.
+    AllRulesBlocked {
+        /// One witness per rule (parallel to `rules`).
+        witnesses: Vec<(RuleId, Witness)>,
+    },
+    /// Undefined: the listed rules are not blocked by defined literals;
+    /// their usability depends on the listed undefined literals.
+    SuspendedOn {
+        /// Undefined atoms the truth value hinges on.
+        atoms: Vec<AtomId>,
+    },
+}
+
+/// Precomputed explanation context for one program + model.
+pub struct Explainer<'p> {
+    prog: &'p GroundProgram,
+    model: &'p PartialModel,
+    /// Derivation order of true atoms in `S_P(W̃)` (usize::MAX if not
+    /// derived).
+    rank: Vec<usize>,
+    /// The rule that first derived each true atom.
+    deriving_rule: Vec<Option<RuleId>>,
+    /// Strongly connected component of each atom in the *positive*
+    /// dependency graph — used to tell circular support (condition 2 of
+    /// Definition 6.1) apart from plain falsity.
+    pos_comp: Vec<u32>,
+}
+
+impl<'p> Explainer<'p> {
+    /// Build the explainer by replaying `S_P(W̃)` and recording the
+    /// derivation order.
+    ///
+    /// # Panics
+    /// Debug-panics if `model` is not the well-founded model of `prog`
+    /// (every true atom must be derivable with the model's own negatives).
+    pub fn new(prog: &'p GroundProgram, model: &'p PartialModel) -> Self {
+        let n = prog.atom_count();
+        let mut rank = vec![usize::MAX; n];
+        let mut deriving_rule: Vec<Option<RuleId>> = vec![None; n];
+        // Replay the Horn closure with Ĩ = model.neg, FIFO order.
+        let mut pos_remaining: Vec<u32> = Vec::with_capacity(prog.rule_count());
+        let mut enabled: Vec<bool> = Vec::with_capacity(prog.rule_count());
+        let mut queue: std::collections::VecDeque<AtomId> = std::collections::VecDeque::new();
+        let mut next_rank = 0usize;
+        for (i, r) in prog.rules().iter().enumerate() {
+            pos_remaining.push(r.pos.len() as u32);
+            let ok = r.neg.iter().all(|&q| model.neg.contains(q.0));
+            enabled.push(ok);
+            if ok && r.pos.is_empty() && rank[r.head.index()] == usize::MAX {
+                rank[r.head.index()] = next_rank;
+                next_rank += 1;
+                deriving_rule[r.head.index()] = Some(i as RuleId);
+                queue.push_back(r.head);
+            }
+        }
+        while let Some(atom) = queue.pop_front() {
+            for &rid in prog.rules_with_pos(atom) {
+                if !enabled[rid as usize] {
+                    continue;
+                }
+                let c = &mut pos_remaining[rid as usize];
+                *c -= 1;
+                if *c == 0 {
+                    let head = prog.rule(rid).head;
+                    if rank[head.index()] == usize::MAX {
+                        rank[head.index()] = next_rank;
+                        next_rank += 1;
+                        deriving_rule[head.index()] = Some(rid);
+                        queue.push_back(head);
+                    }
+                }
+            }
+        }
+        // Positive dependency SCCs for circularity reporting.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for r in prog.rules() {
+            for &q in r.pos.iter() {
+                adj[r.head.index()].push(q.index());
+            }
+        }
+        let sccs = afp_datalog::depgraph::tarjan_sccs(&adj);
+        let mut pos_comp = vec![0u32; n];
+        for (cid, comp) in sccs.iter().enumerate() {
+            for &a in comp {
+                pos_comp[a] = cid as u32;
+            }
+        }
+        Explainer {
+            prog,
+            model,
+            rank,
+            deriving_rule,
+            pos_comp,
+        }
+    }
+
+    /// Position of `atom` in the derivation order of `S_P(W̃)`
+    /// (`None` when the atom is not well-founded-true). Derivations listed
+    /// by [`Explainer::explain`] always have strictly smaller ranks for
+    /// their positive subgoals — the well-foundedness of the justification.
+    pub fn derivation_rank(&self, atom: AtomId) -> Option<usize> {
+        let r = self.rank[atom.index()];
+        (r != usize::MAX).then_some(r)
+    }
+
+    /// One-step justification for `atom`.
+    pub fn explain(&self, atom: AtomId) -> Reason {
+        match self.model.truth(atom.0) {
+            Truth::True => {
+                let rid = self.deriving_rule[atom.index()]
+                    .expect("true atoms are derived in the replay");
+                let r = self.prog.rule(rid);
+                Reason::DerivedBy {
+                    rule: rid,
+                    subgoals: r.pos.to_vec(),
+                    assumed_false: r.neg.to_vec(),
+                }
+            }
+            Truth::False => {
+                let rules = self.prog.rules_with_head(atom);
+                if rules.is_empty() {
+                    return Reason::NoRules;
+                }
+                let mut witnesses = Vec::with_capacity(rules.len());
+                for &rid in rules {
+                    let r = self.prog.rule(rid);
+                    // Preference order: a false positive subgoal outside
+                    // the head's positive SCC (plain falsity), then a true
+                    // negated subgoal, then the circular-support case
+                    // (false subgoal inside the same positive SCC —
+                    // condition 2 of Definition 6.1).
+                    let witness = r
+                        .pos
+                        .iter()
+                        .find(|&&q| {
+                            self.model.neg.contains(q.0)
+                                && self.pos_comp[q.index()] != self.pos_comp[atom.index()]
+                        })
+                        .map(|&q| Witness::FalsePositiveSubgoal(q))
+                        .or_else(|| {
+                            r.neg
+                                .iter()
+                                .find(|&&q| self.model.pos.contains(q.0))
+                                .map(|&q| Witness::TrueNegatedSubgoal(q))
+                        })
+                        .or_else(|| {
+                            r.pos
+                                .iter()
+                                .find(|&&q| self.model.neg.contains(q.0))
+                                .map(|&q| Witness::UnfoundedPositiveSubgoal(q))
+                        })
+                        .expect("a false atom's every rule has a witness (Def. 6.1)");
+                    witnesses.push((rid, witness));
+                }
+                Reason::AllRulesBlocked { witnesses }
+            }
+            Truth::Undefined => {
+                // Collect the undefined literals of rules not blocked by
+                // defined literals.
+                let mut atoms = Vec::new();
+                for &rid in self.prog.rules_with_head(atom) {
+                    let r = self.prog.rule(rid);
+                    let blocked = r.pos.iter().any(|&q| self.model.neg.contains(q.0))
+                        || r.neg.iter().any(|&q| self.model.pos.contains(q.0));
+                    if blocked {
+                        continue;
+                    }
+                    for &q in r.pos.iter().chain(r.neg.iter()) {
+                        if self.model.truth(q.0) == Truth::Undefined && !atoms.contains(&q) {
+                            atoms.push(q);
+                        }
+                    }
+                }
+                Reason::SuspendedOn { atoms }
+            }
+        }
+    }
+
+    /// Render a justification tree to `depth` levels, cutting cycles.
+    pub fn render(&self, atom: AtomId, depth: usize) -> String {
+        let mut out = String::new();
+        let mut seen = Vec::new();
+        self.render_rec(atom, depth, 0, &mut seen, &mut out);
+        out
+    }
+
+    fn render_rec(
+        &self,
+        atom: AtomId,
+        depth: usize,
+        indent: usize,
+        seen: &mut Vec<AtomId>,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        let name = self.prog.atom_name(atom);
+        let truth = self.model.truth(atom.0);
+        if seen.contains(&atom) {
+            out.push_str(&format!("{pad}{name} [{truth:?}] (see above)\n"));
+            return;
+        }
+        seen.push(atom);
+        match self.explain(atom) {
+            Reason::DerivedBy {
+                subgoals,
+                assumed_false,
+                ..
+            } => {
+                if subgoals.is_empty() && assumed_false.is_empty() {
+                    out.push_str(&format!("{pad}{name} is TRUE: it is a fact\n"));
+                    return;
+                }
+                out.push_str(&format!("{pad}{name} is TRUE because a rule fired:\n"));
+                if depth > 0 {
+                    for q in subgoals {
+                        self.render_rec(q, depth - 1, indent + 1, seen, out);
+                    }
+                    for q in assumed_false {
+                        out.push_str(&format!(
+                            "{}not {} (false in the model)\n",
+                            "  ".repeat(indent + 1),
+                            self.prog.atom_name(q)
+                        ));
+                    }
+                }
+            }
+            Reason::NoRules => {
+                out.push_str(&format!("{pad}{name} is FALSE: no rules define it\n"));
+            }
+            Reason::AllRulesBlocked { witnesses } => {
+                out.push_str(&format!(
+                    "{pad}{name} is FALSE: every rule has a witness of unusability:\n"
+                ));
+                for (rid, w) in witnesses {
+                    let wtext = match w {
+                        Witness::FalsePositiveSubgoal(q) => {
+                            format!("positive subgoal {} is false", self.prog.atom_name(q))
+                        }
+                        Witness::TrueNegatedSubgoal(q) => {
+                            format!("negated subgoal {} is true", self.prog.atom_name(q))
+                        }
+                        Witness::UnfoundedPositiveSubgoal(q) => format!(
+                            "positive subgoal {} is unfounded (circular support)",
+                            self.prog.atom_name(q)
+                        ),
+                    };
+                    out.push_str(&format!(
+                        "{}rule {}: {}\n",
+                        "  ".repeat(indent + 1),
+                        rid,
+                        wtext
+                    ));
+                }
+            }
+            Reason::SuspendedOn { atoms } => {
+                let names: Vec<String> =
+                    atoms.iter().map(|&q| self.prog.atom_name(q)).collect();
+                out.push_str(&format!(
+                    "{pad}{name} is UNDEFINED: hinges on undefined {}\n",
+                    names.join(", ")
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_core::afp::alternating_fixpoint;
+    use afp_datalog::program::parse_ground;
+
+    fn explainer_for(src: &str) -> (GroundProgram, PartialModel) {
+        let g = parse_ground(src);
+        let r = alternating_fixpoint(&g);
+        (g, r.model)
+    }
+
+    #[test]
+    fn true_atoms_get_derivations_with_earlier_subgoals() {
+        let (g, model) = explainer_for("a. b :- a. c :- b, not d.");
+        let ex = Explainer::new(&g, &model);
+        for atom in model.pos.iter() {
+            match ex.explain(AtomId(atom)) {
+                Reason::DerivedBy {
+                    subgoals,
+                    assumed_false,
+                    ..
+                } => {
+                    for q in subgoals {
+                        assert!(model.pos.contains(q.0));
+                        assert!(
+                            ex.derivation_rank(q).unwrap()
+                                < ex.derivation_rank(AtomId(atom)).unwrap()
+                        );
+                    }
+                    for q in assumed_false {
+                        assert!(model.neg.contains(q.0));
+                    }
+                }
+                other => panic!("true atom got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn false_atom_without_rules() {
+        let (g, model) = explainer_for("a :- b.");
+        let ex = Explainer::new(&g, &model);
+        let b = g.find_atom_by_name("b", &[]).unwrap();
+        assert_eq!(ex.explain(b), Reason::NoRules);
+    }
+
+    #[test]
+    fn false_atom_with_blocked_rules() {
+        let (g, model) = explainer_for("a :- b. a :- not c. c.");
+        let ex = Explainer::new(&g, &model);
+        let a = g.find_atom_by_name("a", &[]).unwrap();
+        match ex.explain(a) {
+            Reason::AllRulesBlocked { witnesses } => {
+                assert_eq!(witnesses.len(), 2);
+            }
+            other => panic!("expected AllRulesBlocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn circular_support_is_reported() {
+        let (g, model) = explainer_for("x :- y. y :- x.");
+        let ex = Explainer::new(&g, &model);
+        let x = g.find_atom_by_name("x", &[]).unwrap();
+        match ex.explain(x) {
+            Reason::AllRulesBlocked { witnesses } => {
+                assert!(matches!(
+                    witnesses[0].1,
+                    Witness::UnfoundedPositiveSubgoal(_) | Witness::FalsePositiveSubgoal(_)
+                ));
+            }
+            other => panic!("expected AllRulesBlocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_atoms_point_at_undefined_literals() {
+        let (g, model) = explainer_for("p :- not q. q :- not p.");
+        let ex = Explainer::new(&g, &model);
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        match ex.explain(p) {
+            Reason::SuspendedOn { atoms } => assert_eq!(atoms, vec![q]),
+            other => panic!("expected SuspendedOn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_produces_a_tree_and_cuts_cycles() {
+        let (g, model) = explainer_for("a. b :- a. c :- b, not d. x :- y. y :- x.");
+        let ex = Explainer::new(&g, &model);
+        let c = g.find_atom_by_name("c", &[]).unwrap();
+        let tree = ex.render(c, 5);
+        assert!(tree.contains("c is TRUE"));
+        assert!(tree.contains("b is TRUE"));
+        assert!(tree.contains("a is TRUE"));
+        assert!(tree.contains("not d"));
+        let x = g.find_atom_by_name("x", &[]).unwrap();
+        let tree = ex.render(x, 5);
+        assert!(tree.contains("x is FALSE"));
+    }
+
+    #[test]
+    fn every_atom_gets_a_valid_reason() {
+        // Sweep a mixed program; the explanation kind must match the truth
+        // value everywhere.
+        let (g, model) = explainer_for(
+            "a. b :- a, not c. c :- not b. d :- e. e :- d. f :- not a. g :- b.",
+        );
+        let ex = Explainer::new(&g, &model);
+        for id in 0..g.atom_count() as u32 {
+            let atom = AtomId(id);
+            let reason = ex.explain(atom);
+            match model.truth(id) {
+                Truth::True => assert!(matches!(reason, Reason::DerivedBy { .. })),
+                Truth::False => assert!(matches!(
+                    reason,
+                    Reason::NoRules | Reason::AllRulesBlocked { .. }
+                )),
+                Truth::Undefined => {
+                    assert!(matches!(reason, Reason::SuspendedOn { .. }))
+                }
+            }
+        }
+    }
+}

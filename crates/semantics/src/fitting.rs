@@ -1,0 +1,149 @@
+//! The Fitting (Kripke–Kleene) three-valued semantics (Section 2.1).
+//!
+//! Fitting interprets the program completion in three-valued logic: the
+//! least fixpoint, in the knowledge ordering, of
+//!
+//! ```text
+//! Φ_P(I)⁺ = { a | some rule for a has body true in I }
+//! Φ_P(I)⁻ = { a | every rule for a has body false in I }
+//! ```
+//!
+//! ("failure to prove" = all proof searches fail at some finite depth).
+//! The paper recalls the classic objection (Section 2.1): on a cyclic
+//! graph, transitive-closure atoms that merely loop are *undefined* under
+//! Fitting but false under the well-founded semantics — positive loops are
+//! never falsified because no finite failure occurs. The Fitting model is
+//! always informationally below the well-founded model; both facts are
+//! pinned by tests here and in the integration suite.
+
+use afp_core::interp::{PartialModel, Truth};
+use afp_datalog::program::GroundProgram;
+
+/// Result of the Kripke–Kleene computation.
+#[derive(Debug, Clone)]
+pub struct FittingResult {
+    /// The least three-valued fixpoint of `Φ_P`.
+    pub model: PartialModel,
+    /// Number of `Φ_P` applications.
+    pub rounds: usize,
+}
+
+/// One application of `Φ_P`.
+pub fn phi(prog: &GroundProgram, interp: &PartialModel) -> PartialModel {
+    let mut pos = prog.empty_set();
+    // Start from "every atom is false" — an atom with no rules keeps the
+    // empty (hence false) disjunction of bodies — and remove an atom as
+    // soon as one of its rule bodies is true or undefined.
+    let mut neg = prog.full_set();
+    for r in prog.rules() {
+        match interp.body_truth(r) {
+            Truth::True => {
+                pos.insert(r.head.0);
+                neg.remove(r.head.0);
+            }
+            Truth::Undefined => {
+                neg.remove(r.head.0);
+            }
+            Truth::False => {}
+        }
+    }
+    debug_assert!(pos.is_disjoint(&neg));
+    PartialModel::new(pos, neg)
+}
+
+/// The Kripke–Kleene model: `lfp(Φ_P)` in the knowledge ordering,
+/// computed by iteration from the everywhere-undefined interpretation.
+pub fn fitting_model(prog: &GroundProgram) -> FittingResult {
+    let mut interp = PartialModel::empty(prog.atom_count());
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let next = phi(prog, &interp);
+        if next == interp {
+            return FittingResult {
+                model: interp,
+                rounds,
+            };
+        }
+        interp = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_core::afp::alternating_fixpoint;
+    use afp_datalog::program::parse_ground;
+
+    #[test]
+    fn horn_chain_fully_decided() {
+        let g = parse_ground("a. b :- a. c :- d.");
+        let r = fitting_model(&g);
+        assert!(r.model.is_total());
+        assert_eq!(g.set_to_names(&r.model.pos), vec!["a", "b"]);
+        assert_eq!(g.set_to_names(&r.model.neg), vec!["c", "d"]);
+    }
+
+    #[test]
+    fn positive_loop_stays_undefined_under_fitting() {
+        // The Minker-workshop objection: x :- y. y :- x. never *finitely*
+        // fails, so Fitting leaves x, y undefined — but WFS falsifies them.
+        let g = parse_ground("x :- y. y :- x. z :- not x.");
+        let fit = fitting_model(&g);
+        assert_eq!(fit.model.defined_count(), 0);
+        let wfs = alternating_fixpoint(&g);
+        assert!(wfs.model.is_total());
+    }
+
+    #[test]
+    fn fitting_below_wfs() {
+        for src in [
+            "p :- not q. q :- not p.",
+            "a. b :- a, not c. c :- not b.",
+            "x :- y. y :- x. z :- not x.",
+            "v :- not v. w :- not x. x :- w.",
+        ] {
+            let g = parse_ground(src);
+            let fit = fitting_model(&g);
+            let wfs = alternating_fixpoint(&g);
+            assert!(
+                fit.model.leq(&wfs.model),
+                "Fitting ⊑ WFS must hold on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_tc_example() {
+        // Ground transitive closure on the 2-cycle {e(1,2), e(2,1)} plus an
+        // isolated node 3: under Fitting, tc(1,3) is undefined (the search
+        // loops); under WFS it is false.
+        let g = parse_ground(
+            "e(1,2). e(2,1).
+             tc(1,3) :- e(1,2), tc(2,3).
+             tc(2,3) :- e(2,1), tc(1,3).",
+        );
+        let fit = fitting_model(&g);
+        let t13 = g.find_atom_by_name("tc", &["1", "3"]).unwrap();
+        assert_eq!(fit.model.truth(t13.0), Truth::Undefined);
+        let wfs = alternating_fixpoint(&g);
+        assert_eq!(wfs.model.truth(t13.0), Truth::False);
+    }
+
+    #[test]
+    fn negative_two_cycle_undefined_everywhere() {
+        let g = parse_ground("p :- not q. q :- not p.");
+        let r = fitting_model(&g);
+        assert_eq!(r.model.defined_count(), 0);
+    }
+
+    #[test]
+    fn phi_is_monotone_in_knowledge_order() {
+        let g = parse_ground("p :- not q. q :- r. r. s :- p, q.");
+        let bottom = PartialModel::empty(g.atom_count());
+        let one = phi(&g, &bottom);
+        let two = phi(&g, &one);
+        assert!(bottom.leq(&one));
+        assert!(one.leq(&two));
+    }
+}

@@ -1,0 +1,174 @@
+//! Inflationary fixpoint semantics (IFP; Section 2.2) and the
+//! non-inflationary naive extension it repairs.
+//!
+//! IFP draws positive conclusions in rounds: a negative literal evaluates
+//! to true if the positive fact has not been concluded in an *earlier*
+//! round, and once concluded a fact is held forever — the operator
+//!
+//! ```text
+//! T_P(I⁺) = I⁺ ∪ C_P(I⁺, conj(I⁺))
+//! ```
+//!
+//! is *inflationary* but not monotone; "the timing of rule applications is
+//! extremely critical" (Section 2.2). Example 2.2 of the paper shows the
+//! consequence: the obvious program for the complement of transitive
+//! closure puts **every** pair into `np`, because `¬p(X,Y)` holds for all
+//! pairs in round one. The experiment harness reproduces that failure next
+//! to the well-founded answer.
+//!
+//! The plain (non-inflationary) extension `T_P(I⁺) = C_P(I⁺, conj(I⁺))`
+//! studied by Kolaitis–Papadimitriou is not even inflationary and can
+//! oscillate; [`naive_iteration`] exposes it with cycle detection.
+
+use afp_core::ops;
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::GroundProgram;
+
+/// Result of the inflationary computation.
+#[derive(Debug, Clone)]
+pub struct InflationaryResult {
+    /// The inflationary fixpoint (a set of true atoms; everything else is
+    /// taken as false — IFP has no notion of "undefined").
+    pub model: AtomSet,
+    /// Rounds until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Compute the inflationary fixpoint.
+pub fn inflationary_fixpoint(prog: &GroundProgram) -> InflationaryResult {
+    let mut current = prog.empty_set();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let neg = current.complement();
+        let mut next = ops::c_p(prog, &current, &neg);
+        next.union_with(&current);
+        if next == current {
+            return InflationaryResult {
+                model: current,
+                rounds,
+            };
+        }
+        current = next;
+    }
+}
+
+/// Outcome of the non-inflationary naive iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaiveOutcome {
+    /// Reached a fixpoint.
+    Fixpoint(AtomSet),
+    /// Entered a cycle of the given period (> 1) — the operator oscillates
+    /// and defines no model.
+    Oscillates {
+        /// Length of the limit cycle.
+        period: usize,
+        /// A state inside the cycle.
+        witness: AtomSet,
+    },
+}
+
+/// Iterate the non-inflationary `T_P(I⁺) = C_P(I⁺, conj(I⁺))` from the
+/// empty set, detecting limit cycles (Floyd's tortoise-and-hare is
+/// unnecessary: the state space is finite and we keep the full history
+/// hash-free by comparing against the previous two iterates, which catches
+/// the ubiquitous period-2 oscillation; longer cycles fall back to a
+/// bounded history scan).
+pub fn naive_iteration(prog: &GroundProgram, max_rounds: usize) -> NaiveOutcome {
+    let step = |i: &AtomSet| -> AtomSet { ops::c_p(prog, i, &i.complement()) };
+    let mut history: Vec<AtomSet> = vec![prog.empty_set()];
+    for _ in 0..max_rounds {
+        let next = step(history.last().expect("nonempty"));
+        if let Some(pos) = history.iter().position(|h| *h == next) {
+            let period = history.len() - pos;
+            return if period == 0 || *history.last().unwrap() == next {
+                NaiveOutcome::Fixpoint(next)
+            } else {
+                NaiveOutcome::Oscillates {
+                    period,
+                    witness: next,
+                }
+            };
+        }
+        history.push(next);
+    }
+    NaiveOutcome::Oscillates {
+        period: 0,
+        witness: history.pop().expect("nonempty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_datalog::program::parse_ground;
+
+    #[test]
+    fn horn_program_matches_least_model() {
+        let g = parse_ground("a. b :- a. c :- b.");
+        let r = inflationary_fixpoint(&g);
+        assert_eq!(g.set_to_names(&r.model), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn example_2_2_np_degenerates() {
+        // Ground slice of Example 2.2 on edge e(a,b): in round one,
+        // ¬p(a,b) holds (nothing concluded yet), so np(a,b) is concluded —
+        // and kept forever, even though p(a,b) follows in round two.
+        let g = parse_ground(
+            "e(a,b).
+             p(a,b) :- e(a,b).
+             np(a,b) :- not p(a,b).",
+        );
+        let r = inflationary_fixpoint(&g);
+        let np = g.find_atom_by_name("np", &["a", "b"]).unwrap();
+        let p = g.find_atom_by_name("p", &["a", "b"]).unwrap();
+        assert!(r.model.contains(np.0), "IFP wrongly concludes np(a,b)");
+        assert!(r.model.contains(p.0));
+        // The WFS gets it right.
+        let wfs = afp_core::afp::alternating_fixpoint(&g);
+        assert!(wfs.model.neg.contains(np.0));
+    }
+
+    #[test]
+    fn inflationary_is_inflationary() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p, q.");
+        let mut current = g.empty_set();
+        for _ in 0..4 {
+            let neg = current.complement();
+            let mut next = ops::c_p(&g, &current, &neg);
+            next.union_with(&current);
+            assert!(current.is_subset(&next));
+            current = next;
+        }
+    }
+
+    #[test]
+    fn naive_iteration_oscillates_on_self_negation() {
+        // v :- not v.  ∅ → {v} → ∅ → … : period 2.
+        let g = parse_ground("v :- not v.");
+        match naive_iteration(&g, 100) {
+            NaiveOutcome::Oscillates { period, .. } => assert_eq!(period, 2),
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn naive_iteration_fixpoint_on_horn() {
+        let g = parse_ground("a. b :- a.");
+        match naive_iteration(&g, 100) {
+            NaiveOutcome::Fixpoint(m) => {
+                assert_eq!(g.set_to_names(&m), vec!["a", "b"])
+            }
+            other => panic!("expected fixpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rounds_reported() {
+        let g = parse_ground("p0. p1 :- p0. p2 :- p1. p3 :- p2.");
+        let r = inflationary_fixpoint(&g);
+        assert!(r.rounds >= 2);
+        assert_eq!(r.model.count(), 4);
+    }
+}

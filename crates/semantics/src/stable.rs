@@ -1,0 +1,454 @@
+//! Stable models (Gelfond–Lifschitz; Sections 2.4 and 4).
+//!
+//! The original three-stage definition transforms a program by a candidate
+//! total interpretation `M`: delete rules with a negative literal whose
+//! atom is in `M`, drop the remaining negative literals, and take the least
+//! model of the residual Horn program (the *GL-reduct*). `M` is stable when
+//! it reproduces itself.
+//!
+//! The paper's reformulation (Definition 4.2) represents a total model by
+//! its set of negative literals `M̃` and observes that `M` is stable iff
+//! `M̃` is a fixpoint of the (antimonotone) stability transformation
+//! `S̃_P`; equivalently `S_P(M̃) = M`. Both formulations are implemented
+//! and cross-checked.
+//!
+//! Enumeration is a branch-and-propagate search:
+//!
+//! * *propagation* computes the well-founded model of the program
+//!   **conditioned** on the current assumptions (assumed-true atoms become
+//!   facts; rules for assumed-false atoms are suppressed). Every stable
+//!   model of `P` consistent with the assumptions is a stable model of the
+//!   conditioned program, and every stable model contains its well-founded
+//!   model — so the conditioned WFS literals are forced;
+//! * a *conflict check* rejects branches in which some original rule has a
+//!   true body and false head;
+//! * leaves are verified with the GL-reduct against the **original**
+//!   program, so the search is sound regardless of propagation strength.
+//!
+//! Worst-case exponential, as it must be: deciding stable-model existence
+//! is NP-complete (Elkan; Marek & Truszczyński — discussed in Section 2.4).
+//! The `stable_hard` bench exhibits the blow-up; in contrast the
+//! well-founded model is polynomial (Section 5).
+
+use afp_core::interp::PartialModel;
+use afp_core::ops;
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::GroundProgram;
+
+/// The least model of the GL-reduct `P^M` — stage three of the original
+/// definition. Built literally (delete / drop / close) for documentation
+/// value; [`is_stable`] uses the equivalent `S_P` shortcut.
+pub fn reduct_least_model(prog: &GroundProgram, m: &AtomSet) -> AtomSet {
+    // Counter propagation over the surviving rules only.
+    let mut pos_remaining: Vec<u32> = Vec::with_capacity(prog.rule_count());
+    let mut deleted: Vec<bool> = Vec::with_capacity(prog.rule_count());
+    let mut derived = prog.empty_set();
+    let mut queue: Vec<u32> = Vec::new();
+    for r in prog.rules() {
+        let del = r.neg.iter().any(|&q| m.contains(q.0));
+        deleted.push(del);
+        pos_remaining.push(r.pos.len() as u32);
+        if !del && r.pos.is_empty() && derived.insert(r.head.0) {
+            queue.push(r.head.0);
+        }
+    }
+    while let Some(atom) = queue.pop() {
+        for &rid in prog.rules_with_pos(afp_datalog::AtomId(atom)) {
+            if deleted[rid as usize] {
+                continue;
+            }
+            let c = &mut pos_remaining[rid as usize];
+            *c -= 1;
+            if *c == 0 {
+                let head = prog.rule(rid).head;
+                if derived.insert(head.0) {
+                    queue.push(head.0);
+                }
+            }
+        }
+    }
+    derived
+}
+
+/// Is the total interpretation with true atoms `m` a stable model?
+///
+/// Uses the paper's formulation: `M` is stable iff `S_P(M̃) = M` where
+/// `M̃ = conj(M)`; equivalent to `lfp(P^M) = M`.
+pub fn is_stable(prog: &GroundProgram, m: &AtomSet) -> bool {
+    ops::s_p(prog, &m.complement()) == *m
+}
+
+/// All stable models by exhaustive subset enumeration — usable only for
+/// tiny Herbrand bases; the oracle for differential tests.
+pub fn brute_force_stable(prog: &GroundProgram) -> Vec<AtomSet> {
+    let n = prog.atom_count();
+    assert!(n <= 24, "brute force is for tiny programs only");
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let m = AtomSet::from_iter(n, (0..n as u32).filter(|&i| mask & (1 << i) != 0));
+        if is_stable(prog, &m) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Options for [`enumerate_stable`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerateOptions {
+    /// Stop after this many models.
+    pub max_models: usize,
+    /// Abort (returning what was found) after this many search nodes;
+    /// `usize::MAX` to disable.
+    pub max_nodes: usize,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            max_models: usize::MAX,
+            max_nodes: usize::MAX,
+        }
+    }
+}
+
+/// Outcome of stable-model enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumerateResult {
+    /// The stable models found (sets of true atoms).
+    pub models: Vec<AtomSet>,
+    /// Search nodes expanded.
+    pub nodes: usize,
+    /// True when the search space was exhausted (the list is complete).
+    pub complete: bool,
+}
+
+/// Enumerate stable models by branch-and-propagate.
+pub fn enumerate_stable(prog: &GroundProgram, options: &EnumerateOptions) -> EnumerateResult {
+    let mut state = Search {
+        prog,
+        options: *options,
+        models: Vec::new(),
+        nodes: 0,
+        truncated: false,
+        scores: branch_scores(prog),
+    };
+    let t = prog.empty_set();
+    let f = prog.empty_set();
+    state.search(&t, &f);
+    EnumerateResult {
+        complete: !state.truncated,
+        models: state.models,
+        nodes: state.nodes,
+    }
+}
+
+/// Convenience wrapper: all stable models, unbounded.
+pub fn stable_models(prog: &GroundProgram) -> Vec<AtomSet> {
+    enumerate_stable(prog, &EnumerateOptions::default()).models
+}
+
+struct Search<'p> {
+    prog: &'p GroundProgram,
+    options: EnumerateOptions,
+    models: Vec<AtomSet>,
+    nodes: usize,
+    truncated: bool,
+    scores: Vec<u32>,
+}
+
+impl Search<'_> {
+    fn search(&mut self, assumed_true: &AtomSet, assumed_false: &AtomSet) {
+        if self.models.len() >= self.options.max_models {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.options.max_nodes {
+            self.truncated = true;
+            return;
+        }
+        // Propagate: well-founded model of the conditioned program.
+        let wfs = conditioned_wfs(self.prog, assumed_true, assumed_false);
+        // Conflict check against the original rules: a rule with body true
+        // and head false under the forced assignment can never be repaired.
+        for r in self.prog.rules() {
+            let body_true = r.pos.iter().all(|&q| wfs.pos.contains(q.0))
+                && r.neg.iter().all(|&q| wfs.neg.contains(q.0));
+            if body_true && wfs.neg.contains(r.head.0) {
+                return; // pruned
+            }
+        }
+        if wfs.is_total() {
+            // All candidate stable models in this branch coincide with the
+            // conditioned WFS; verify against the original program.
+            if is_stable(self.prog, &wfs.pos) {
+                self.models.push(wfs.pos);
+            }
+            return;
+        }
+        // Branch on the highest-scoring undefined atom.
+        let undefined = wfs.undefined();
+        let pick = undefined
+            .iter()
+            .max_by_key(|&a| self.scores[a as usize])
+            .expect("non-total model has an undefined atom");
+        // False branch first: mirrors the paper's bias toward building up
+        // negative conclusions.
+        let mut f2 = wfs.neg.clone();
+        f2.insert(pick);
+        self.search(&wfs.pos, &f2);
+        let mut t2 = wfs.pos;
+        t2.insert(pick);
+        self.search(&t2, &wfs.neg);
+    }
+}
+
+/// Static branching scores: how often an atom occurs in negative bodies
+/// (breaking those cycles first decides the most).
+fn branch_scores(prog: &GroundProgram) -> Vec<u32> {
+    let mut scores = vec![0u32; prog.atom_count()];
+    for r in prog.rules() {
+        for &q in r.neg.iter() {
+            scores[q.index()] += 2;
+        }
+        for &q in r.pos.iter() {
+            scores[q.index()] += 1;
+        }
+    }
+    scores
+}
+
+/// The well-founded model of `P` conditioned on assumptions: atoms of
+/// `assumed_true` act as facts, rules whose head is in `assumed_false` are
+/// suppressed. Computed by the alternating fixpoint with a conditioned
+/// `S_P` (no program rebuild).
+pub fn conditioned_wfs(
+    prog: &GroundProgram,
+    assumed_true: &AtomSet,
+    assumed_false: &AtomSet,
+) -> PartialModel {
+    let mut under = prog.empty_set();
+    loop {
+        let sp_under = conditioned_s_p(prog, &under, assumed_true, assumed_false);
+        let over = sp_under.complement();
+        if over == under {
+            return PartialModel::new(sp_under, under);
+        }
+        let sp_over = conditioned_s_p(prog, &over, assumed_true, assumed_false);
+        let next_under = sp_over.complement();
+        if next_under == under {
+            return PartialModel::new(sp_under, under);
+        }
+        under = next_under;
+    }
+}
+
+/// `S_{P'}(Ĩ)` for the conditioned program `P' = P + facts(T) − rules
+/// with head in F`, without materializing `P'`.
+fn conditioned_s_p(
+    prog: &GroundProgram,
+    i_tilde: &AtomSet,
+    assumed_true: &AtomSet,
+    assumed_false: &AtomSet,
+) -> AtomSet {
+    let mut pos_remaining: Vec<u32> = Vec::with_capacity(prog.rule_count());
+    let mut neg_remaining: Vec<u32> = Vec::with_capacity(prog.rule_count());
+    let mut derived = prog.empty_set();
+    let mut queue: Vec<u32> = Vec::new();
+    for a in assumed_true.iter() {
+        if derived.insert(a) {
+            queue.push(a);
+        }
+    }
+    for r in prog.rules() {
+        let suppressed = assumed_false.contains(r.head.0);
+        pos_remaining.push(r.pos.len() as u32);
+        let unconfirmed = r.neg.iter().filter(|&&q| !i_tilde.contains(q.0)).count() as u32;
+        neg_remaining.push(unconfirmed);
+        if !suppressed
+            && unconfirmed == 0
+            && r.pos.is_empty()
+            && derived.insert(r.head.0)
+        {
+            queue.push(r.head.0);
+        }
+    }
+    while let Some(atom) = queue.pop() {
+        for &rid in prog.rules_with_pos(afp_datalog::AtomId(atom)) {
+            let c = &mut pos_remaining[rid as usize];
+            *c -= 1;
+            if *c == 0 && neg_remaining[rid as usize] == 0 {
+                let head = prog.rule(rid).head;
+                if !assumed_false.contains(head.0) && derived.insert(head.0) {
+                    queue.push(head.0);
+                }
+            }
+        }
+    }
+    derived
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_core::afp::alternating_fixpoint;
+    use afp_datalog::program::parse_ground;
+
+    fn sets_sorted(prog: &GroundProgram, models: &[AtomSet]) -> Vec<Vec<String>> {
+        let mut v: Vec<Vec<String>> = models.iter().map(|m| prog.set_to_names(m)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn two_cycle_has_two_stable_models() {
+        let g = parse_ground("p :- not q. q :- not p.");
+        let models = stable_models(&g);
+        assert_eq!(
+            sets_sorted(&g, &models),
+            vec![vec!["p".to_string()], vec!["q".to_string()]]
+        );
+    }
+
+    #[test]
+    fn odd_cycle_has_no_stable_model() {
+        let g = parse_ground("p :- not q. q :- not r. r :- not p.");
+        assert!(stable_models(&g).is_empty());
+        assert!(brute_force_stable(&g).is_empty());
+    }
+
+    #[test]
+    fn horn_program_unique_stable_model() {
+        let g = parse_ground("a. b :- a. c :- d.");
+        let models = stable_models(&g);
+        assert_eq!(models.len(), 1);
+        assert_eq!(g.set_to_names(&models[0]), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reduct_agrees_with_s_p_shortcut() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p, not s. s :- q.");
+        for mask in 0u64..16 {
+            let m = AtomSet::from_iter(4, (0..4u32).filter(|&i| mask & (1 << i) != 0));
+            assert_eq!(
+                reduct_least_model(&g, &m),
+                ops::s_p(&g, &m.complement()),
+                "mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force() {
+        for src in [
+            "p :- not q. q :- not p.",
+            "p :- not q. q :- not r. r :- not p.",
+            "a. b :- a, not c. c :- not b.",
+            "x :- not y. y :- not x. z :- x. z :- y. w :- not z.",
+            "v :- not v.",
+            "v :- not v. p :- not q. q :- not p.",
+            "a :- not b. b :- not a. c :- a, not d. d :- b, not c.",
+        ] {
+            let g = parse_ground(src);
+            let mut fast = stable_models(&g);
+            let mut slow = brute_force_stable(&g);
+            fast.sort_by_key(|m| m.iter().collect::<Vec<_>>());
+            slow.sort_by_key(|m| m.iter().collect::<Vec<_>>());
+            assert_eq!(fast, slow, "on {src}");
+        }
+    }
+
+    #[test]
+    fn every_stable_model_contains_wfs() {
+        for src in [
+            "p :- not q. q :- not p. r :- p. r :- q. base.",
+            "a. b :- a, not c. c :- not b. d :- b.",
+            "x :- not y. y :- not x. z :- x, not w. w :- not z.",
+        ] {
+            let g = parse_ground(src);
+            let wfs = alternating_fixpoint(&g);
+            for m in stable_models(&g) {
+                assert!(wfs.model.pos.is_subset(&m), "WFS⁺ ⊆ M on {src}");
+                assert!(
+                    wfs.model.neg.is_disjoint(&m),
+                    "WFS⁻ ∩ M = ∅ on {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_wfs_is_unique_stable_model() {
+        let g = parse_ground("a. b :- a, not c. d :- not b.");
+        let wfs = alternating_fixpoint(&g);
+        assert!(wfs.is_total);
+        let models = stable_models(&g);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0], wfs.model.pos);
+    }
+
+    #[test]
+    fn unique_stable_model_need_not_be_total_wfs() {
+        // Section 2.4: "a well-founded total model is always the unique
+        // stable model, but not vice versa". Classic witness:
+        //   p :- not p. p :- not q. q :- not p.
+        // WFS leaves everything undefined, yet {p} is the unique stable
+        // model.
+        let g = parse_ground("p :- not p. p :- not q. q :- not p.");
+        let wfs = alternating_fixpoint(&g);
+        assert!(!wfs.is_total);
+        let models = stable_models(&g);
+        assert_eq!(models.len(), 1);
+        assert_eq!(g.set_to_names(&models[0]), vec!["p"]);
+    }
+
+    #[test]
+    fn stable_models_are_fixpoints_of_s_tilde() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p.");
+        for m in stable_models(&g) {
+            let m_tilde = m.complement();
+            assert_eq!(ops::s_tilde(&g, &m_tilde), m_tilde);
+        }
+    }
+
+    #[test]
+    fn model_limit_respected() {
+        let g = parse_ground("p :- not q. q :- not p. r :- not s. s :- not r.");
+        let r = enumerate_stable(
+            &g,
+            &EnumerateOptions {
+                max_models: 2,
+                max_nodes: usize::MAX,
+            },
+        );
+        assert_eq!(r.models.len(), 2);
+    }
+
+    #[test]
+    fn node_budget_truncates() {
+        let g = parse_ground("p :- not q. q :- not p. r :- not s. s :- not r.");
+        let r = enumerate_stable(
+            &g,
+            &EnumerateOptions {
+                max_models: usize::MAX,
+                max_nodes: 1,
+            },
+        );
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn conditioned_wfs_respects_assumptions() {
+        let g = parse_ground("p :- not q. q :- not p. r :- p.");
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        let mut f = g.empty_set();
+        f.insert(q.0);
+        let m = conditioned_wfs(&g, &g.empty_set(), &f);
+        // With q suppressed, p and r become true.
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let r = g.find_atom_by_name("r", &[]).unwrap();
+        assert!(m.pos.contains(p.0));
+        assert!(m.pos.contains(r.0));
+        assert!(m.neg.contains(q.0));
+    }
+}

@@ -1,0 +1,234 @@
+//! Unfounded sets and the greatest unfounded set `U_P(I)` (Section 6,
+//! Definition 6.1).
+//!
+//! `U ⊆ H` is *unfounded with respect to I* when every rule for every atom
+//! of `U` has a **witness of unusability**: either (1) some body literal is
+//! false in `I`, or (2) some positive body atom lies in `U` itself. The
+//! union of unfounded sets is unfounded, so a greatest unfounded set
+//! exists; it supplies the negative conclusions of the well-founded
+//! semantics.
+//!
+//! Computation: `U_P(I) = H − lfp(D)` where
+//! `D(X) = {a | some rule for a has no literal false in I and all its
+//! positive subgoals in X}` — an atom escapes unfoundedness exactly when it
+//! has a rule that is not blocked by `I` and whose positive subgoals all
+//! escape too. `lfp(D)` is a Horn-style closure, computed with the same
+//! counter scheme as `S_P`, so `U_P` costs one linear pass.
+
+use afp_core::interp::PartialModel;
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::GroundProgram;
+
+/// The greatest unfounded set of `prog` with respect to `interp`.
+pub fn greatest_unfounded_set(prog: &GroundProgram, interp: &PartialModel) -> AtomSet {
+    // Counter propagation for lfp(D). A rule is *blocked* when some body
+    // literal is false in I (witness of type 1); blocked rules never fire.
+    let n_rules = prog.rule_count();
+    let mut pos_remaining: Vec<u32> = Vec::with_capacity(n_rules);
+    let mut blocked: Vec<bool> = Vec::with_capacity(n_rules);
+    let mut escaped = prog.empty_set(); // lfp(D)
+    let mut queue: Vec<u32> = Vec::new();
+
+    for r in prog.rules() {
+        let is_blocked = r.pos.iter().any(|&q| interp.neg.contains(q.0))
+            || r.neg.iter().any(|&q| interp.pos.contains(q.0));
+        blocked.push(is_blocked);
+        pos_remaining.push(r.pos.len() as u32);
+        if !is_blocked && r.pos.is_empty() && escaped.insert(r.head.0) {
+            queue.push(r.head.0);
+        }
+    }
+    while let Some(atom) = queue.pop() {
+        for &rid in prog.rules_with_pos(afp_datalog::AtomId(atom)) {
+            if blocked[rid as usize] {
+                continue;
+            }
+            let c = &mut pos_remaining[rid as usize];
+            *c -= 1;
+            if *c == 0 {
+                let head = prog.rule(rid).head;
+                if escaped.insert(head.0) {
+                    queue.push(head.0);
+                }
+            }
+        }
+    }
+    escaped.complement()
+}
+
+/// Checker for Definition 6.1: is `set` an unfounded set of `prog` with
+/// respect to `interp`? (Used as the specification in property tests.)
+pub fn is_unfounded_set(prog: &GroundProgram, interp: &PartialModel, set: &AtomSet) -> bool {
+    for atom in set.iter() {
+        for &rid in prog.rules_with_head(afp_datalog::AtomId(atom)) {
+            let r = prog.rule(rid);
+            let witness_false = r.pos.iter().any(|&q| interp.neg.contains(q.0))
+                || r.neg.iter().any(|&q| interp.pos.contains(q.0));
+            let witness_unfounded = r.pos.iter().any(|&q| set.contains(q.0));
+            if !witness_false && !witness_unfounded {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `U_P` computed by the textbook subset-closure definition — exponential
+/// in spirit but implemented as a downward iteration: start from all atoms
+/// not obviously founded and repeatedly remove atoms with a usable rule.
+/// Quadratic; used only to differential-test [`greatest_unfounded_set`].
+pub fn greatest_unfounded_set_naive(prog: &GroundProgram, interp: &PartialModel) -> AtomSet {
+    let mut candidate = prog.full_set();
+    loop {
+        let mut changed = false;
+        for atom in candidate.clone().iter() {
+            let mut all_witnessed = true;
+            for &rid in prog.rules_with_head(afp_datalog::AtomId(atom)) {
+                let r = prog.rule(rid);
+                let w1 = r.pos.iter().any(|&q| interp.neg.contains(q.0))
+                    || r.neg.iter().any(|&q| interp.pos.contains(q.0));
+                let w2 = r.pos.iter().any(|&q| candidate.contains(q.0));
+                if !w1 && !w2 {
+                    all_witnessed = false;
+                    break;
+                }
+            }
+            if !all_witnessed {
+                candidate.remove(atom);
+                changed = true;
+            }
+        }
+        if !changed {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_datalog::program::parse_ground;
+
+    fn example_5_1() -> GroundProgram {
+        parse_ground(
+            "p(a) :- p(c), not p(b).
+             p(b) :- not p(a).
+             p(c).
+             p(d) :- p(e), not p(f).
+             p(d) :- p(f), not p(g).
+             p(d) :- p(h).
+             p(e) :- p(d).
+             p(f) :- p(e).
+             p(f) :- not p(c).
+             p(i) :- p(c), not p(d).",
+        )
+    }
+
+    fn atom(g: &GroundProgram, p: &str, args: &[&str]) -> u32 {
+        g.find_atom_by_name(p, args).unwrap().0
+    }
+
+    #[test]
+    fn example_6_1() {
+        // I = {p(c), ¬p(g), ¬p(h)}: U₁ = {p(d), p(e), p(f)} is unfounded,
+        // U₂ = {p(a), p(b)} is not.
+        let g = example_5_1();
+        let u = g.atom_count();
+        let interp = PartialModel::new(
+            AtomSet::from_iter(u, [atom(&g, "p", &["c"])]),
+            AtomSet::from_iter(u, [atom(&g, "p", &["g"]), atom(&g, "p", &["h"])]),
+        );
+        let u1 = AtomSet::from_iter(
+            u,
+            [
+                atom(&g, "p", &["d"]),
+                atom(&g, "p", &["e"]),
+                atom(&g, "p", &["f"]),
+            ],
+        );
+        assert!(is_unfounded_set(&g, &interp, &u1));
+        let u2 = AtomSet::from_iter(u, [atom(&g, "p", &["a"]), atom(&g, "p", &["b"])]);
+        assert!(!is_unfounded_set(&g, &interp, &u2));
+        // The GUS contains U₁ (and g, h which have no usable rules).
+        let gus = greatest_unfounded_set(&g, &interp);
+        assert!(u1.is_subset(&gus));
+        assert!(gus.contains(atom(&g, "p", &["g"])));
+        assert!(gus.contains(atom(&g, "p", &["h"])));
+        assert!(!gus.contains(atom(&g, "p", &["a"])));
+        assert!(!gus.contains(atom(&g, "p", &["b"])));
+        assert!(!gus.contains(atom(&g, "p", &["c"])));
+    }
+
+    #[test]
+    fn gus_is_itself_unfounded() {
+        let g = example_5_1();
+        let interp = PartialModel::empty(g.atom_count());
+        let gus = greatest_unfounded_set(&g, &interp);
+        assert!(is_unfounded_set(&g, &interp, &gus));
+    }
+
+    #[test]
+    fn gus_matches_naive_reference() {
+        for src in [
+            "p :- not q. q :- not p.",
+            "a. b :- a. c :- c. d :- c, not a.",
+            "x :- y. y :- x. z :- not x.",
+            "v :- not v. w :- v.",
+        ] {
+            let g = parse_ground(src);
+            for seed in 0..8u32 {
+                // A few ad-hoc consistent interpretations.
+                let mut pos = g.empty_set();
+                let mut neg = g.empty_set();
+                for a in 0..g.atom_count() as u32 {
+                    match (seed + a) % 3 {
+                        0 => {
+                            pos.insert(a);
+                        }
+                        1 => {
+                            neg.insert(a);
+                        }
+                        _ => {}
+                    }
+                }
+                let interp = PartialModel::new(pos, neg);
+                assert_eq!(
+                    greatest_unfounded_set(&g, &interp),
+                    greatest_unfounded_set_naive(&g, &interp),
+                    "mismatch on {src} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_loop_is_unfounded() {
+        // x :- y. y :- x.  Mutual positive support only: unfounded.
+        let g = parse_ground("x :- y. y :- x.");
+        let gus = greatest_unfounded_set(&g, &PartialModel::empty(g.atom_count()));
+        assert_eq!(gus.count(), 2);
+    }
+
+    #[test]
+    fn facts_are_never_unfounded() {
+        let g = parse_ground("a. b :- a.");
+        let gus = greatest_unfounded_set(&g, &PartialModel::empty(g.atom_count()));
+        assert!(gus.is_empty());
+    }
+
+    #[test]
+    fn negative_cycles_are_not_unfounded() {
+        // p :- not q. q :- not p.  Neither atom is unfounded wrt ∅:
+        // their rules have no false literal and no positive subgoal.
+        let g = parse_ground("p :- not q. q :- not p.");
+        let gus = greatest_unfounded_set(&g, &PartialModel::empty(g.atom_count()));
+        assert!(gus.is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_unfounded() {
+        let g = parse_ground("p :- not q.");
+        let interp = PartialModel::empty(g.atom_count());
+        assert!(is_unfounded_set(&g, &interp, &g.empty_set()));
+    }
+}

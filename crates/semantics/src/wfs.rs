@@ -1,0 +1,123 @@
+//! The well-founded semantics by its original characterization
+//! (Van Gelder–Ross–Schlipf, reviewed in Section 6): the least fixpoint of
+//!
+//! ```text
+//! W_P(I) = T_P(I) ∪ ¬·U_P(I)
+//! ```
+//!
+//! where `T_P` is the immediate consequence transformation (Definition 3.7)
+//! and `U_P` the greatest unfounded set (Definition 6.1). This is the
+//! *baseline* the alternating fixpoint is proved equivalent to
+//! (Theorem 7.8); the equivalence is enforced by integration and property
+//! tests across the workspace.
+
+use afp_core::interp::PartialModel;
+use afp_core::ops;
+use afp_datalog::program::GroundProgram;
+
+use crate::unfounded::greatest_unfounded_set;
+
+/// Result of the well-founded computation.
+#[derive(Debug, Clone)]
+pub struct WfsResult {
+    /// The well-founded partial model.
+    pub model: PartialModel,
+    /// Number of `W_P` applications until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Compute the well-founded partial model as `lfp(W_P)`.
+pub fn well_founded_model(prog: &GroundProgram) -> WfsResult {
+    let mut interp = PartialModel::empty(prog.atom_count());
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let t = ops::t_p(prog, &interp);
+        let u = greatest_unfounded_set(prog, &interp);
+        let grew_pos = !t.is_subset(&interp.pos);
+        let grew_neg = !u.is_subset(&interp.neg);
+        if !grew_pos && !grew_neg {
+            return WfsResult {
+                model: interp,
+                rounds,
+            };
+        }
+        interp.pos.union_with(&t);
+        interp.neg.union_with(&u);
+        debug_assert!(
+            interp.pos.is_disjoint(&interp.neg),
+            "W_P iterates stay consistent"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_core::afp::alternating_fixpoint;
+    use afp_datalog::program::parse_ground;
+
+    #[test]
+    fn horn_program_totally_defined() {
+        let g = parse_ground("a. b :- a. c :- d.");
+        let r = well_founded_model(&g);
+        assert!(r.model.is_total());
+        assert_eq!(g.set_to_names(&r.model.pos), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn example_5_1_agrees_with_afp() {
+        let g = parse_ground(
+            "p(a) :- p(c), not p(b). p(b) :- not p(a). p(c).
+             p(d) :- p(e), not p(f). p(d) :- p(f), not p(g). p(d) :- p(h).
+             p(e) :- p(d). p(f) :- p(e). p(f) :- not p(c).
+             p(i) :- p(c), not p(d).",
+        );
+        let wfs = well_founded_model(&g);
+        let afp = alternating_fixpoint(&g);
+        assert_eq!(wfs.model, afp.model, "Theorem 7.8");
+    }
+
+    #[test]
+    fn two_cycle_undefined() {
+        let g = parse_ground("p :- not q. q :- not p.");
+        let r = well_founded_model(&g);
+        assert_eq!(r.model.defined_count(), 0);
+    }
+
+    #[test]
+    fn wfs_model_is_partial_model() {
+        for src in [
+            "p :- not q. q :- not p. r :- p.",
+            "a. b :- a, not c. c :- not b.",
+            "v :- not v.",
+            "x :- y. y :- x. z :- not x.",
+        ] {
+            let g = parse_ground(src);
+            let r = well_founded_model(&g);
+            assert!(r.model.is_partial_model(&g), "on {src}");
+        }
+    }
+
+    #[test]
+    fn positive_loop_becomes_false() {
+        let g = parse_ground("x :- y. y :- x. z :- not x.");
+        let r = well_founded_model(&g);
+        assert_eq!(g.set_to_names(&r.model.neg), vec!["x", "y"]);
+        assert_eq!(g.set_to_names(&r.model.pos), vec!["z"]);
+        assert!(r.model.is_total());
+    }
+
+    #[test]
+    fn rounds_are_bounded_by_atoms() {
+        // A chain that forces one new conclusion per round.
+        let mut src = String::from("p0.\n");
+        for i in 1..20 {
+            src.push_str(&format!("p{i} :- p{}.\n", i - 1));
+        }
+        let g = parse_ground(&src);
+        let r = well_founded_model(&g);
+        assert!(r.model.is_total());
+        assert!(r.rounds <= g.atom_count() + 2);
+    }
+}

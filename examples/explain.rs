@@ -1,0 +1,52 @@
+//! Justifications: ask the engine *why* each conclusion of the
+//! well-founded model holds, in the paper's own vocabulary — derivations
+//! for true atoms, witnesses of unusability (Definition 6.1) for false
+//! ones, and the undefined atoms a draw hinges on.
+//!
+//! ```text
+//! cargo run --example explain
+//! ```
+
+use afp::semantics::Explainer;
+use afp::well_founded;
+
+fn main() {
+    // A little security policy: access is granted if some rule allows it
+    // and no unresolved investigation blocks it.
+    let src = "
+        grant(alice)  :- employee(alice), not suspended(alice).
+        grant(bob)    :- employee(bob), not suspended(bob).
+        suspended(bob) :- flagged(bob).
+        flagged(bob).
+        employee(alice). employee(bob).
+
+        % mallory's access depends on a negative cycle: under investigation
+        % if not cleared, cleared if not under investigation.
+        grant(mallory)        :- employee(mallory), not investigation(mallory).
+        investigation(mallory) :- not cleared(mallory).
+        cleared(mallory)       :- not investigation(mallory).
+        employee(mallory).
+
+        % circular vouching gives no grounds at all.
+        vouched(x1) :- vouched(x2).
+        vouched(x2) :- vouched(x1).
+    ";
+    let sol = well_founded(src).expect("valid program");
+    let explainer = Explainer::new(&sol.ground, &sol.result.model);
+
+    for (pred, args) in [
+        ("grant", vec!["alice"]),
+        ("grant", vec!["bob"]),
+        ("grant", vec!["mallory"]),
+        ("vouched", vec!["x1"]),
+    ] {
+        let refs: Vec<&str> = args.clone();
+        match sol.ground.find_atom_by_name(pred, &refs) {
+            Some(atom) => println!("{}", explainer.render(atom, 4)),
+            None => println!(
+                "{pred}({}) is FALSE: the grounder found no possible derivation\n",
+                args.join(", ")
+            ),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! General logic programs from text (Section 8): first-order rule bodies
+//! with quantifiers, parsed, reduced to normal programs by Lloyd–Topor,
+//! and solved by the alternating fixpoint.
+//!
+//! ```text
+//! cargo run --example general_programs
+//! ```
+
+use afp::fol::{afp_general, lloyd_topor, parse_general};
+
+fn main() {
+    // Three classic graph concepts as FO formulas over an edge relation.
+    let src = "
+        % a sink has no outgoing edges
+        sink(X) <- node(X) & forall Y (not e(X, Y)).
+
+        % a dominated node: some other node reaches everything it reaches
+        % (here simplified: Y covers X if every successor of X is a
+        % successor of Y)
+        covered(X) <- node(X) & exists Y (node(Y) & not X = Y &
+                      forall Z (not e(X, Z) | e(Y, Z))).
+
+        % well-founded nodes (Example 8.2)
+        wf(X) <- node(X) & not exists Y (e(Y, X) & not wf(Y)).
+
+        node(a). node(b). node(c). node(d).
+        e(a, b). e(b, a). e(a, c). e(d, c).
+    ";
+    let y = parse_general(src).expect("parses");
+
+    // Solve directly with the general alternating fixpoint.
+    let result = afp_general(&y).expect("evaluates");
+    let names = result.ctx.set_to_names(&y, &result.model.pos);
+    println!("general AFP, true atoms:");
+    for n in names.iter().filter(|n| !n.starts_with("node") && !n.starts_with("e(")) {
+        println!("  {n}");
+    }
+
+    // And via the Lloyd–Topor reduction.
+    let t = lloyd_topor(&y);
+    println!("\nafter elementary simplification ({} aux relations):", t.aux.len());
+    for r in t.program.rules.iter().filter(|r| !r.is_fact()) {
+        println!(
+            "  {}",
+            afp::datalog::ast::display_rule(r, &t.program.symbols)
+        );
+    }
+    for aux in &t.aux {
+        println!(
+            "  % {} is globally {}",
+            t.program.symbols.name(aux.pred),
+            if aux.globally_positive { "positive" } else { "negative" }
+        );
+    }
+
+    let ground = afp::datalog::ground_with(
+        &t.program,
+        &afp::GroundOptions {
+            safety: afp::SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        },
+    )
+    .expect("grounds");
+    let afp_result = afp::core::alternating_fixpoint(&ground);
+    let norm: Vec<String> = ground
+        .set_to_names(&afp_result.model.pos)
+        .into_iter()
+        .filter(|n| n.starts_with("sink(") || n.starts_with("covered(") || n.starts_with("wf("))
+        .collect();
+    println!("\nnormal-program AFP, original relations: {norm:?}");
+
+    // Sanity: the two routes agree on the original relations
+    // (Theorem 8.7 — all three predicates are globally positive).
+    let general: Vec<String> = names
+        .into_iter()
+        .filter(|n| n.starts_with("sink(") || n.starts_with("covered(") || n.starts_with("wf("))
+        .collect();
+    assert_eq!(general, norm);
+    println!("\nTheorem 8.7 agreement on sink/covered/wf: ✓");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: parse a program, compute its well-founded partial model via
+//! the alternating fixpoint, and query it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use afp::{well_founded, Truth};
+
+fn main() {
+    // Example 5.1 from the paper: p{d,e,f,g,h} come out false,
+    // p{a,b} stay undefined, p{c,i} are true.
+    let program = "
+        p(a) :- p(c), not p(b).
+        p(b) :- not p(a).
+        p(c).
+        p(d) :- p(e), not p(f).
+        p(d) :- p(f), not p(g).
+        p(d) :- p(h).
+        p(e) :- p(d).
+        p(f) :- p(e).
+        p(f) :- not p(c).
+        p(i) :- p(c), not p(d).
+    ";
+
+    let solution = well_founded(program).expect("parses and grounds");
+
+    println!("well-founded partial model of Example 5.1");
+    println!("  true      : {:?}", solution.true_atoms());
+    println!("  false     : {:?}", solution.false_atoms());
+    println!("  undefined : {:?}", solution.undefined_atoms());
+    println!("  total?    : {}", solution.is_total());
+
+    // Point queries.
+    for arg in ["a", "c", "d"] {
+        let t = solution.truth("p", &[arg]);
+        println!("  p({arg}) is {t:?}");
+    }
+    assert_eq!(solution.truth("p", &["c"]), Truth::True);
+    assert_eq!(solution.truth("p", &["d"]), Truth::False);
+    assert_eq!(solution.truth("p", &["a"]), Truth::Undefined);
+
+    // The alternating sequence itself (Table I) is available on demand.
+    let sol = afp::well_founded_with(
+        program,
+        &afp::GroundOptions::default(),
+        &afp::AfpOptions {
+            record_trace: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let trace = sol.result.trace.as_ref().unwrap();
+    println!("\nalternating sequence (|Ĩ_k|, |S_P(Ĩ_k)|):");
+    for step in &trace.steps {
+        println!(
+            "  k={}  negatives={}  positives={}",
+            step.k,
+            step.i_tilde.count(),
+            step.s_p.count()
+        );
+    }
+}

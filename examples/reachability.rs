@@ -1,0 +1,57 @@
+//! Example 2.2: transitive closure and its complement under three
+//! semantics. The well-founded (and stratified) semantics give `ntc` as
+//! the natural complement; the inflationary semantics floods it.
+//!
+//! ```text
+//! cargo run --example reachability
+//! ```
+
+use afp::semantics::{inflationary_fixpoint, perfect_model};
+use afp::{well_founded, Truth};
+
+fn main() {
+    // The cyclic graph of the Minker objection (Section 2.1): a 2-cycle
+    // n0 ⇄ n1 plus an isolated n2. No path from n0 to n2, but the proof
+    // search loops forever — program-completion semantics cannot conclude
+    // ¬tc(n0, n2); the well-founded semantics can.
+    let src = "
+        tc(X, Y) :- e(X, Y).
+        tc(X, Y) :- e(X, Z), tc(Z, Y).
+        ntc(X, Y) :- node(X), node(Y), not tc(X, Y).
+        node(n0). node(n1). node(n2).
+        e(n0, n1). e(n1, n0).
+    ";
+    let sol = well_founded(src).expect("stratified program");
+    println!("well-founded semantics (via the alternating fixpoint):");
+    println!("  tc  true: {:?}", filter(&sol.true_atoms(), "tc("));
+    println!("  ntc true: {:?}", filter(&sol.true_atoms(), "ntc("));
+    assert_eq!(sol.truth("ntc", &["n0", "n2"]), Truth::True);
+    assert_eq!(sol.truth("tc", &["n0", "n1"]), Truth::True);
+    assert!(sol.is_total(), "stratified ⇒ total well-founded model");
+
+    // The perfect (stratified) model agrees exactly.
+    let perfect = perfect_model(&sol.ground).expect("locally stratified");
+    assert_eq!(perfect.model, sol.result.model);
+    println!("\nperfect model (iterated fixpoint) agrees: true");
+
+    // The inflationary semantics concludes ntc for every pair: ¬tc(X,Y)
+    // holds vacuously in round one and conclusions are never retracted.
+    let ifp = inflationary_fixpoint(&sol.ground);
+    let ifp_names = sol.ground.set_to_names(&ifp.model);
+    println!("\ninflationary semantics:");
+    println!("  ntc true: {:?}", filter(&ifp_names, "ntc("));
+    let ntc_count = ifp_names.iter().filter(|n| n.starts_with("ntc(")).count();
+    assert_eq!(ntc_count, 9, "IFP floods ntc with all 9 pairs");
+    println!(
+        "  → all {ntc_count} pairs, including ntc(n0, n1) even though tc(n0, n1) holds. \
+         This is the failure Example 2.2 describes."
+    );
+}
+
+fn filter(names: &[String], prefix: &str) -> Vec<String> {
+    names
+        .iter()
+        .filter(|n| n.starts_with(prefix))
+        .cloned()
+        .collect()
+}

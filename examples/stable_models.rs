@@ -1,0 +1,74 @@
+//! Stable models next to the well-founded model (Sections 2.4, 4, 5):
+//! enumeration, the `S̃_P`-fixpoint characterization, and the
+//! WFS ⊆ every-stable-model theorem.
+//!
+//! ```text
+//! cargo run --example stable_models
+//! ```
+
+use afp::core::ops;
+use afp::datalog::parse_program;
+use afp::semantics::{enumerate_stable, is_stable, EnumerateOptions};
+
+fn main() {
+    // A choice between p and q, with consequences.
+    let src = "
+        p :- not q.
+        q :- not p.
+        r :- p.
+        r :- q.
+        s :- not r.
+        base.
+    ";
+    let program = parse_program(src).unwrap();
+    let ground = afp::datalog::ground(&program).unwrap();
+
+    let wfs = afp::core::alternating_fixpoint(&ground);
+    println!("well-founded model:");
+    println!("  true      : {:?}", ground.set_to_names(&wfs.model.pos));
+    println!("  false     : {:?}", ground.set_to_names(&wfs.model.neg));
+    println!(
+        "  undefined : {:?}",
+        ground.set_to_names(&wfs.undefined())
+    );
+
+    let result = enumerate_stable(&ground, &EnumerateOptions::default());
+    println!("\nstable models ({}):", result.models.len());
+    for m in &result.models {
+        println!("  {:?}", ground.set_to_names(m));
+        // Section 5: every stable model is a fixpoint of S̃_P …
+        let m_tilde = m.complement();
+        assert_eq!(ops::s_tilde(&ground, &m_tilde), m_tilde);
+        // … and contains the well-founded partial model.
+        assert!(wfs.model.pos.is_subset(m));
+        assert!(wfs.model.neg.is_disjoint(m));
+        assert!(is_stable(&ground, m));
+    }
+    println!("\nevery stable model: is an S̃_P fixpoint ✓, contains the WFS ✓");
+
+    // An odd negative cycle has NO stable model, while the WFS still
+    // assigns what it can.
+    let odd = afp::datalog::parse_ground("a :- not b. b :- not c. c :- not a. d.");
+    let stable = enumerate_stable(&odd, &EnumerateOptions::default());
+    let wfs_odd = afp::core::alternating_fixpoint(&odd);
+    println!(
+        "\nodd cycle program: {} stable models; WFS still concludes {:?}",
+        stable.models.len(),
+        odd.set_to_names(&wfs_odd.model.pos)
+    );
+    assert!(stable.models.is_empty());
+
+    // SAT as stable models (the NP-completeness construction of §2.4):
+    // models of (x1 ∨ ¬x2) ∧ (x2 ∨ x3).
+    let sat = afp_bench::gen::sat_to_stable(3, &[[1, -2, -2], [2, 3, 3]]);
+    let models = afp::semantics::stable_models(&sat);
+    println!("\nSAT reduction: {} satisfying assignments found as stable models:", models.len());
+    for m in &models {
+        let names: Vec<String> = sat
+            .set_to_names(m)
+            .into_iter()
+            .filter(|n| n.starts_with('v') || n.starts_with("nv"))
+            .collect();
+        println!("  {names:?}");
+    }
+}

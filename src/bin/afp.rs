@@ -1,0 +1,258 @@
+//! `afp` — command-line front end.
+//!
+//! ```text
+//! afp [OPTIONS] [FILE]          read a program from FILE (default: stdin)
+//!
+//! OPTIONS:
+//!   -s, --semantics <S>   wfs (default) | stable | fitting | perfect | ifp
+//!   -q, --query <ATOM>    print the truth value of one atom (e.g. 'wins(a)')
+//!   -t, --trace           print the alternating sequence (wfs only)
+//!   -a, --active-domain   range-restrict unsafe rules to the active domain
+//!   -n, --max-models <N>  cap stable-model enumeration
+//!       --ground          print the ground program and exit
+//!   -h, --help            this text
+//! ```
+//!
+//! Exit codes: 0 ok; 1 no stable model (with `-s stable`) or query false;
+//! 2 usage / parse / grounding error.
+
+use afp::datalog::{parse_program, parser::parse_atom_into, GroundOptions, SafetyPolicy};
+use afp::{AfpOptions, Truth};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    semantics: String,
+    query: Option<String>,
+    trace: bool,
+    active_domain: bool,
+    max_models: usize,
+    ground_only: bool,
+    file: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "afp — well-founded and stable model solver\n\
+         usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] [-n N] [--ground] [FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        semantics: "wfs".into(),
+        query: None,
+        trace: false,
+        active_domain: false,
+        max_models: usize::MAX,
+        ground_only: false,
+        file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-s" | "--semantics" => {
+                options.semantics = args.next().unwrap_or_else(|| usage());
+            }
+            "-q" | "--query" => {
+                options.query = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "-t" | "--trace" => options.trace = true,
+            "-a" | "--active-domain" => options.active_domain = true,
+            "-n" | "--max-models" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.max_models = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--ground" => options.ground_only = true,
+            "-h" | "--help" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => {
+                if options.file.is_some() {
+                    usage();
+                }
+                options.file = Some(arg);
+            }
+        }
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let src = match &options.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("afp: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("afp: cannot read stdin");
+                return ExitCode::from(2);
+            }
+            s
+        }
+    };
+
+    let mut program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("afp: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ground_options = GroundOptions {
+        safety: if options.active_domain {
+            SafetyPolicy::ActiveDomain
+        } else {
+            SafetyPolicy::Reject
+        },
+        ..Default::default()
+    };
+    // Resolve the query against the program's symbols before grounding so
+    // names line up.
+    let query_atom = match &options.query {
+        None => None,
+        Some(text) => match parse_atom_into(text, &mut program) {
+            Ok(a) if a.is_ground() => Some(a),
+            Ok(_) => {
+                eprintln!("afp: query must be a ground atom");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("afp: bad query: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let ground = match afp::datalog::ground_with(&program, &ground_options) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("afp: grounding error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.ground_only {
+        print!("{ground}");
+        return ExitCode::SUCCESS;
+    }
+
+    let lookup = |model: &afp::PartialModel, atom: &afp::datalog::Atom| -> Truth {
+        let args: Vec<String> = atom
+            .args
+            .iter()
+            .map(|t| afp::datalog::ast::display_term(t, &program.symbols))
+            .collect();
+        let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let name = program.symbols.name(atom.pred);
+        match ground.find_atom_by_name(name, &arg_refs) {
+            Some(id) => model.truth(id.0),
+            None => Truth::False,
+        }
+    };
+
+    match options.semantics.as_str() {
+        "wfs" => {
+            let r = afp::core::alternating_fixpoint_with(
+                &ground,
+                &AfpOptions {
+                    record_trace: options.trace,
+                    ..Default::default()
+                },
+            );
+            if options.trace {
+                if let Some(trace) = &r.trace {
+                    println!("% alternating sequence");
+                    for s in &trace.steps {
+                        println!(
+                            "% k={} |negatives|={} |positives|={}",
+                            s.k,
+                            s.i_tilde.count(),
+                            s.s_p.count()
+                        );
+                    }
+                }
+            }
+            if let Some(q) = &query_atom {
+                let t = lookup(&r.model, q);
+                println!("{t:?}");
+                return if t == Truth::True {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                };
+            }
+            print_partial(&ground, &r.model);
+            println!("% total: {}", r.is_total);
+            ExitCode::SUCCESS
+        }
+        "fitting" => {
+            let r = afp::semantics::fitting_model(&ground);
+            if let Some(q) = &query_atom {
+                println!("{:?}", lookup(&r.model, q));
+                return ExitCode::SUCCESS;
+            }
+            print_partial(&ground, &r.model);
+            ExitCode::SUCCESS
+        }
+        "perfect" => match afp::semantics::perfect_model(&ground) {
+            Some(r) => {
+                if let Some(q) = &query_atom {
+                    println!("{:?}", lookup(&r.model, q));
+                    return ExitCode::SUCCESS;
+                }
+                print_partial(&ground, &r.model);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("afp: program is not locally stratified");
+                ExitCode::from(2)
+            }
+        },
+        "ifp" => {
+            let r = afp::semantics::inflationary_fixpoint(&ground);
+            for name in ground.set_to_names(&r.model) {
+                println!("{name}.");
+            }
+            ExitCode::SUCCESS
+        }
+        "stable" => {
+            let r = afp::semantics::enumerate_stable(
+                &ground,
+                &afp::semantics::EnumerateOptions {
+                    max_models: options.max_models,
+                    max_nodes: usize::MAX,
+                },
+            );
+            for (i, m) in r.models.iter().enumerate() {
+                println!("% stable model {}", i + 1);
+                for name in ground.set_to_names(m) {
+                    println!("{name}.");
+                }
+            }
+            if r.models.is_empty() {
+                println!("% no stable model");
+                return ExitCode::from(1);
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("afp: unknown semantics {other:?}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_partial(ground: &afp::GroundProgram, model: &afp::PartialModel) {
+    for name in ground.set_to_names(&model.pos) {
+        println!("{name}.");
+    }
+    for name in ground.set_to_names(&model.undefined()) {
+        println!("{name}?  % undefined");
+    }
+}

@@ -1,0 +1,209 @@
+//! # afp — The Alternating Fixpoint of Logic Programs with Negation
+//!
+//! A from-scratch Rust reproduction of *Allen Van Gelder, "The Alternating
+//! Fixpoint of Logic Programs with Negation"* (PODS 1989; JCSS 47(1),
+//! 1993): the constructive characterization of the **well-founded
+//! semantics** as the least fixpoint of the monotone alternating
+//! transformation `A_P = S̃_P ∘ S̃_P`, together with the stable-model,
+//! Fitting, stratified and inflationary semantics it is related to, and
+//! the first-order extension of Section 8.
+//!
+//! ## Crates
+//!
+//! * [`datalog`] (`afp-datalog`) — parser, Herbrand machinery, grounder,
+//!   relational engine;
+//! * [`core`] (`afp-core`) — the operators `S_P`, `S̃_P`, `A_P` and the
+//!   alternating fixpoint computation;
+//! * [`semantics`] (`afp-semantics`) — unfounded sets, stable models,
+//!   Fitting, perfect models, inflationary fixpoints;
+//! * [`fol`] (`afp-fol`) — first-order rule bodies, Lloyd–Topor, fixpoint
+//!   logic.
+//!
+//! ## One-call API
+//!
+//! ```
+//! use afp::{well_founded, Truth};
+//!
+//! // Figure 4(c): a ⇄ b cycle, but b can escape to the sink c.
+//! let sol = afp::well_founded(
+//!     "wins(X) :- move(X, Y), not wins(Y).
+//!      move(a, b). move(b, a). move(b, c).",
+//! ).unwrap();
+//! assert_eq!(sol.truth("wins", &["b"]), Truth::True);  // b moves to the sink
+//! assert_eq!(sol.truth("wins", &["a"]), Truth::False); // a can only feed b
+//! assert!(sol.is_total()); // ⇒ also the unique stable model
+//!
+//! // A pure 2-cycle is drawn: the well-founded model is partial.
+//! let draw = afp::well_founded(
+//!     "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a).",
+//! ).unwrap();
+//! assert_eq!(draw.truth("wins", &["a"]), Truth::Undefined);
+//! assert!(!draw.is_total());
+//! ```
+
+pub use afp_core as core;
+pub use afp_datalog as datalog;
+pub use afp_fol as fol;
+pub use afp_semantics as semantics;
+
+pub use afp_core::interp::Truth;
+pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
+pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
+
+use std::fmt;
+
+/// Anything that can go wrong on the parse → ground → solve pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The source text did not parse.
+    Parse(afp_datalog::ParseError),
+    /// The program could not be grounded.
+    Ground(afp_datalog::GroundError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Ground(e) => write!(f, "grounding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<afp_datalog::ParseError> for Error {
+    fn from(e: afp_datalog::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<afp_datalog::GroundError> for Error {
+    fn from(e: afp_datalog::GroundError) -> Self {
+        Error::Ground(e)
+    }
+}
+
+/// The well-founded solution of a program: the ground instantiation plus
+/// the alternating fixpoint partial model over it.
+#[derive(Debug)]
+pub struct Solution {
+    /// The relevant ground instantiation.
+    pub ground: GroundProgram,
+    /// The alternating-fixpoint result (= the well-founded partial model,
+    /// Theorem 7.8).
+    pub result: AfpResult,
+}
+
+impl Solution {
+    /// Three-valued truth of `pred(args…)`. Atoms that were never
+    /// materialized during grounding are false (they have no derivation).
+    pub fn truth(&self, pred: &str, args: &[&str]) -> Truth {
+        match self.ground.find_atom_by_name(pred, args) {
+            Some(id) => self.result.model.truth(id.0),
+            None => Truth::False,
+        }
+    }
+
+    /// All true atoms, rendered and sorted.
+    pub fn true_atoms(&self) -> Vec<String> {
+        self.ground.set_to_names(&self.result.model.pos)
+    }
+
+    /// All false atoms (within the materialized base), rendered and sorted.
+    pub fn false_atoms(&self) -> Vec<String> {
+        self.ground.set_to_names(&self.result.model.neg)
+    }
+
+    /// All undefined atoms, rendered and sorted.
+    pub fn undefined_atoms(&self) -> Vec<String> {
+        self.ground.set_to_names(&self.result.undefined())
+    }
+
+    /// Is the well-founded model total? (If so it is also the unique
+    /// stable model — Section 5.)
+    pub fn is_total(&self) -> bool {
+        self.result.is_total
+    }
+}
+
+/// Parse, ground, and compute the well-founded partial model via the
+/// alternating fixpoint. Safe rules only; see [`well_founded_with`] for
+/// the active-domain policy.
+pub fn well_founded(src: &str) -> Result<Solution, Error> {
+    well_founded_with(src, &GroundOptions::default(), &AfpOptions::default())
+}
+
+/// [`well_founded`] with explicit grounding and fixpoint options.
+pub fn well_founded_with(
+    src: &str,
+    ground_options: &GroundOptions,
+    afp_options: &AfpOptions,
+) -> Result<Solution, Error> {
+    let program = afp_datalog::parse_program(src)?;
+    let ground = afp_datalog::ground_with(&program, ground_options)?;
+    let result = afp_core::alternating_fixpoint_with(&ground, afp_options);
+    Ok(Solution { ground, result })
+}
+
+/// Parse, ground, and enumerate stable models (sets of true atoms,
+/// rendered). Exponential in the worst case.
+pub fn stable_models(src: &str) -> Result<Vec<Vec<String>>, Error> {
+    let program = afp_datalog::parse_program(src)?;
+    let ground = afp_datalog::ground(&program)?;
+    let models = afp_semantics::stable_models(&ground);
+    Ok(models.iter().map(|m| ground.set_to_names(m)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let sol = well_founded("p :- not q. q :- not p. r.").unwrap();
+        assert_eq!(sol.truth("r", &[]), Truth::True);
+        assert_eq!(sol.truth("p", &[]), Truth::Undefined);
+        assert_eq!(sol.truth("missing", &[]), Truth::False);
+        assert!(!sol.is_total());
+        assert_eq!(sol.true_atoms(), vec!["r"]);
+        assert_eq!(sol.undefined_atoms(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(well_founded("p :- "), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn ground_errors_surface() {
+        assert!(matches!(
+            well_founded("p(X) :- not q(X). q(a)."),
+            Err(Error::Ground(_))
+        ));
+        // …and the active-domain policy fixes it.
+        let sol = well_founded_with(
+            "p(X) :- not q(X). q(a). r(b).",
+            &GroundOptions {
+                safety: SafetyPolicy::ActiveDomain,
+                ..Default::default()
+            },
+            &AfpOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.truth("p", &["b"]), Truth::True);
+        assert_eq!(sol.truth("p", &["a"]), Truth::False);
+    }
+
+    #[test]
+    fn stable_models_facade() {
+        let models = stable_models("p :- not q. q :- not p.").unwrap();
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = well_founded("p :- ").unwrap_err();
+        assert!(e.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `afp` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_afp(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_afp"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn wfs_is_the_default() {
+    let (stdout, _, code) = run_afp(&[], "a. b :- a. c :- not b.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("a."));
+    assert!(stdout.contains("b."));
+    assert!(!stdout.contains("c."));
+    assert!(stdout.contains("% total: true"));
+}
+
+#[test]
+fn undefined_atoms_marked() {
+    let (stdout, _, code) = run_afp(&[], "p :- not q. q :- not p.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("p?"));
+    assert!(stdout.contains("q?"));
+    assert!(stdout.contains("% total: false"));
+}
+
+#[test]
+fn query_exit_codes() {
+    let (stdout, _, code) = run_afp(&["-q", "b"], "a. b :- a.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("True"));
+    let (stdout, _, code) = run_afp(&["-q", "zzz"], "a.");
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("False"));
+}
+
+#[test]
+fn stable_enumeration_and_counts() {
+    let (stdout, _, code) = run_afp(&["-s", "stable"], "p :- not q. q :- not p.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("% stable model 1"));
+    assert!(stdout.contains("% stable model 2"));
+    let (stdout, _, code) = run_afp(
+        &["-s", "stable"],
+        "p :- not q. q :- not r. r :- not p.",
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("% no stable model"));
+}
+
+#[test]
+fn max_models_flag() {
+    let (stdout, _, _) = run_afp(
+        &["-s", "stable", "-n", "1"],
+        "p :- not q. q :- not p.",
+    );
+    assert!(stdout.contains("% stable model 1"));
+    assert!(!stdout.contains("% stable model 2"));
+}
+
+#[test]
+fn ground_dump() {
+    let (stdout, _, code) = run_afp(
+        &["--ground"],
+        "wins(X) :- move(X, Y), not wins(Y). move(a, b).",
+    );
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("move(a, b)."));
+    assert!(stdout.contains("wins(a)"));
+}
+
+#[test]
+fn parse_errors_go_to_stderr_with_code_2() {
+    let (_, stderr, code) = run_afp(&[], "p :- ");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("parse error"));
+}
+
+#[test]
+fn unsafe_rules_suggest_active_domain() {
+    let (_, stderr, code) = run_afp(&[], "p(X) :- not q(X). q(a).");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unsafe rule"));
+    // With -a the same program works.
+    let (stdout, _, code) = run_afp(&["-a"], "p(X) :- not q(X). q(a). r(b).");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("p(b)."));
+}
+
+#[test]
+fn fitting_and_perfect_semantics() {
+    // (The positive-loop Fitting gap is not visible through the CLI: the
+    // grounder's envelope already prunes derivation-free loops. A negative
+    // cycle survives grounding and stays undefined under Fitting.)
+    let (stdout, _, _) = run_afp(&["-s", "fitting"], "x :- not y. y :- not x. z.");
+    assert!(stdout.contains("x?"));
+    assert!(stdout.contains("z."));
+    let (stdout, _, code) = run_afp(&["-s", "perfect"], "a. b :- not a.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("a."));
+    assert!(!stdout.contains("b."));
+    // Perfect on a non-locally-stratified program fails cleanly.
+    let (_, stderr, code) = run_afp(&["-s", "perfect"], "p :- not q. q :- not p.");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("not locally stratified"));
+}
+
+#[test]
+fn ifp_semantics_runs() {
+    let (stdout, _, code) = run_afp(&["-s", "ifp"], "e(a,b). p :- e(a,b). np :- not p.");
+    assert_eq!(code, Some(0));
+    // IFP concludes both p and np (the Example 2.2 effect).
+    assert!(stdout.contains("p."));
+    assert!(stdout.contains("np."));
+}
+
+#[test]
+fn unknown_semantics_rejected() {
+    let (_, stderr, code) = run_afp(&["-s", "nonsense"], "a.");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown semantics"));
+}
+
+#[test]
+fn trace_flag_prints_sequence() {
+    let (stdout, _, _) = run_afp(&["-t"], "p :- not q. q :- not p.");
+    assert!(stdout.contains("% alternating sequence"));
+    assert!(stdout.contains("k=0"));
+}

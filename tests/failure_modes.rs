@@ -1,0 +1,138 @@
+//! Failure injection: every malformed input and resource exhaustion path
+//! surfaces as a typed error, never a panic or a wrong answer.
+
+use afp::datalog::{GroundError, GroundOptions, ParseError, SafetyPolicy};
+use afp::{well_founded, well_founded_with, Error};
+
+#[test]
+fn parse_failures_are_typed() {
+    for (src, expect) in [
+        ("p :- ", "UnexpectedEof"),
+        ("p :- q", "UnexpectedEof"),
+        ("not p :- q.", "InvalidHead"),
+        ("X :- p.", "InvalidHead"),
+        ("p('unterminated.", "UnterminatedQuote"),
+        ("p :- ,.", "UnexpectedToken"),
+        ("p ? q.", "UnexpectedChar"),
+        ("/* no close", "UnexpectedEof"),
+    ] {
+        match well_founded(src) {
+            Err(Error::Parse(e)) => {
+                let tag = format!("{e:?}");
+                assert!(
+                    tag.contains(expect),
+                    "{src:?}: expected {expect}, got {tag}"
+                );
+            }
+            other => panic!("{src:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unsafe_rules_name_the_variable() {
+    match well_founded("p(X, Y) :- q(X). q(a).") {
+        Err(Error::Ground(GroundError::UnsafeRule { variable, .. })) => {
+            assert_eq!(variable, "Y");
+        }
+        other => panic!("expected UnsafeRule, got {other:?}"),
+    }
+}
+
+#[test]
+fn atom_budget_stops_function_symbol_divergence() {
+    let result = well_founded_with(
+        "n(z). n(s(X)) :- n(X).",
+        &GroundOptions {
+            max_envelope_tuples: 500,
+            ..Default::default()
+        },
+        &Default::default(),
+    );
+    assert!(matches!(
+        result,
+        Err(Error::Ground(GroundError::AtomBudgetExceeded { limit: 500 }))
+    ));
+}
+
+#[test]
+fn empty_domain_for_active_domain_policy() {
+    let result = well_founded_with(
+        "p(X) :- not q(X).",
+        &GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        },
+        &Default::default(),
+    );
+    assert!(matches!(
+        result,
+        Err(Error::Ground(GroundError::EmptyDomain))
+    ));
+}
+
+#[test]
+fn rule_budget_enforced() {
+    // A cross-product rule: 20 × 20 instantiations > budget 100.
+    let mut src = String::from("pair(X, Y) :- d(X), d(Y).\n");
+    for i in 0..20 {
+        src.push_str(&format!("d(c{i}).\n"));
+    }
+    let result = well_founded_with(
+        &src,
+        &GroundOptions {
+            max_ground_rules: 100,
+            ..Default::default()
+        },
+        &Default::default(),
+    );
+    assert!(matches!(
+        result,
+        Err(Error::Ground(GroundError::RuleBudgetExceeded { limit: 100 }))
+    ));
+}
+
+#[test]
+fn empty_program_is_fine() {
+    let sol = well_founded("").unwrap();
+    assert!(sol.is_total());
+    assert!(sol.true_atoms().is_empty());
+}
+
+#[test]
+fn comments_only_program_is_fine() {
+    let sol = well_founded("% nothing here\n// or here\n/* or here */").unwrap();
+    assert!(sol.is_total());
+}
+
+#[test]
+fn queries_for_unknown_atoms_are_false_not_errors() {
+    let sol = well_founded("p(a).").unwrap();
+    assert_eq!(sol.truth("p", &["b"]), afp::Truth::False);
+    assert_eq!(sol.truth("zzz", &[]), afp::Truth::False);
+    assert_eq!(sol.truth("p", &["a", "b"]), afp::Truth::False); // wrong arity
+}
+
+#[test]
+fn parse_error_locations_are_accurate() {
+    let err = afp::datalog::parse_program("p.\nq :- r s.\n").unwrap_err();
+    match err {
+        ParseError::UnexpectedToken { at, .. } => {
+            assert_eq!(at.line, 2);
+            assert!(at.column >= 8);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn deep_function_nesting_is_bounded_not_crashing() {
+    // f(f(f(...))) to depth 40 in a *fact* is fine — no divergence.
+    let mut term = String::from("a");
+    for _ in 0..40 {
+        term = format!("f({term})");
+    }
+    let sol = well_founded(&format!("deep({term}).")).unwrap();
+    assert!(sol.is_total());
+    assert_eq!(sol.true_atoms().len(), 1);
+}

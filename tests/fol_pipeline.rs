@@ -1,0 +1,191 @@
+//! Section 8 end-to-end: random fixpoint-logic (FP) systems evaluated
+//! three ways —
+//!
+//! 1. directly as an FP least model ([`afp_fol::fp_model`]);
+//! 2. by the general alternating fixpoint (Theorem 8.1 says the positive
+//!    part agrees);
+//! 3. reduced to a **normal** program by Lloyd–Topor elementary
+//!    simplification, grounded, and solved with the ordinary alternating
+//!    fixpoint (Theorem 8.7 says the positive part on the original
+//!    relations agrees).
+
+use afp::core::alternating_fixpoint;
+use afp_datalog::ast::{Atom, Term};
+use afp_fol::{afp_general, fp_model, lloyd_topor, Formula, GeneralProgram, GeneralRule};
+use proptest::prelude::*;
+
+const CONSTS: [&str; 3] = ["a", "b", "c"];
+
+/// A compact, always-valid-FP formula description. Terms pick from the
+/// variable stack (head variable X plus quantified variables) or the
+/// constants; IDB atoms (`p/1`) are only generated in positive positions.
+#[derive(Debug, Clone)]
+enum FDesc {
+    Edb(u8, u8, bool),
+    Idb(u8),
+    And(Box<FDesc>, Box<FDesc>),
+    Or(Box<FDesc>, Box<FDesc>),
+    Exists(Box<FDesc>),
+    Forall(Box<FDesc>),
+}
+
+fn fdesc_strategy() -> impl Strategy<Value = FDesc> {
+    let leaf = prop_oneof![
+        (0u8..8, 0u8..8, any::<bool>()).prop_map(|(a, b, s)| FDesc::Edb(a, b, s)),
+        (0u8..8).prop_map(FDesc::Idb),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FDesc::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FDesc::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|f| FDesc::Exists(Box::new(f))),
+            inner.prop_map(|f| FDesc::Forall(Box::new(f))),
+        ]
+    })
+}
+
+fn build_formula(
+    d: &FDesc,
+    y: &mut GeneralProgram,
+    stack: &mut Vec<afp_datalog::Symbol>,
+    fresh: &mut usize,
+) -> Formula {
+    let term = |code: u8, y: &mut GeneralProgram, stack: &[afp_datalog::Symbol]| -> Term {
+        let n = CONSTS.len() + stack.len();
+        let ix = code as usize % n;
+        if ix < CONSTS.len() {
+            Term::Const(y.symbols.intern(CONSTS[ix]))
+        } else {
+            Term::Var(stack[ix - CONSTS.len()])
+        }
+    };
+    match d {
+        FDesc::Edb(a, b, positive) => {
+            let e = y.symbols.intern("e");
+            let atom = Formula::Atom(Atom::new(e, vec![term(*a, y, stack), term(*b, y, stack)]));
+            if *positive {
+                atom
+            } else {
+                Formula::not(atom)
+            }
+        }
+        FDesc::Idb(a) => {
+            let p = y.symbols.intern("p");
+            Formula::Atom(Atom::new(p, vec![term(*a, y, stack)]))
+        }
+        FDesc::And(l, r) => Formula::And(vec![
+            build_formula(l, y, stack, fresh),
+            build_formula(r, y, stack, fresh),
+        ]),
+        FDesc::Or(l, r) => Formula::Or(vec![
+            build_formula(l, y, stack, fresh),
+            build_formula(r, y, stack, fresh),
+        ]),
+        FDesc::Exists(f) => {
+            *fresh += 1;
+            let v = y.symbols.intern(&format!("Q{fresh}"));
+            stack.push(v);
+            let inner = build_formula(f, y, stack, fresh);
+            stack.pop();
+            Formula::exists(vec![v], inner)
+        }
+        FDesc::Forall(f) => {
+            *fresh += 1;
+            let v = y.symbols.intern(&format!("Q{fresh}"));
+            stack.push(v);
+            let inner = build_formula(f, y, stack, fresh);
+            stack.pop();
+            Formula::forall(vec![v], inner)
+        }
+    }
+}
+
+fn build_system(desc: &FDesc, edges: &[(usize, usize)]) -> GeneralProgram {
+    let mut y = GeneralProgram::new();
+    let p = y.symbols.intern("p");
+    let x = y.symbols.intern("X");
+    let mut stack = vec![x];
+    let mut fresh = 0;
+    let body = build_formula(desc, &mut y, &mut stack, &mut fresh);
+    y.rules.push(GeneralRule {
+        head: Atom::new(p, vec![Term::Var(x)]),
+        body,
+    });
+    let e = y.symbols.intern("e");
+    for &(u, v) in edges {
+        let cu = y.symbols.intern(CONSTS[u % 3]);
+        let cv = y.symbols.intern(CONSTS[v % 3]);
+        y.facts
+            .push(Atom::new(e, vec![Term::Const(cu), Term::Const(cv)]));
+    }
+    // Always at least one fact so the active domain is non-empty.
+    let cu = y.symbols.intern("a");
+    let dom = y.symbols.intern("edom");
+    y.facts.push(Atom::new(dom, vec![Term::Const(cu)]));
+    for c in CONSTS {
+        let s = y.symbols.intern(c);
+        y.facts.push(Atom::new(dom, vec![Term::Const(s)]));
+    }
+    y
+}
+
+fn p_atoms(names: &[String]) -> Vec<String> {
+    names
+        .iter()
+        .filter(|n| n.starts_with("p("))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn theorems_8_1_and_8_7(
+        desc in fdesc_strategy(),
+        edges in proptest::collection::vec((0usize..3, 0usize..3), 0..5),
+    ) {
+        let y = build_system(&desc, &edges);
+
+        // Route 1: FP least model.
+        let (fp, ctx) = fp_model(&y).expect("generated systems are FP");
+        let fp_p = p_atoms(&ctx.set_to_names(&y, &fp));
+
+        // Route 2: general alternating fixpoint (Theorem 8.1).
+        let general = afp_general(&y).expect("evaluates");
+        let gen_p = p_atoms(&general.ctx.set_to_names(&y, &general.model.pos));
+        prop_assert_eq!(&fp_p, &gen_p, "Theorem 8.1");
+
+        // Route 3: Lloyd–Topor → ground → AFP (Theorem 8.7).
+        let t = lloyd_topor(&y);
+        let ground = afp_datalog::ground_with(
+            &t.program,
+            &afp_datalog::GroundOptions {
+                safety: afp_datalog::SafetyPolicy::ActiveDomain,
+                ..Default::default()
+            },
+        ).expect("transformed program grounds");
+        let afp = alternating_fixpoint(&ground);
+        let norm_p = p_atoms(&ground.set_to_names(&afp.model.pos));
+        prop_assert_eq!(&fp_p, &norm_p, "Theorem 8.7");
+    }
+}
+
+#[test]
+fn transformed_programs_are_strict_in_the_idb() {
+    // Theorem 8.6's hypothesis is established by the transformation
+    // itself on FP inputs: the resulting normal program is strict in the
+    // IDB (including the ADB).
+    let y = build_system(
+        &FDesc::Forall(Box::new(FDesc::Or(
+            Box::new(FDesc::Edb(0, 4, false)),
+            Box::new(FDesc::Idb(4)),
+        ))),
+        &[(0, 1), (1, 2)],
+    );
+    let t = lloyd_topor(&y);
+    let dg = afp_datalog::depgraph::DepGraph::build(&t.program);
+    let mut idb: Vec<afp_datalog::Symbol> = t.classification.keys().copied().collect();
+    idb.sort_by_key(|s| s.index());
+    assert!(dg.is_strict_in_idb(&idb));
+}

@@ -1,0 +1,60 @@
+//! Relevance restriction (Section 9's query-tractability direction):
+//! restricting a program to the dependency cone of a query atom preserves
+//! its well-founded truth value — for every atom inside the cone.
+
+use afp::core::relevance::{relevant_atoms, restrict_to_query};
+use afp::core::alternating_fixpoint;
+use afp_datalog::atoms::AtomId;
+use afp_datalog::program::{GroundProgram, GroundProgramBuilder};
+use proptest::prelude::*;
+
+fn program_strategy() -> impl Strategy<Value = (GroundProgram, u32)> {
+    (2usize..=12).prop_flat_map(|n_atoms| {
+        let rule = (
+            0..n_atoms as u32,
+            proptest::collection::vec(0..n_atoms as u32, 0..3),
+            proptest::collection::vec(0..n_atoms as u32, 0..3),
+        );
+        (
+            proptest::collection::vec(rule, 0..20),
+            0..n_atoms as u32,
+        )
+            .prop_map(move |(rules, seed)| {
+                let mut b = GroundProgramBuilder::new();
+                let atoms: Vec<_> =
+                    (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
+                for (head, pos, neg) in rules {
+                    b.rule(
+                        atoms[head as usize],
+                        pos.iter().map(|&i| atoms[i as usize]).collect(),
+                        neg.iter().map(|&i| atoms[i as usize]).collect(),
+                    );
+                }
+                (b.finish(), seed)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn restriction_preserves_cone_truth((prog, seed) in program_strategy()) {
+        let seed_atom = AtomId(seed);
+        let cone = relevant_atoms(&prog, &[seed_atom]);
+        let restricted = restrict_to_query(&prog, &[seed_atom]);
+        let full = alternating_fixpoint(&prog);
+        let sub = alternating_fixpoint(&restricted);
+        // Same universe, so truth values compare directly — for every atom
+        // in the cone, not just the seed.
+        for atom in cone.iter() {
+            prop_assert_eq!(
+                full.model.truth(atom),
+                sub.model.truth(atom),
+                "atom a{} changed truth under restriction", atom
+            );
+        }
+        // And the restriction never has more rules.
+        prop_assert!(restricted.rule_count() <= prog.rule_count());
+    }
+}

@@ -1,0 +1,143 @@
+//! How the semantics relate on the classes where they are supposed to
+//! coincide (Sections 2.3–2.4):
+//!
+//! * locally stratified programs: the perfect model is total and equals
+//!   the well-founded model and the unique stable model;
+//! * Fitting ⊑ WFS everywhere, with the gap witnessed by positive loops;
+//! * the inflationary fixpoint always contains the WFS-positive part of
+//!   Horn programs (and equals the least model there).
+
+use afp::core::alternating_fixpoint;
+use afp::semantics::{
+    brute_force_stable, fitting_model, inflationary_fixpoint, is_locally_stratified,
+    perfect_model,
+};
+use afp_datalog::program::{GroundProgram, GroundProgramBuilder};
+use proptest::prelude::*;
+
+/// Random **stratified** propositional programs: atoms are split into
+/// three layers; positive subgoals come from the same or lower layers,
+/// negative subgoals strictly lower.
+fn stratified_program_strategy() -> impl Strategy<Value = GroundProgram> {
+    let layer_size = 4usize;
+    let rule = (
+        0usize..3,                                     // head layer
+        0u32..layer_size as u32,                       // head atom in layer
+        proptest::collection::vec((0usize..3, 0u32..layer_size as u32), 0..3), // pos
+        proptest::collection::vec((0usize..3, 0u32..layer_size as u32), 0..2), // neg
+    );
+    proptest::collection::vec(rule, 0..15).prop_map(move |rules| {
+        let mut b = GroundProgramBuilder::new();
+        let atoms: Vec<Vec<_>> = (0..3)
+            .map(|layer| {
+                (0..layer_size)
+                    .map(|i| b.prop(&format!("l{layer}_{i}")))
+                    .collect()
+            })
+            .collect();
+        for (hl, ha, pos, neg) in rules {
+            let head = atoms[hl][ha as usize];
+            let pos_atoms: Vec<_> = pos
+                .iter()
+                .map(|&(l, a)| atoms[l.min(hl)][a as usize])
+                .collect();
+            let neg_atoms: Vec<_> = neg
+                .iter()
+                .filter(|_| hl > 0)
+                .map(|&(l, a)| atoms[l % hl][a as usize])
+                .collect();
+            b.rule(head, pos_atoms, neg_atoms);
+        }
+        b.finish()
+    })
+}
+
+fn horn_program_strategy() -> impl Strategy<Value = GroundProgram> {
+    let rule = (
+        0u32..8,
+        proptest::collection::vec(0u32..8, 0..3),
+    );
+    proptest::collection::vec(rule, 0..14).prop_map(|rules| {
+        let mut b = GroundProgramBuilder::new();
+        let atoms: Vec<_> = (0..8).map(|i| b.prop(&format!("h{i}"))).collect();
+        for (head, pos) in rules {
+            b.rule(
+                atoms[head as usize],
+                pos.iter().map(|&i| atoms[i as usize]).collect(),
+                vec![],
+            );
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn stratified_programs_collapse_the_lattice(prog in stratified_program_strategy()) {
+        prop_assert!(is_locally_stratified(&prog));
+        let perfect = perfect_model(&prog).expect("stratified");
+        prop_assert!(perfect.model.is_total());
+        let wfs = alternating_fixpoint(&prog);
+        prop_assert_eq!(&perfect.model, &wfs.model, "perfect = WFS");
+        prop_assert!(wfs.is_total);
+        // Unique stable model (atoms ≤ 12 so brute force is fine).
+        let stables = brute_force_stable(&prog);
+        prop_assert_eq!(stables.len(), 1);
+        prop_assert_eq!(&stables[0], &wfs.model.pos);
+        // And Fitting is below (possibly strictly: positive loops).
+        let fit = fitting_model(&prog);
+        prop_assert!(fit.model.leq(&wfs.model));
+    }
+
+    #[test]
+    fn horn_programs_all_semantics_agree(prog in horn_program_strategy()) {
+        let wfs = alternating_fixpoint(&prog);
+        prop_assert!(wfs.is_total);
+        let lm = afp_datalog::horn::eventual_consequences(&prog, &prog.empty_set());
+        prop_assert_eq!(&wfs.model.pos, &lm, "WFS⁺ = least Horn model");
+        let ifp = inflationary_fixpoint(&prog);
+        prop_assert_eq!(&ifp.model, &lm, "IFP = least model on Horn");
+        let stables = brute_force_stable(&prog);
+        prop_assert_eq!(stables.len(), 1);
+        prop_assert_eq!(&stables[0], &lm);
+        let perfect = perfect_model(&prog).expect("Horn is trivially stratified");
+        prop_assert_eq!(&perfect.model.pos, &lm);
+    }
+
+    #[test]
+    fn inflationary_stays_inside_the_positive_envelope(prog in stratified_program_strategy()) {
+        // IFP conclusions need their positive subgoals derived, and their
+        // negative subgoals are at best granted — so everything IFP
+        // concludes lies inside S_P(H̃), the positive envelope. (This is
+        // the invariant that makes the grounder's pruning sound for IFP;
+        // note IFP may *miss* WFS-true atoms — the timing-sensitivity of
+        // Section 2.2 — so no containment holds in the other direction.)
+        let ifp = inflationary_fixpoint(&prog);
+        let envelope = afp::core::ops::s_p(&prog, &prog.full_set());
+        prop_assert!(ifp.model.is_subset(&envelope));
+    }
+}
+
+#[test]
+fn fitting_strictly_below_on_positive_loops() {
+    let g = afp_datalog::parse_ground("x :- y. y :- x. z :- not x.");
+    let fit = fitting_model(&g);
+    let wfs = alternating_fixpoint(&g);
+    assert!(fit.model.leq(&wfs.model));
+    assert!(fit.model.defined_count() < wfs.model.defined_count());
+}
+
+#[test]
+fn locally_stratified_but_not_stratified() {
+    // Predicate-level negation cycle, atom-level acyclic: local
+    // stratification still applies (Przymusiński's class).
+    let g = afp_datalog::parse_ground("e(a) :- not e(b). e(b) :- not e(c). e(c).");
+    assert!(is_locally_stratified(&g));
+    let perfect = perfect_model(&g).unwrap();
+    let wfs = alternating_fixpoint(&g);
+    assert_eq!(perfect.model, wfs.model);
+    // e(c) is a fact, so e(b) fails, so e(a) succeeds.
+    assert_eq!(g.set_to_names(&perfect.model.pos), vec!["e(a)", "e(c)"]);
+}

@@ -1,0 +1,159 @@
+//! The stable-model facts of Sections 2.4, 4 and 5:
+//!
+//! * `M` is stable ⇔ `M̃` is a fixpoint of the stability transformation
+//!   `S̃_P` ⇔ `lfp(P^M) = M` (GL-reduct);
+//! * every stable model contains the well-founded partial model;
+//! * a total well-founded model is the unique stable model (not vice
+//!   versa);
+//! * the branch-and-propagate enumerator agrees with brute force.
+
+use afp::core::{alternating_fixpoint, ops};
+use afp::semantics::stable::{
+    brute_force_stable, enumerate_stable, is_stable, reduct_least_model, EnumerateOptions,
+};
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::{GroundProgram, GroundProgramBuilder};
+use proptest::prelude::*;
+
+fn small_program_strategy() -> impl Strategy<Value = GroundProgram> {
+    (1usize..=8).prop_flat_map(|n_atoms| {
+        let rule = (
+            0..n_atoms as u32,
+            proptest::collection::vec(0..n_atoms as u32, 0..2),
+            proptest::collection::vec(0..n_atoms as u32, 0..3),
+        );
+        proptest::collection::vec(rule, 0..12).prop_map(move |rules| {
+            let mut b = GroundProgramBuilder::new();
+            let atoms: Vec<_> = (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
+            for (head, pos, neg) in rules {
+                b.rule(
+                    atoms[head as usize],
+                    pos.iter().map(|&i| atoms[i as usize]).collect(),
+                    neg.iter().map(|&i| atoms[i as usize]).collect(),
+                );
+            }
+            b.finish()
+        })
+    })
+}
+
+fn sorted(mut models: Vec<AtomSet>) -> Vec<Vec<u32>> {
+    let mut v: Vec<Vec<u32>> = models
+        .drain(..)
+        .map(|m| m.iter().collect::<Vec<u32>>())
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn enumerator_agrees_with_brute_force(prog in small_program_strategy()) {
+        let fast = enumerate_stable(&prog, &EnumerateOptions::default());
+        prop_assert!(fast.complete);
+        let slow = brute_force_stable(&prog);
+        prop_assert_eq!(sorted(fast.models), sorted(slow));
+    }
+
+    #[test]
+    fn stable_iff_s_tilde_fixpoint(prog in small_program_strategy()) {
+        // For every candidate M ⊆ H: is_stable ⇔ S̃_P(M̃) = M̃.
+        let n = prog.atom_count();
+        prop_assume!(n <= 8);
+        for mask in 0u64..(1 << n) {
+            let m = AtomSet::from_iter(n, (0..n as u32).filter(|&i| mask & (1 << i) != 0));
+            let m_tilde = m.complement();
+            let fixpoint = ops::s_tilde(&prog, &m_tilde) == m_tilde;
+            prop_assert_eq!(is_stable(&prog, &m), fixpoint);
+            // And the literal GL-reduct agrees with the S_P shortcut.
+            prop_assert_eq!(
+                reduct_least_model(&prog, &m),
+                ops::s_p(&prog, &m_tilde)
+            );
+        }
+    }
+
+    #[test]
+    fn every_stable_model_contains_wfs(prog in small_program_strategy()) {
+        let wfs = alternating_fixpoint(&prog);
+        for m in brute_force_stable(&prog) {
+            prop_assert!(wfs.model.pos.is_subset(&m), "WFS⁺ ⊆ M");
+            prop_assert!(wfs.model.neg.is_disjoint(&m), "WFS⁻ ∩ M = ∅");
+            // Every stable model is a fixpoint of A_P (Section 5).
+            let m_tilde = m.complement();
+            prop_assert_eq!(ops::a_p(&prog, &m_tilde), m_tilde);
+        }
+    }
+
+    #[test]
+    fn total_wfs_is_unique_stable(prog in small_program_strategy()) {
+        let wfs = alternating_fixpoint(&prog);
+        if wfs.is_total {
+            let models = brute_force_stable(&prog);
+            prop_assert_eq!(models.len(), 1);
+            prop_assert_eq!(&models[0], &wfs.model.pos);
+        }
+    }
+
+    #[test]
+    fn wfs_undecided_on_no_stable_programs_is_fine(prog in small_program_strategy()) {
+        // Programs without stable models still have a WFS (total or not);
+        // just assert the computation terminates and is a partial model.
+        let wfs = alternating_fixpoint(&prog);
+        prop_assert!(wfs.model.is_partial_model(&prog));
+    }
+
+    #[test]
+    fn splitting_through_the_residual(prog in small_program_strategy()) {
+        // stable(P) = { WFS⁺ ∪ S : S ∈ stable(residual(P, WFS)) }.
+        use afp::semantics::{lift_residual_model, residual_program};
+        let wfs = alternating_fixpoint(&prog);
+        let res = residual_program(&prog, &wfs.model);
+        let direct = sorted(brute_force_stable(&prog));
+        let lifted = sorted(
+            brute_force_stable(&res)
+                .iter()
+                .map(|s| lift_residual_model(&prog, &wfs.model, &res, s))
+                .collect(),
+        );
+        prop_assert_eq!(direct, lifted);
+    }
+}
+
+#[test]
+fn unique_stable_without_total_wfs() {
+    // The "not vice versa" of Section 2.4.
+    let g = afp_datalog::parse_ground("p :- not p. p :- not q. q :- not p.");
+    let wfs = alternating_fixpoint(&g);
+    assert!(!wfs.is_total);
+    let models = brute_force_stable(&g);
+    assert_eq!(models.len(), 1);
+}
+
+#[test]
+fn enumerator_respects_limits_without_lying() {
+    let g = afp_datalog::parse_ground(
+        "a :- not b. b :- not a. c :- not d. d :- not c. e :- not f. f :- not e.",
+    );
+    let full = enumerate_stable(&g, &EnumerateOptions::default());
+    assert!(full.complete);
+    assert_eq!(full.models.len(), 8);
+    let capped = enumerate_stable(
+        &g,
+        &EnumerateOptions {
+            max_models: 3,
+            max_nodes: usize::MAX,
+        },
+    );
+    assert_eq!(capped.models.len(), 3);
+    let starved = enumerate_stable(
+        &g,
+        &EnumerateOptions {
+            max_models: usize::MAX,
+            max_nodes: 2,
+        },
+    );
+    assert!(!starved.complete);
+}

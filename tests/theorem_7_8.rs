@@ -1,0 +1,135 @@
+//! Theorem 7.8: the alternating fixpoint partial model is identical to the
+//! well-founded partial model (defined via greatest unfounded sets).
+//!
+//! Checked on every worked example in the paper, on structured workloads,
+//! and on randomized ground programs.
+
+use afp::core::alternating_fixpoint;
+use afp::semantics::well_founded_model;
+use afp_bench::gen::{self, Graph};
+use afp_datalog::program::{parse_ground, GroundProgram, GroundProgramBuilder};
+use proptest::prelude::*;
+
+fn assert_equivalent(g: &GroundProgram, label: &str) {
+    let afp = alternating_fixpoint(g);
+    let wfs = well_founded_model(g);
+    assert_eq!(afp.model, wfs.model, "Theorem 7.8 fails on {label}");
+}
+
+#[test]
+fn example_5_1() {
+    assert_equivalent(&gen::example_5_1(), "Example 5.1");
+}
+
+#[test]
+fn figure_4_games() {
+    assert_equivalent(&gen::fig4::part_a(), "Figure 4(a)");
+    assert_equivalent(&gen::fig4::part_b(), "Figure 4(b)");
+    assert_equivalent(&gen::fig4::part_c(), "Figure 4(c)");
+}
+
+#[test]
+fn classic_small_programs() {
+    for src in [
+        "p :- not q. q :- not p.",
+        "p :- not p.",
+        "p :- not q. q :- not r. r :- not p.",
+        "a. b :- a, not c. c :- not b. d :- b, c.",
+        "x :- y. y :- x. z :- not x.",
+        "w :- not l. l :- not w. t :- w. t :- l.",
+        "p :- not p. p :- not q. q :- not p.",
+    ] {
+        assert_equivalent(&parse_ground(src), src);
+    }
+}
+
+#[test]
+fn win_move_workloads() {
+    for (name, g) in [
+        ("path64", Graph::path(64)),
+        ("cycle65", Graph::cycle(65)),
+        ("er", Graph::random(80, 0.04, 11)),
+        ("regular", Graph::random_regular_out(80, 3, 12)),
+        ("dag", Graph::random_dag(60, 0.1, 13)),
+    ] {
+        assert_equivalent(&gen::win_move_ground(&g), name);
+    }
+}
+
+#[test]
+fn grounded_tc_ntc() {
+    for g in [Graph::path(8), Graph::cycle(8), Graph::random(10, 0.15, 3)] {
+        let ast = gen::tc_ntc_ast(&g);
+        let ground = afp_datalog::ground(&ast).unwrap();
+        assert_equivalent(&ground, "tc/ntc");
+    }
+}
+
+#[test]
+fn sat_reductions() {
+    for seed in 0..5u64 {
+        let clauses = gen::random_3sat(6, 20, seed);
+        assert_equivalent(&gen::sat_to_stable(6, &clauses), "sat reduction");
+    }
+}
+
+/// Strategy: a random ground program as raw rule tuples.
+fn ground_program_strategy(
+    max_atoms: usize,
+    max_rules: usize,
+) -> impl Strategy<Value = GroundProgram> {
+    (1..=max_atoms).prop_flat_map(move |n_atoms| {
+        let rule = (
+            0..n_atoms as u32,
+            proptest::collection::vec(0..n_atoms as u32, 0..3),
+            proptest::collection::vec(0..n_atoms as u32, 0..3),
+        );
+        proptest::collection::vec(rule, 0..=max_rules).prop_map(move |rules| {
+            let mut b = GroundProgramBuilder::new();
+            let atoms: Vec<_> = (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
+            for (head, pos, neg) in rules {
+                b.rule(
+                    atoms[head as usize],
+                    pos.iter().map(|&i| atoms[i as usize]).collect(),
+                    neg.iter().map(|&i| atoms[i as usize]).collect(),
+                );
+            }
+            b.finish()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn afp_equals_wfs_on_random_programs(prog in ground_program_strategy(10, 20)) {
+        let afp = alternating_fixpoint(&prog);
+        let wfs = well_founded_model(&prog);
+        prop_assert_eq!(&afp.model, &wfs.model);
+    }
+
+    #[test]
+    fn afp_model_is_always_a_partial_model(prog in ground_program_strategy(10, 20)) {
+        let afp = alternating_fixpoint(&prog);
+        prop_assert!(afp.model.is_partial_model(&prog));
+    }
+
+    #[test]
+    fn wfs_extends_fitting(prog in ground_program_strategy(10, 20)) {
+        let fit = afp::semantics::fitting_model(&prog);
+        let wfs = alternating_fixpoint(&prog);
+        prop_assert!(fit.model.leq(&wfs.model), "Fitting ⊑ WFS");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn modular_wfs_equals_global(prog in ground_program_strategy(12, 24)) {
+        let global = alternating_fixpoint(&prog);
+        let modular = afp::semantics::modular_wfs(&prog);
+        prop_assert_eq!(global.model, modular.model);
+    }
+}
