@@ -43,18 +43,14 @@ fn afp_vs_wfs(c: &mut Criterion) {
         let prog = gen::knot_chain(k);
         let mut group = c.benchmark_group(format!("afp_vs_wfs/knot_chain_{k}"));
         group.bench_function("global", |b| b.iter(|| alternating_fixpoint(&prog)));
-        group.bench_function("modular", |b| {
-            b.iter(|| afp_semantics::modular_wfs(&prog))
-        });
+        group.bench_function("modular", |b| b.iter(|| afp_semantics::modular_wfs(&prog)));
         group.finish();
     }
     for n in [256usize, 1024] {
         let prog = gen::win_move_ground(&Graph::path(n));
         let mut group = c.benchmark_group(format!("afp_vs_wfs/deep_path_{n}"));
         group.bench_function("global", |b| b.iter(|| alternating_fixpoint(&prog)));
-        group.bench_function("modular", |b| {
-            b.iter(|| afp_semantics::modular_wfs(&prog))
-        });
+        group.bench_function("modular", |b| b.iter(|| afp_semantics::modular_wfs(&prog)));
         group.finish();
     }
 }

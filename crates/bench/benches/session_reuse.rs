@@ -1,0 +1,51 @@
+//! Warm `Session` reuse versus cold solve-from-text: the acceptance bench
+//! for the `Engine`/`Session` API. The cold path re-parses, re-grounds
+//! (envelope fixpoint + instantiation joins) and solves from scratch on
+//! every fact update; the warm path extends the existing grounding with
+//! the delta and seeds the alternating fixpoint with the surviving
+//! negative conclusions.
+
+use afp::Engine;
+use afp_bench::gen::{node_name, Graph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn win_move_src(g: &Graph) -> String {
+    let mut src = String::from("wins(X) :- move(X, Y), not wins(Y).\n");
+    for &(u, v) in &g.edges {
+        src.push_str(&format!("move({}, {}).\n", node_name(u), node_name(v)));
+    }
+    src
+}
+
+fn session_reuse(c: &mut Criterion) {
+    let engine = Engine::default();
+    for n in [64usize, 256] {
+        let g = Graph::path(n);
+        let src = win_move_src(&g);
+        // The update: one extra edge hanging off the end of the path.
+        let new_fact = format!("move({}, x).", node_name(n as u32 - 1));
+        let cold_src = format!("{src}{new_fact}\n");
+
+        let mut group = c.benchmark_group(format!("session_reuse/win_move_path_{n}"));
+        group.bench_with_input(BenchmarkId::new("cold_text", n), &cold_src, |b, src| {
+            // Parse + ground + solve, every time.
+            b.iter(|| engine.solve(src).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("warm_session", n), &src, |b, src| {
+            let mut session = engine.load(src).unwrap();
+            session.solve().unwrap();
+            b.iter(|| {
+                // Assert + warm re-solve + retract, keeping the session's
+                // grounding and conclusions alive across iterations.
+                session.assert_facts(&new_fact).unwrap();
+                let model = session.solve().unwrap();
+                session.retract_facts(&new_fact).unwrap();
+                model
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, session_reuse);
+criterion_main!(benches);

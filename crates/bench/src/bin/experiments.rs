@@ -324,7 +324,11 @@ fn sandwich() {
         "k", "|Ĩ_k|", "|S_P(Ĩ_k)|", "side"
     );
     for s in &trace.steps {
-        let side = if s.k % 2 == 0 { "under (⊆ W̃)" } else { "over (⊇ W̃)" };
+        let side = if s.k % 2 == 0 {
+            "under (⊆ W̃)"
+        } else {
+            "over (⊇ W̃)"
+        };
         let ok = if s.k % 2 == 0 {
             s.i_tilde.is_subset(&r.negative_fixpoint)
         } else {

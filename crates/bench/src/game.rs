@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let v = solve(&Graph { n: 0, edges: vec![] });
+        let v = solve(&Graph {
+            n: 0,
+            edges: vec![],
+        });
         assert!(v.is_empty());
     }
 }

@@ -22,7 +22,9 @@ impl Graph {
     pub fn path(n: usize) -> Graph {
         Graph {
             n,
-            edges: (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect(),
+            edges: (0..n.saturating_sub(1) as u32)
+                .map(|i| (i, i + 1))
+                .collect(),
         }
     }
 
@@ -150,9 +152,7 @@ pub fn random_ground_program(
 ) -> GroundProgram {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GroundProgramBuilder::new();
-    let atoms: Vec<_> = (0..n_atoms)
-        .map(|i| b.prop(&format!("a{i}")))
-        .collect();
+    let atoms: Vec<_> = (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
     for _ in 0..n_rules {
         let head = atoms[rng.gen_range(0..n_atoms)];
         let body_len = {
@@ -296,7 +296,6 @@ pub fn example_5_1() -> GroundProgram {
          p(i) :- p(c), not p(d).",
     )
 }
-
 
 /// A "chain of knots": `k` independent 2-cycles (`aᵢ ← ¬bᵢ; bᵢ ← ¬aᵢ`)
 /// linked by decided atoms — many small strongly connected components.

@@ -183,7 +183,10 @@ mod tests {
         let u = g.atom_count();
 
         // Head true ⇒ satisfied regardless of body.
-        let m = PartialModel::new(AtomSet::from_iter(u, [p.0, q.0]), AtomSet::from_iter(u, [r.0]));
+        let m = PartialModel::new(
+            AtomSet::from_iter(u, [p.0, q.0]),
+            AtomSet::from_iter(u, [r.0]),
+        );
         assert!(m.satisfies_rule(rule));
 
         // Body false (q false) ⇒ satisfied.
@@ -191,7 +194,10 @@ mod tests {
         assert!(m.satisfies_rule(rule));
 
         // Body true, head false ⇒ violated.
-        let m = PartialModel::new(AtomSet::from_iter(u, [q.0]), AtomSet::from_iter(u, [p.0, r.0]));
+        let m = PartialModel::new(
+            AtomSet::from_iter(u, [q.0]),
+            AtomSet::from_iter(u, [p.0, r.0]),
+        );
         assert!(!m.satisfies_rule(rule));
 
         // Head and body both undefined ⇒ satisfied (condition 3).
@@ -238,10 +244,7 @@ mod tests {
         let g = parse_ground("p :- not q.");
         let p = g.find_atom_by_name("p", &[]).unwrap();
         let q = g.find_atom_by_name("q", &[]).unwrap();
-        let m = PartialModel::new(
-            AtomSet::from_iter(2, [p.0]),
-            AtomSet::from_iter(2, [q.0]),
-        );
+        let m = PartialModel::new(AtomSet::from_iter(2, [p.0]), AtomSet::from_iter(2, [q.0]));
         assert_eq!(m.to_literal_names(&g), vec!["not q", "p"]);
     }
 }

@@ -161,9 +161,8 @@ mod tests {
 
     #[test]
     fn q_operators_agree_with_each_other() {
-        let g = parse_ground(
-            "p :- not q. q :- not p. r :- p. r :- q. s. t :- s, not u. u :- not s.",
-        );
+        let g =
+            parse_ground("p :- not q. q :- not p. r :- p. r :- q. s. t :- s, not u. u :- not s.");
         let via_qp = lfp_positive(&g, q_p_op);
         let via_q = lfp_positive(&g, q_op);
         assert_eq!(via_qp, via_q, "Theorem 8.10: J_ω = I_ω");

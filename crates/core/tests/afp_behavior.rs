@@ -2,9 +2,7 @@
 //! iteration counts, trace invariants, scaling sanity, and the
 //! `is_stable_fixpoint` flag.
 
-use afp_core::afp::{
-    alternating_fixpoint, alternating_fixpoint_with, AfpOptions, Strategy,
-};
+use afp_core::afp::{alternating_fixpoint, alternating_fixpoint_with, AfpOptions, Strategy};
 use afp_datalog::program::{parse_ground, GroundProgram, GroundProgramBuilder};
 
 /// The negation ladder: p0. p1 ← ¬p0. … pk ← ¬p(k-1).

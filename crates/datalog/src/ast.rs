@@ -295,9 +295,7 @@ fn quote_if_needed(name: &str) -> String {
             .next()
             .map(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
             .unwrap_or(false)
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if bare {
         name.to_string()
     } else {

@@ -115,7 +115,10 @@ impl AtomSet {
     /// True iff the sets share no element.
     pub fn is_disjoint(&self, other: &AtomSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
     }
 
     /// In-place union.

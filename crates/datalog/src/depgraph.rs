@@ -209,8 +209,11 @@ impl DepGraph {
         queue.push((p, false));
         while let Some((u, is_odd)) = queue.pop() {
             for (v, e) in self.successors(u) {
-                let push = |v: usize, po: bool, even: &mut Vec<bool>, odd: &mut Vec<bool>,
-                                queue: &mut Vec<(usize, bool)>| {
+                let push = |v: usize,
+                            po: bool,
+                            even: &mut Vec<bool>,
+                            odd: &mut Vec<bool>,
+                            queue: &mut Vec<(usize, bool)>| {
                     let seen = if po { &mut odd[v] } else { &mut even[v] };
                     if !*seen {
                         *seen = true;
@@ -384,10 +387,7 @@ mod tests {
         let sccs = g.sccs();
         assert_eq!(sccs.len(), 2);
         // {a, b} must come before {c}.
-        let first: Vec<&str> = sccs[0]
-            .iter()
-            .map(|&n| p.symbols.name(g.pred(n)))
-            .collect();
+        let first: Vec<&str> = sccs[0].iter().map(|&n| p.symbols.name(g.pred(n))).collect();
         assert!(first.contains(&"a") && first.contains(&"b"));
         assert_eq!(p.symbols.name(g.pred(sccs[1][0])), "c");
     }
@@ -408,9 +408,7 @@ mod tests {
     fn strict_program_example_8_2() {
         // w(X) :- not u(X).  u(X) :- e(Y,X), not w(Y).  (Example 8.2)
         // Paths w⇝w: w→u→w with 2 negations; w⇝u: 1 negation; all strict.
-        let (g, p) = graph(
-            "w(X) :- not u(X). u(X) :- e(Y, X), not w(Y). e(a, b).",
-        );
+        let (g, p) = graph("w(X) :- not u(X). u(X) :- e(Y, X), not w(Y). e(a, b).");
         assert!(g.is_strict());
         let idb = [p.symbols.get("w").unwrap(), p.symbols.get("u").unwrap()];
         assert!(g.is_strict_in_idb(&idb));
@@ -442,9 +440,8 @@ mod tests {
 
     #[test]
     fn stratification_depth_chain() {
-        let (g, p) = graph(
-            "s1(X) :- e(X). s2(X) :- e(X), not s1(X). s3(X) :- e(X), not s2(X). e(a).",
-        );
+        let (g, p) =
+            graph("s1(X) :- e(X). s2(X) :- e(X), not s1(X). s3(X) :- e(X), not s2(X). e(a).");
         let strata = g.stratification().unwrap();
         let s = |name: &str| strata[g.node(p.symbols.get(name).unwrap()).unwrap()];
         assert_eq!(s("e"), 0);

@@ -31,15 +31,11 @@
 //! convention of fixpoint logic used in Section 8.
 
 use crate::ast::{Program, Rule, Term};
-use crate::atoms::{AtomId, ConstId, HerbrandBase};
+use crate::atoms::{ConstId, HerbrandBase};
 use crate::error::GroundError;
-use crate::fx::FxHashMap;
-use crate::program::{GroundProgram, GroundRule};
-use crate::relation::{Database, Relation, Tuple};
-use crate::seminaive::{
-    compile_neg_atoms, compile_rule, evaluate_positive, join, try_eval_pat, CompiledAtom,
-    CompiledRule, EvalLimits, Pat,
-};
+use crate::program::GroundProgram;
+use crate::relation::Database;
+use crate::seminaive::{compile_rule, evaluate_positive, EvalLimits};
 use crate::symbol::Symbol;
 
 /// What to do with unsafe rules.
@@ -80,260 +76,16 @@ pub fn ground(program: &Program) -> Result<GroundProgram, GroundError> {
 }
 
 /// Ground with explicit options.
+///
+/// This is the one-shot entry point; it runs the same three passes as
+/// [`crate::incremental::IncrementalGrounder`] (which it delegates to) and
+/// discards the working state. Callers that will later assert or retract
+/// facts should hold on to the grounder instead.
 pub fn ground_with(
     program: &Program,
     options: &GroundOptions,
 ) -> Result<GroundProgram, GroundError> {
-    let mut symbols = program.symbols.clone();
-    let dom_pred = symbols.intern_fresh("$dom");
-    let mut base = HerbrandBase::new();
-
-    // ---- Pass 1: safety analysis & compilation --------------------------
-    let mut compiled: Vec<(usize, CompiledRule, Vec<CompiledAtom>)> = Vec::new();
-    let mut facts: Vec<(Symbol, Tuple)> = Vec::new();
-    let mut need_dom = false;
-    for (ix, rule) in program.rules.iter().enumerate() {
-        if rule.is_fact() {
-            let tuple: Vec<ConstId> = rule
-                .head
-                .args
-                .iter()
-                .map(|t| intern_ground_term(t, &mut base))
-                .collect();
-            facts.push((rule.head.pred, tuple.into_boxed_slice()));
-            continue;
-        }
-        let unsafe_vars = unsafe_variables(rule);
-        let guards: Vec<CompiledAtom> = if unsafe_vars.is_empty() {
-            vec![]
-        } else {
-            match options.safety {
-                SafetyPolicy::Reject => {
-                    return Err(GroundError::UnsafeRule {
-                        rule: crate::ast::display_rule(rule, &symbols),
-                        variable: symbols.name(unsafe_vars[0]).to_string(),
-                    });
-                }
-                SafetyPolicy::ActiveDomain => {
-                    need_dom = true;
-                    // Guards are compiled against the same slot assignment
-                    // as the rule; compute slots first.
-                    let probe = compile_rule(rule, &[]);
-                    let mut slot_of: FxHashMap<Symbol, usize> = FxHashMap::default();
-                    for (i, v) in probe.var_names.iter().enumerate() {
-                        slot_of.insert(*v, i);
-                    }
-                    unsafe_vars
-                        .iter()
-                        .map(|v| CompiledAtom {
-                            pred: dom_pred,
-                            pats: vec![Pat::Var(slot_of[v])],
-                        })
-                        .collect()
-                }
-            }
-        };
-        let negs = compile_neg_atoms(rule);
-        let cr = compile_rule(rule, &guards);
-        compiled.push((ix, cr, negs));
-    }
-
-    // ---- Active domain facts --------------------------------------------
-    if need_dom {
-        let mut dom_terms: Vec<ConstId> = Vec::new();
-        for (_, tuple) in &facts {
-            for &t in tuple.iter() {
-                collect_subterms(t, &base, &mut dom_terms);
-            }
-        }
-        // Constants syntactically present in rules.
-        for rule in &program.rules {
-            collect_rule_consts(rule, &mut base, &mut dom_terms);
-        }
-        dom_terms.sort_unstable();
-        dom_terms.dedup();
-        if dom_terms.is_empty() {
-            return Err(GroundError::EmptyDomain);
-        }
-        for t in dom_terms {
-            facts.push((dom_pred, vec![t].into_boxed_slice()));
-        }
-    }
-
-    // ---- Pass 2: positive envelope --------------------------------------
-    let rules_only: Vec<CompiledRule> = compiled.iter().map(|(_, r, _)| r.clone()).collect();
-    let limits = EvalLimits {
-        max_tuples: options.max_envelope_tuples,
-    };
-    let mut envelope = evaluate_positive(&rules_only, &facts, &mut base, &limits)?;
-
-    // ---- Pass 3: instantiate rules over the envelope ---------------------
-    // Index every column of every relation once for the final joins.
-    let preds: Vec<Symbol> = envelope.iter().map(|(p, _)| p).collect();
-    for p in preds {
-        if let Some(rel) = envelope.relation(p) {
-            let arity = rel.arity();
-            let rel = envelope.relation_mut(p, arity);
-            for col in 0..arity {
-                rel.ensure_index(col);
-            }
-        }
-    }
-
-    let mut atom_ids: FxHashMap<(Symbol, Tuple), AtomId> = FxHashMap::default();
-    let mut atom_count: u32 = 0;
-    let mut out_rules: Vec<GroundRule> = Vec::new();
-    let empty = Relation::new(0);
-
-    // Keep the final Herbrand base in a fresh interner so ids are dense in
-    // emission order (nicer traces); remember pred/args for display.
-    let mut final_base = HerbrandBase::new();
-    let intern_final =
-        |pred: Symbol,
-         args: &[ConstId],
-         base: &HerbrandBase,
-         final_base: &mut HerbrandBase,
-         atom_ids: &mut FxHashMap<(Symbol, Tuple), AtomId>,
-         atom_count: &mut u32| {
-            let key = (pred, args.to_vec().into_boxed_slice());
-            if let Some(&id) = atom_ids.get(&key) {
-                return id;
-            }
-            // Re-intern the argument terms into the final base.
-            let new_args: Vec<ConstId> = args
-                .iter()
-                .map(|&a| reintern_term(a, base, final_base))
-                .collect();
-            let id = final_base.intern_atom(pred, &new_args);
-            debug_assert_eq!(id.0, *atom_count);
-            *atom_count += 1;
-            atom_ids.insert(key, id);
-            id
-        };
-
-    // EDB facts become bodyless ground rules.
-    for (pred, tuple) in &facts {
-        if *pred == dom_pred {
-            continue; // the synthetic domain guard is not part of H
-        }
-        let head = intern_final(
-            *pred,
-            tuple,
-            &base,
-            &mut final_base,
-            &mut atom_ids,
-            &mut atom_count,
-        );
-        out_rules.push(GroundRule::new(head, vec![], vec![]));
-        if out_rules.len() > options.max_ground_rules {
-            return Err(GroundError::RuleBudgetExceeded {
-                limit: options.max_ground_rules,
-            });
-        }
-    }
-
-    for (_, cr, negs) in &compiled {
-        let rels: Vec<&Relation> = cr
-            .body
-            .iter()
-            .map(|atom| envelope.relation(atom.pred).unwrap_or(&empty))
-            .collect();
-        let mut env: Vec<Option<ConstId>> = vec![None; cr.nvars];
-        // (head args, positive body args, negative body args-or-dropped)
-        type Emission = (Vec<ConstId>, Vec<Vec<ConstId>>, Vec<Option<Vec<ConstId>>>);
-        let mut emissions: Vec<Emission> = Vec::new();
-        join(&cr.body, &rels, &base, &mut env, &mut |env, base| {
-            // Head and positive body are fully determined and inside the
-            // envelope (positive atoms matched against it). The head may
-            // still name a never-interned term only if the rule head has a
-            // ground term not in the envelope — impossible, since the
-            // envelope closure derived this very instance. Negative atoms
-            // are ground by safety; resolve them against the envelope.
-            let head: Vec<ConstId> = cr
-                .head
-                .pats
-                .iter()
-                .map(|p| try_eval_pat(p, env, base).expect("head term is in the envelope"))
-                .collect();
-            let pos: Vec<Vec<ConstId>> = cr
-                .body
-                .iter()
-                .filter(|a| a.pred != dom_pred)
-                .map(|a| {
-                    a.pats
-                        .iter()
-                        .map(|p| try_eval_pat(p, env, base).expect("pos body term matched"))
-                        .collect()
-                })
-                .collect();
-            let neg: Vec<Option<Vec<ConstId>>> = negs
-                .iter()
-                .map(|a| {
-                    let args: Option<Vec<ConstId>> = a
-                        .pats
-                        .iter()
-                        .map(|p| try_eval_pat(p, env, base))
-                        .collect();
-                    args.filter(|args| envelope.contains(a.pred, args))
-                })
-                .collect();
-            emissions.push((head, pos, neg));
-        });
-
-        let (_, cr, negs) = (&(), cr, negs); // keep names in scope for clarity
-        for (head_args, pos_args, neg_args) in emissions {
-            let head = intern_final(
-                cr.head.pred,
-                &head_args,
-                &base,
-                &mut final_base,
-                &mut atom_ids,
-                &mut atom_count,
-            );
-            let mut pos_ids = Vec::with_capacity(pos_args.len());
-            for (atom, args) in cr
-                .body
-                .iter()
-                .filter(|a| a.pred != dom_pred)
-                .zip(pos_args.iter())
-            {
-                pos_ids.push(intern_final(
-                    atom.pred,
-                    args,
-                    &base,
-                    &mut final_base,
-                    &mut atom_ids,
-                    &mut atom_count,
-                ));
-            }
-            let mut neg_ids = Vec::new();
-            for (atom, args) in negs.iter().zip(neg_args.iter()) {
-                if let Some(args) = args {
-                    neg_ids.push(intern_final(
-                        atom.pred,
-                        args,
-                        &base,
-                        &mut final_base,
-                        &mut atom_ids,
-                        &mut atom_count,
-                    ));
-                }
-            }
-            out_rules.push(GroundRule::new(head, pos_ids, neg_ids));
-            if out_rules.len() > options.max_ground_rules {
-                return Err(GroundError::RuleBudgetExceeded {
-                    limit: options.max_ground_rules,
-                });
-            }
-        }
-    }
-
-    let mut builder = crate::program::GroundProgramBuilder::with_symbols(symbols);
-    *builder.base_mut() = final_base;
-    for r in out_rules {
-        builder.rule(r.head, r.pos.to_vec(), r.neg.to_vec());
-    }
-    Ok(builder.finish())
+    Ok(crate::incremental::IncrementalGrounder::new(program, options)?.into_program())
 }
 
 /// The variables of `rule` that occur in the head or a negative subgoal but
@@ -362,7 +114,7 @@ pub fn is_safe(program: &Program) -> bool {
     program.rules.iter().all(|r| unsafe_variables(r).is_empty())
 }
 
-fn intern_ground_term(t: &Term, base: &mut HerbrandBase) -> ConstId {
+pub(crate) fn intern_ground_term(t: &Term, base: &mut HerbrandBase) -> ConstId {
     match t {
         Term::Const(c) => base.intern_const(*c),
         Term::App(f, args) => {
@@ -374,7 +126,7 @@ fn intern_ground_term(t: &Term, base: &mut HerbrandBase) -> ConstId {
 }
 
 /// Add `t` and all its subterms to `out`.
-fn collect_subterms(t: ConstId, base: &HerbrandBase, out: &mut Vec<ConstId>) {
+pub(crate) fn collect_subterms(t: ConstId, base: &HerbrandBase, out: &mut Vec<ConstId>) {
     out.push(t);
     if let crate::atoms::GroundTerm::App(_, args) = base.term(t) {
         for &a in args.clone().iter() {
@@ -385,7 +137,7 @@ fn collect_subterms(t: ConstId, base: &HerbrandBase, out: &mut Vec<ConstId>) {
 
 /// Intern every constant appearing syntactically in `rule` and add it to
 /// `out` (for the active domain).
-fn collect_rule_consts(rule: &Rule, base: &mut HerbrandBase, out: &mut Vec<ConstId>) {
+pub(crate) fn collect_rule_consts(rule: &Rule, base: &mut HerbrandBase, out: &mut Vec<ConstId>) {
     fn walk(t: &Term, base: &mut HerbrandBase, out: &mut Vec<ConstId>) {
         match t {
             Term::Const(c) => out.push(base.intern_const(*c)),
@@ -408,15 +160,15 @@ fn collect_rule_consts(rule: &Rule, base: &mut HerbrandBase, out: &mut Vec<Const
 }
 
 /// Copy a term from one base into another (id spaces differ).
-fn reintern_term(t: ConstId, from: &HerbrandBase, to: &mut HerbrandBase) -> ConstId {
+pub(crate) fn reintern_term(t: ConstId, from: &HerbrandBase, to: &mut HerbrandBase) -> ConstId {
     match from.term(t).clone() {
         crate::atoms::GroundTerm::Const(c) => to.intern_const(c),
         crate::atoms::GroundTerm::App(f, args) => {
-            let new_args: Vec<ConstId> = args
-                .iter()
-                .map(|&a| reintern_term(a, from, to))
-                .collect();
-            to.intern_term(crate::atoms::GroundTerm::App(f, new_args.into_boxed_slice()))
+            let new_args: Vec<ConstId> = args.iter().map(|&a| reintern_term(a, from, to)).collect();
+            to.intern_term(crate::atoms::GroundTerm::App(
+                f,
+                new_args.into_boxed_slice(),
+            ))
         }
     }
 }
@@ -456,6 +208,7 @@ pub fn positive_envelope(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::atoms::AtomId;
     use crate::parser::parse_program;
 
     fn ground_src(src: &str) -> GroundProgram {
@@ -581,9 +334,7 @@ mod tests {
 
     #[test]
     fn bounded_function_symbols_ground_fine() {
-        let g = ground_src(
-            "n(z). n(s(X)) :- n(X), small(X). small(z).",
-        );
+        let g = ground_src("n(z). n(s(X)) :- n(X), small(X). small(z).");
         // n(z), n(s(z)); small(z); the rule instance for X=s(z) is pruned
         // because small(s(z)) is outside the envelope.
         assert!(g.find_atom_by_name("n", &[]).is_none()); // arity mismatch probe
@@ -596,10 +347,8 @@ mod tests {
 
     #[test]
     fn positive_envelope_standalone() {
-        let p = parse_program(
-            "tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y). e(a,b). e(b,c).",
-        )
-        .unwrap();
+        let p = parse_program("tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y). e(a,b). e(b,c).")
+            .unwrap();
         let env = positive_envelope(&p, &GroundOptions::default()).unwrap();
         let tc = p.symbols.get("tc").unwrap();
         assert_eq!(env.relation(tc).unwrap().len(), 3);

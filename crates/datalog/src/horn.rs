@@ -224,9 +224,7 @@ mod tests {
 
     #[test]
     fn warm_start_equals_cold_start() {
-        let g = parse_ground(
-            "p :- not q. q :- not r. r :- s, not t. s. u :- p, q. v :- not v.",
-        );
+        let g = parse_ground("p :- not q. q :- not r. r :- s, not t. s. u :- p, q. v :- not v.");
         let t = g.find_atom_by_name("t", &[]).unwrap();
         let r = g.find_atom_by_name("r", &[]).unwrap();
         let q = g.find_atom_by_name("q", &[]).unwrap();
@@ -248,9 +246,7 @@ mod tests {
 
     #[test]
     fn counter_engine_matches_naive_reference() {
-        let g = parse_ground(
-            "a. b :- a, not c. c :- not b. d :- b, c. e :- d. e :- a, not a.",
-        );
+        let g = parse_ground("a. b :- a, not c. c :- not b. d :- b, c. e :- d. e :- a, not a.");
         for mask in 0u32..32 {
             let mut assumed = g.empty_set();
             for bit in 0..5 {
@@ -306,10 +302,7 @@ mod tests {
         assert_eq!(g.set_to_names(&s0), vec!["p(c)"]);
         let i1 = s0.complement();
         let s1 = eventual_consequences(&g, &i1);
-        assert_eq!(
-            g.set_to_names(&s1),
-            vec!["p(a)", "p(b)", "p(c)", "p(i)"]
-        );
+        assert_eq!(g.set_to_names(&s1), vec!["p(a)", "p(b)", "p(c)", "p(i)"]);
     }
 
     /// The nine-atom program of Example 5.1 / Table I.

@@ -1,0 +1,731 @@
+//! Incremental grounding: keep the grounder's working state alive so new
+//! EDB facts extend an existing [`GroundProgram`] instead of re-running
+//! the whole parse → envelope → instantiate pipeline.
+//!
+//! [`IncrementalGrounder`] performs the same three passes as
+//! [`crate::ground::ground_with`] (safety analysis and compilation,
+//! positive-envelope fixpoint, rule instantiation over the envelope) but
+//! retains everything a later delta needs:
+//!
+//! * the working [`HerbrandBase`] and envelope [`Database`], so
+//!   [`IncrementalGrounder::assert_fact`] can run the semi-naive rounds
+//!   **from the new tuples only** ([`extend_positive`]);
+//! * the compiled rules, so only rule bodies mentioning a delta predicate
+//!   are re-joined — with the delta relation substituted at one focus
+//!   position at a time, classic semi-naive discipline;
+//! * the set of already-emitted instances (keyed by rule index and
+//!   variable binding), so re-joins never duplicate a ground rule;
+//! * the negative literals that were **pruned** because their atom lay
+//!   outside the envelope (certainly-true at the time). When a delta
+//!   brings such an atom into the envelope, the literal is resurrected
+//!   onto the instances it was pruned from — without this, a warm
+//!   `assert` would silently change the semantics of old instances.
+//!
+//! Retraction ([`IncrementalGrounder::retract_fact`]) removes the fact
+//! rule but deliberately leaves the envelope as a stale **superset**:
+//! instances whose positive body mentions underivable atoms can never
+//! fire, and negative literals kept against a larger envelope just
+//! evaluate against atoms that are false — both semantics-preserving, at
+//! the cost of a slightly larger ground program than a cold re-ground
+//! would produce.
+//!
+//! One caveat: a negative literal over a term that was never materialized
+//! (possible only with function symbols under the active-domain policy)
+//! cannot be keyed for resurrection. Such programs set
+//! [`IncrementalGrounder::supports_incremental`] to `false` and callers
+//! should fall back to cold grounding on `assert`.
+
+use crate::ast::{Atom, Program};
+use crate::atoms::{AtomId, ConstId, HerbrandBase};
+use crate::error::GroundError;
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::ground::{
+    collect_rule_consts, collect_subterms, intern_ground_term, reintern_term, unsafe_variables,
+    GroundOptions, SafetyPolicy,
+};
+use crate::program::{GroundProgram, GroundProgramBuilder, RuleId};
+use crate::relation::{Database, Relation, Tuple};
+use crate::seminaive::{
+    compile_neg_atoms, compile_rule, evaluate_positive, extend_positive, join, try_eval_pat,
+    CompiledAtom, CompiledRule, EvalLimits, Pat,
+};
+use crate::symbol::Symbol;
+
+/// How one negative literal of an emitted instance resolved against the
+/// envelope at emission time.
+enum NegResolution {
+    /// In the envelope: a real negative literal.
+    Inside(Vec<ConstId>),
+    /// Resolved to a concrete atom outside the envelope: pruned, but
+    /// recorded so a later envelope growth can resurrect it.
+    Outside(Symbol, Tuple),
+    /// Mentions a term never materialized: pruned and unrecoverable.
+    Unresolved,
+}
+
+struct Emission {
+    sig: Box<[Option<ConstId>]>,
+    head: Vec<ConstId>,
+    pos: Vec<Vec<ConstId>>,
+    neg: Vec<NegResolution>,
+}
+
+/// What an [`IncrementalGrounder::assert_fact`] /
+/// [`IncrementalGrounder::retract_fact`] call did to the ground program.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaEffect {
+    /// The fact's atom id in the ground program (when it resolved).
+    pub atom: Option<AtomId>,
+    /// `false` when the call was a no-op (fact already present / absent).
+    pub fresh: bool,
+    /// Heads of rules added or patched, plus the fact atom itself — the
+    /// atoms whose truth value may differ from the previous solve.
+    /// Everything *outside* the dependency ancestors of these atoms
+    /// provably keeps its truth value (relevance / splitting).
+    pub changed: Vec<AtomId>,
+    /// Ground rule instances added by this call.
+    pub new_rules: usize,
+    /// Negative literals resurrected onto existing instances.
+    pub resurrected: usize,
+}
+
+/// The grounder with its working state retained for incremental updates.
+pub struct IncrementalGrounder {
+    options: GroundOptions,
+    dom_pred: Symbol,
+    need_dom: bool,
+    /// Working base: term ids the envelope and compiled rules speak.
+    base: HerbrandBase,
+    envelope: Database,
+    /// Compiled non-fact rules, parallel arrays.
+    compiled: Vec<CompiledRule>,
+    negs: Vec<Vec<CompiledAtom>>,
+    prog: GroundProgram,
+    /// Working-base (pred, args) → final atom id.
+    atom_ids: FxHashMap<(Symbol, Tuple), AtomId>,
+    /// (rule index, variable binding) of every instance ever emitted.
+    emitted: FxHashSet<(u32, Box<[Option<ConstId>]>)>,
+    /// Pruned negative literals by working-base key → instances to patch.
+    dropped: FxHashMap<(Symbol, Tuple), Vec<RuleId>>,
+    precise: bool,
+}
+
+impl IncrementalGrounder {
+    /// Ground `program`, retaining the working state. Produces exactly the
+    /// [`GroundProgram`] that [`crate::ground::ground_with`] produces (that
+    /// function now delegates here).
+    pub fn new(program: &Program, options: &GroundOptions) -> Result<Self, GroundError> {
+        let mut symbols = program.symbols.clone();
+        let dom_pred = symbols.intern_fresh("$dom");
+        let mut base = HerbrandBase::new();
+
+        // ---- Pass 1: safety analysis & compilation ----------------------
+        let mut compiled: Vec<CompiledRule> = Vec::new();
+        let mut negs: Vec<Vec<CompiledAtom>> = Vec::new();
+        let mut facts: Vec<(Symbol, Tuple)> = Vec::new();
+        let mut need_dom = false;
+        for rule in &program.rules {
+            if rule.is_fact() {
+                let tuple: Vec<ConstId> = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| intern_ground_term(t, &mut base))
+                    .collect();
+                facts.push((rule.head.pred, tuple.into_boxed_slice()));
+                continue;
+            }
+            let unsafe_vars = unsafe_variables(rule);
+            let guards: Vec<CompiledAtom> = if unsafe_vars.is_empty() {
+                vec![]
+            } else {
+                match options.safety {
+                    SafetyPolicy::Reject => {
+                        return Err(GroundError::UnsafeRule {
+                            rule: crate::ast::display_rule(rule, &symbols),
+                            variable: symbols.name(unsafe_vars[0]).to_string(),
+                        });
+                    }
+                    SafetyPolicy::ActiveDomain => {
+                        need_dom = true;
+                        // Guards share the rule's slot assignment.
+                        let probe = compile_rule(rule, &[]);
+                        let mut slot_of: FxHashMap<Symbol, usize> = FxHashMap::default();
+                        for (i, v) in probe.var_names.iter().enumerate() {
+                            slot_of.insert(*v, i);
+                        }
+                        unsafe_vars
+                            .iter()
+                            .map(|v| CompiledAtom {
+                                pred: dom_pred,
+                                pats: vec![Pat::Var(slot_of[v])],
+                            })
+                            .collect()
+                    }
+                }
+            };
+            negs.push(compile_neg_atoms(rule));
+            compiled.push(compile_rule(rule, &guards));
+        }
+
+        // ---- Active domain facts ----------------------------------------
+        if need_dom {
+            let mut dom_terms: Vec<ConstId> = Vec::new();
+            for (_, tuple) in &facts {
+                for &t in tuple.iter() {
+                    collect_subterms(t, &base, &mut dom_terms);
+                }
+            }
+            for rule in &program.rules {
+                collect_rule_consts(rule, &mut base, &mut dom_terms);
+            }
+            dom_terms.sort_unstable();
+            dom_terms.dedup();
+            if dom_terms.is_empty() {
+                return Err(GroundError::EmptyDomain);
+            }
+            for t in dom_terms {
+                facts.push((dom_pred, vec![t].into_boxed_slice()));
+            }
+        }
+
+        // ---- Pass 2: positive envelope ----------------------------------
+        let limits = EvalLimits {
+            max_tuples: options.max_envelope_tuples,
+        };
+        let mut envelope = evaluate_positive(&compiled, &facts, &mut base, &limits)?;
+        index_all_columns(&mut envelope);
+
+        let mut grounder = IncrementalGrounder {
+            options: *options,
+            dom_pred,
+            need_dom,
+            base,
+            envelope,
+            compiled,
+            negs,
+            prog: GroundProgramBuilder::with_symbols(symbols).finish(),
+            atom_ids: FxHashMap::default(),
+            emitted: FxHashSet::default(),
+            dropped: FxHashMap::default(),
+            precise: true,
+        };
+
+        // ---- Pass 3: instantiate over the envelope ----------------------
+        // EDB facts become bodyless ground rules (the synthetic domain
+        // guard is not part of H).
+        for (pred, tuple) in &facts {
+            if *pred == grounder.dom_pred {
+                continue;
+            }
+            let head = grounder.intern_final(*pred, tuple);
+            grounder.push_rule_checked(head, vec![], vec![])?;
+        }
+        for ix in 0..grounder.compiled.len() {
+            let emissions = grounder.join_rule(ix, None);
+            for e in emissions {
+                grounder.admit(ix as u32, e)?;
+            }
+        }
+        Ok(grounder)
+    }
+
+    /// The ground program in its current state.
+    pub fn program(&self) -> &GroundProgram {
+        &self.prog
+    }
+
+    /// Consume the grounder, keeping only the ground program.
+    pub fn into_program(self) -> GroundProgram {
+        self.prog
+    }
+
+    /// `false` when some negative literal could not be keyed for
+    /// resurrection (see module docs); asserts are then unsound and the
+    /// caller should re-ground cold.
+    pub fn supports_incremental(&self) -> bool {
+        self.precise
+    }
+
+    /// `true` when grounding used active-domain guards. Retraction can
+    /// then shrink the domain, and instances whose only positive subgoal
+    /// was a stripped `$dom` guard would survive a warm retract that a
+    /// cold re-ground would drop — callers should re-ground cold.
+    pub fn uses_active_domain(&self) -> bool {
+        self.need_dom
+    }
+
+    /// Translate an atom expressed against a foreign [`SymbolStore`] into
+    /// this grounder's symbol space (mapping by name, interning as
+    /// needed). The grounder's store starts as a clone of the source
+    /// program's but the two diverge as soon as either side interns new
+    /// names, so assert/retract go through this translation.
+    pub fn import_atom(&mut self, atom: &Atom, from: &crate::symbol::SymbolStore) -> Atom {
+        fn import_term(
+            t: &crate::ast::Term,
+            from: &crate::symbol::SymbolStore,
+            to: &mut crate::symbol::SymbolStore,
+        ) -> crate::ast::Term {
+            match t {
+                crate::ast::Term::Const(c) => crate::ast::Term::Const(to.intern(from.name(*c))),
+                crate::ast::Term::App(f, args) => crate::ast::Term::App(
+                    to.intern(from.name(*f)),
+                    args.iter().map(|a| import_term(a, from, to)).collect(),
+                ),
+                crate::ast::Term::Var(v) => crate::ast::Term::Var(to.intern(from.name(*v))),
+            }
+        }
+        let to = self.prog.symbols_mut();
+        Atom::new(
+            to.intern(from.name(atom.pred)),
+            atom.args.iter().map(|t| import_term(t, from, to)).collect(),
+        )
+    }
+
+    /// Add a ground EDB fact, extending the envelope and the ground
+    /// program by exactly the affected instances. `from` is the symbol
+    /// store `atom` was parsed against (see
+    /// [`IncrementalGrounder::import_atom`]).
+    ///
+    /// # Panics
+    /// Panics if `atom` is not ground.
+    pub fn assert_fact(
+        &mut self,
+        atom: &Atom,
+        from: &crate::symbol::SymbolStore,
+    ) -> Result<DeltaEffect, GroundError> {
+        assert!(atom.is_ground(), "assert_fact needs a ground atom");
+        let atom = &self.import_atom(atom, from);
+        let tuple: Tuple = atom
+            .args
+            .iter()
+            .map(|t| intern_ground_term(t, &mut self.base))
+            .collect();
+        let final_atom = self.intern_final(atom.pred, &tuple);
+        let mut effect = DeltaEffect {
+            atom: Some(final_atom),
+            ..DeltaEffect::default()
+        };
+        if self
+            .prog
+            .rules_with_head(final_atom)
+            .iter()
+            .any(|&r| self.prog.rule(r).is_fact())
+        {
+            return Ok(effect); // already a fact — no-op
+        }
+        effect.fresh = true;
+        self.push_rule_checked(final_atom, vec![], vec![])?;
+
+        // Seed the envelope rounds with the fact, plus any new active-domain
+        // members it introduces.
+        let mut seed: Vec<(Symbol, Tuple)> = vec![(atom.pred, tuple)];
+        if self.need_dom {
+            let mut dom_terms = Vec::new();
+            for (_, tuple) in seed.clone() {
+                for &t in tuple.iter() {
+                    collect_subterms(t, &self.base, &mut dom_terms);
+                }
+            }
+            dom_terms.sort_unstable();
+            dom_terms.dedup();
+            for t in dom_terms {
+                seed.push((self.dom_pred, vec![t].into_boxed_slice()));
+            }
+        }
+        let limits = EvalLimits {
+            max_tuples: self.options.max_envelope_tuples,
+        };
+        let delta = extend_positive(
+            &self.compiled,
+            &mut self.envelope,
+            seed,
+            &mut self.base,
+            &limits,
+        )?;
+        index_all_columns(&mut self.envelope);
+
+        // Resurrect negative literals whose atom just entered the envelope.
+        for (pred, rel) in delta.iter() {
+            for row in rel.rows() {
+                if let Some(rules) = self.dropped.remove(&(pred, row.clone())) {
+                    let neg_atom = self.intern_final(pred, row);
+                    for rid in rules {
+                        self.prog.add_neg_literal(rid, neg_atom);
+                        effect.changed.push(self.prog.rule(rid).head);
+                        effect.resurrected += 1;
+                    }
+                }
+            }
+        }
+
+        // Instantiate the rules whose body touches a delta relation, with
+        // the delta substituted at one focus position at a time; the
+        // `emitted` set keeps re-joins from duplicating instances.
+        for ix in 0..self.compiled.len() {
+            let touches = self.compiled[ix]
+                .body
+                .iter()
+                .any(|a| delta.relation(a.pred).is_some_and(|r| !r.is_empty()));
+            if !touches {
+                continue;
+            }
+            for focus in 0..self.compiled[ix].body.len() {
+                let pred = self.compiled[ix].body[focus].pred;
+                if delta.relation(pred).is_none_or(Relation::is_empty) {
+                    continue;
+                }
+                let emissions = self.join_rule(ix, Some((focus, &delta)));
+                for e in emissions {
+                    if self.emitted.contains(&(ix as u32, e.sig.clone())) {
+                        continue;
+                    }
+                    let head = self.admit(ix as u32, e)?;
+                    effect.changed.push(head);
+                    effect.new_rules += 1;
+                }
+            }
+        }
+        effect.changed.push(final_atom);
+        effect.changed.sort_unstable();
+        effect.changed.dedup();
+        Ok(effect)
+    }
+
+    /// Remove a ground EDB fact (the bodyless rule for its atom), if
+    /// present. The envelope intentionally stays a stale superset — see
+    /// the module docs for why this is semantics-preserving.
+    pub fn retract_fact(
+        &mut self,
+        atom: &Atom,
+        from: &crate::symbol::SymbolStore,
+    ) -> Result<DeltaEffect, GroundError> {
+        assert!(atom.is_ground(), "retract_fact needs a ground atom");
+        let atom = &self.import_atom(atom, from);
+        let mut effect = DeltaEffect::default();
+        let Some(final_atom) = self.find_final_atom(atom) else {
+            return Ok(effect); // never materialized — nothing to retract
+        };
+        effect.atom = Some(final_atom);
+        let Some(&rid) = self
+            .prog
+            .rules_with_head(final_atom)
+            .iter()
+            .find(|&&r| self.prog.rule(r).is_fact())
+        else {
+            return Ok(effect); // not a fact — no-op
+        };
+        if let Some(moved) = self.prog.remove_rule(rid) {
+            // The swap-remove renamed the former last rule; keep the
+            // resurrection records pointing at it.
+            for rules in self.dropped.values_mut() {
+                for r in rules.iter_mut() {
+                    if *r == moved {
+                        *r = rid;
+                    }
+                }
+            }
+        }
+        effect.fresh = true;
+        effect.changed.push(final_atom);
+        Ok(effect)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn intern_final(&mut self, pred: Symbol, args: &[ConstId]) -> AtomId {
+        let key = (pred, args.to_vec().into_boxed_slice());
+        if let Some(&id) = self.atom_ids.get(&key) {
+            return id;
+        }
+        let new_args: Vec<ConstId> = args
+            .iter()
+            .map(|&a| reintern_term(a, &self.base, self.prog.base_mut()))
+            .collect();
+        let id = self.prog.intern_atom_ids(pred, &new_args);
+        self.atom_ids.insert(key, id);
+        id
+    }
+
+    /// Resolve an AST atom against the **final** base without interning.
+    fn find_final_atom(&self, atom: &Atom) -> Option<AtomId> {
+        fn find_term(t: &crate::ast::Term, base: &HerbrandBase) -> Option<ConstId> {
+            match t {
+                crate::ast::Term::Const(c) => base.find_term(&crate::atoms::GroundTerm::Const(*c)),
+                crate::ast::Term::App(f, args) => {
+                    let ids: Option<Vec<ConstId>> =
+                        args.iter().map(|a| find_term(a, base)).collect();
+                    base.find_term(&crate::atoms::GroundTerm::App(*f, ids?.into_boxed_slice()))
+                }
+                crate::ast::Term::Var(_) => None,
+            }
+        }
+        let args: Option<Vec<ConstId>> = atom
+            .args
+            .iter()
+            .map(|t| find_term(t, self.prog.base()))
+            .collect();
+        self.prog.base().find_atom(atom.pred, &args?)
+    }
+
+    /// Join rule `ix` over the envelope — or, when `focus` names a body
+    /// position and a delta database, with the delta substituted there —
+    /// and collect the emissions.
+    fn join_rule(&self, ix: usize, focus: Option<(usize, &Database)>) -> Vec<Emission> {
+        let cr = &self.compiled[ix];
+        let negs = &self.negs[ix];
+        let empty = Relation::new(0);
+        let rels: Vec<&Relation> = cr
+            .body
+            .iter()
+            .enumerate()
+            .map(|(i, atom)| {
+                let db = match focus {
+                    Some((f, delta)) if i == f => delta,
+                    _ => &self.envelope,
+                };
+                db.relation(atom.pred).unwrap_or(&empty)
+            })
+            .collect();
+        let mut env: Vec<Option<ConstId>> = vec![None; cr.nvars];
+        let mut emissions: Vec<Emission> = Vec::new();
+        let dom_pred = self.dom_pred;
+        let envelope = &self.envelope;
+        join(&cr.body, &rels, &self.base, &mut env, &mut |env, base| {
+            let head: Vec<ConstId> = cr
+                .head
+                .pats
+                .iter()
+                .map(|p| try_eval_pat(p, env, base).expect("head term is in the envelope"))
+                .collect();
+            let pos: Vec<Vec<ConstId>> = cr
+                .body
+                .iter()
+                .filter(|a| a.pred != dom_pred)
+                .map(|a| {
+                    a.pats
+                        .iter()
+                        .map(|p| try_eval_pat(p, env, base).expect("pos body term matched"))
+                        .collect()
+                })
+                .collect();
+            let neg: Vec<NegResolution> = negs
+                .iter()
+                .map(|a| {
+                    let args: Option<Vec<ConstId>> =
+                        a.pats.iter().map(|p| try_eval_pat(p, env, base)).collect();
+                    match args {
+                        None => NegResolution::Unresolved,
+                        Some(args) if envelope.contains(a.pred, &args) => {
+                            NegResolution::Inside(args)
+                        }
+                        Some(args) => NegResolution::Outside(a.pred, args.into_boxed_slice()),
+                    }
+                })
+                .collect();
+            emissions.push(Emission {
+                sig: env.to_vec().into_boxed_slice(),
+                head,
+                pos,
+                neg,
+            });
+        });
+        emissions
+    }
+
+    /// Intern one emission's atoms and append its ground rule, recording
+    /// the binding signature and any pruned negative literals. Returns the
+    /// instance's head atom.
+    fn admit(&mut self, ix: u32, e: Emission) -> Result<AtomId, GroundError> {
+        let head = self.intern_final(self.compiled[ix as usize].head.pred, &e.head);
+        let body_preds: Vec<Symbol> = self.compiled[ix as usize]
+            .body
+            .iter()
+            .filter(|a| a.pred != self.dom_pred)
+            .map(|a| a.pred)
+            .collect();
+        let mut pos_ids = Vec::with_capacity(e.pos.len());
+        for (pred, args) in body_preds.into_iter().zip(e.pos.iter()) {
+            pos_ids.push(self.intern_final(pred, args));
+        }
+        let neg_preds: Vec<Symbol> = self.negs[ix as usize].iter().map(|a| a.pred).collect();
+        let mut neg_ids = Vec::new();
+        let mut pruned: Vec<(Symbol, Tuple)> = Vec::new();
+        for (k, res) in e.neg.into_iter().enumerate() {
+            match res {
+                NegResolution::Inside(args) => {
+                    neg_ids.push(self.intern_final(neg_preds[k], &args));
+                }
+                NegResolution::Outside(pred, args) => pruned.push((pred, args)),
+                NegResolution::Unresolved => {
+                    self.precise = false;
+                }
+            }
+        }
+        let rid = self.push_rule_checked(head, pos_ids, neg_ids)?;
+        for key in pruned {
+            self.dropped.entry(key).or_default().push(rid);
+        }
+        self.emitted.insert((ix, e.sig));
+        Ok(head)
+    }
+
+    fn push_rule_checked(
+        &mut self,
+        head: AtomId,
+        pos: Vec<AtomId>,
+        neg: Vec<AtomId>,
+    ) -> Result<RuleId, GroundError> {
+        if self.prog.rule_count() + 1 > self.options.max_ground_rules {
+            return Err(GroundError::RuleBudgetExceeded {
+                limit: self.options.max_ground_rules,
+            });
+        }
+        Ok(self.prog.push_rule(head, pos, neg))
+    }
+}
+
+fn index_all_columns(db: &mut Database) {
+    let preds: Vec<Symbol> = db.iter().map(|(p, _)| p).collect();
+    for p in preds {
+        if let Some(rel) = db.relation(p) {
+            let arity = rel.arity();
+            let rel = db.relation_mut(p, arity);
+            for col in 0..arity {
+                rel.ensure_index(col);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground_with, GroundOptions};
+    use crate::parser::{parse_atom_into, parse_program};
+
+    fn assert_same_programs(a: &GroundProgram, b: &GroundProgram) {
+        // Compare as (displayed) rule sets — atom id assignment may differ
+        // between a warm and a cold grounding.
+        let mut ra: Vec<String> = a.to_string().lines().map(String::from).collect();
+        let mut rb: Vec<String> = b.to_string().lines().map(String::from).collect();
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn initial_grounding_matches_batch() {
+        for src in [
+            "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).",
+            "p :- not q. q :- not p. r :- p, q.",
+            "tc(X,Y) :- e(X,Y). tc(X,Y) :- e(X,Z), tc(Z,Y). e(a,b). e(b,c).",
+        ] {
+            let program = parse_program(src).unwrap();
+            let options = GroundOptions::default();
+            let batch = ground_with(&program, &options).unwrap();
+            let incr = IncrementalGrounder::new(&program, &options).unwrap();
+            assert_same_programs(&batch, incr.program());
+        }
+    }
+
+    #[test]
+    fn assert_equals_cold_ground_of_concatenated_text() {
+        let base_src = "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a).";
+        let mut program = parse_program(base_src).unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        assert!(g.supports_incremental());
+
+        // move(b, c) resurrects nothing; move(c, d) must resurrect the
+        // pruned `not wins(c)` on the wins(b) :- move(b,c) instance.
+        for fact in ["move(b, c)", "move(c, d)"] {
+            let atom = parse_atom_into(fact, &mut program).unwrap();
+            let effect = g.assert_fact(&atom, &program.symbols).unwrap();
+            assert!(effect.fresh);
+        }
+        let cold_src = format!("{base_src} move(b, c). move(c, d).");
+        let cold = ground_with(&parse_program(&cold_src).unwrap(), &options).unwrap();
+        assert_same_programs(g.program(), &cold);
+    }
+
+    #[test]
+    fn resurrection_restores_pruned_negative_literals() {
+        let mut program = parse_program("wins(X) :- move(X, Y), not wins(Y). move(b, c).").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        // Initially `not wins(c)` is pruned: wins(c) has no derivation.
+        let wb = g.program().find_atom_by_name("wins", &["b"]).unwrap();
+        let rb = g.program().rules_with_head(wb)[0];
+        assert!(g.program().rule(rb).neg.is_empty());
+
+        let atom = parse_atom_into("move(c, d)", &mut program).unwrap();
+        let effect = g.assert_fact(&atom, &program.symbols).unwrap();
+        assert!(effect.resurrected >= 1);
+        let wc = g.program().find_atom_by_name("wins", &["c"]).unwrap();
+        let rb = g.program().rules_with_head(wb)[0];
+        assert_eq!(g.program().rule(rb).neg.as_ref(), &[wc]);
+    }
+
+    #[test]
+    fn assert_is_idempotent() {
+        let mut program = parse_program("p(X) :- e(X). e(a).").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("e(b)", &mut program).unwrap();
+        assert!(g.assert_fact(&atom, &program.symbols).unwrap().fresh);
+        let before = g.program().rule_count();
+        assert!(!g.assert_fact(&atom, &program.symbols).unwrap().fresh);
+        assert_eq!(g.program().rule_count(), before);
+    }
+
+    #[test]
+    fn retract_removes_the_fact_rule_only() {
+        let mut program = parse_program("p(X) :- e(X). e(a). e(b).").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("e(a)", &mut program).unwrap();
+        let effect = g.retract_fact(&atom, &program.symbols).unwrap();
+        assert!(effect.fresh);
+        let ea = g.program().find_atom_by_name("e", &["a"]).unwrap();
+        assert!(g.program().rules_with_head(ea).is_empty());
+        // Retracting again is a no-op.
+        assert!(!g.retract_fact(&atom, &program.symbols).unwrap().fresh);
+        // The instance p(a) :- e(a) survives but can never fire.
+        let pa = g.program().find_atom_by_name("p", &["a"]).unwrap();
+        assert_eq!(g.program().rules_with_head(pa).len(), 1);
+    }
+
+    #[test]
+    fn retract_then_assert_round_trips() {
+        let mut program = parse_program("p(X) :- e(X). e(a).").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("e(a)", &mut program).unwrap();
+        assert!(g.retract_fact(&atom, &program.symbols).unwrap().fresh);
+        assert!(g.assert_fact(&atom, &program.symbols).unwrap().fresh);
+        let ea = g.program().find_atom_by_name("e", &["a"]).unwrap();
+        let facts = g
+            .program()
+            .rules_with_head(ea)
+            .iter()
+            .filter(|&&r| g.program().rule(r).is_fact())
+            .count();
+        assert_eq!(facts, 1);
+    }
+
+    #[test]
+    fn active_domain_asserts_extend_the_domain() {
+        let mut program = parse_program("p(X) :- not q(X). q(a). r(b).").unwrap();
+        let options = GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("r(c)", &mut program).unwrap();
+        g.assert_fact(&atom, &program.symbols).unwrap();
+        let cold_src = "p(X) :- not q(X). q(a). r(b). r(c).";
+        let cold = ground_with(&parse_program(cold_src).unwrap(), &options).unwrap();
+        assert_same_programs(g.program(), &cold);
+    }
+}

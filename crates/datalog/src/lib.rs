@@ -31,6 +31,7 @@ pub mod error;
 pub mod fx;
 pub mod ground;
 pub mod horn;
+pub mod incremental;
 pub mod parser;
 pub mod program;
 pub mod relation;
@@ -42,6 +43,7 @@ pub use atoms::{AtomId, ConstId, HerbrandBase};
 pub use bitset::AtomSet;
 pub use error::{GroundError, ParseError};
 pub use ground::{ground, ground_with, GroundOptions, SafetyPolicy};
+pub use incremental::{DeltaEffect, IncrementalGrounder};
 pub use parser::parse_program;
 pub use program::{parse_ground, GroundProgram, GroundProgramBuilder, GroundRule, RuleId};
 pub use symbol::{Symbol, SymbolStore};

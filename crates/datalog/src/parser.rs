@@ -67,8 +67,8 @@ enum TokenKind {
     Variable(String),
     /// number or quoted literal, kept as constant text
     Constant(String),
-    If,    // :-
-    Not,   // not | \+ | ~ | ¬
+    If,  // :-
+    Not, // not | \+ | ~ | ¬
     Comma,
     Dot,
     LParen,
@@ -389,9 +389,9 @@ impl Parser {
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
-        let tok = self.next().ok_or(ParseError::UnexpectedEof {
-            expected: "a term",
-        })?;
+        let tok = self
+            .next()
+            .ok_or(ParseError::UnexpectedEof { expected: "a term" })?;
         match tok.kind {
             TokenKind::Variable(name) => Ok(Term::Var(self.program.symbols.intern(&name))),
             TokenKind::Constant(text) => Ok(Term::Const(self.program.symbols.intern(&text))),
@@ -543,10 +543,7 @@ mod tests {
         let p2 = parse_program(&text).unwrap();
         assert_eq!(p1.rules.len(), p2.rules.len());
         for (a, b) in p1.rules.iter().zip(&p2.rules) {
-            assert_eq!(
-                display_rule(a, &p1.symbols),
-                display_rule(b, &p2.symbols)
-            );
+            assert_eq!(display_rule(a, &p1.symbols), display_rule(b, &p2.symbols));
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::ast::{Program, Term};
 use crate::atoms::{AtomId, HerbrandBase};
 use crate::bitset::AtomSet;
-use crate::symbol::SymbolStore;
+use crate::symbol::{Symbol, SymbolStore};
 use std::fmt;
 
 /// Index of a rule within a [`GroundProgram`].
@@ -134,9 +134,7 @@ impl GroundProgram {
         let mut ids = Vec::with_capacity(args.len());
         for a in args {
             let sym = self.symbols.get(a)?;
-            let id = self
-                .base
-                .find_term(&crate::atoms::GroundTerm::Const(sym))?;
+            let id = self.base.find_term(&crate::atoms::GroundTerm::Const(sym))?;
             ids.push(id);
         }
         self.base.find_atom(p, &ids)
@@ -157,6 +155,105 @@ impl GroundProgram {
             .iter()
             .map(|r| 1 + r.pos.len() + r.neg.len())
             .sum()
+    }
+
+    /// Intern a ground atom (over term ids of **this program's base**) and
+    /// grow the occurrence indices to cover it. New atoms start with no
+    /// rules — false in every semantics — until rules are pushed.
+    pub fn intern_atom_ids(&mut self, pred: Symbol, args: &[crate::atoms::ConstId]) -> AtomId {
+        let id = self.base.intern_atom(pred, args);
+        let n = self.base.atom_count();
+        if self.head_index.len() < n {
+            self.head_index.resize_with(n, Vec::new);
+            self.pos_index.resize_with(n, Vec::new);
+            self.neg_index.resize_with(n, Vec::new);
+        }
+        id
+    }
+
+    /// Mutable access to the Herbrand base, for interning ground **terms**
+    /// before [`GroundProgram::intern_atom_ids`]. Callers must not intern
+    /// atoms through this handle directly — atom growth has to go through
+    /// `intern_atom_ids` so the occurrence indices stay sized to the base.
+    pub fn base_mut(&mut self) -> &mut HerbrandBase {
+        &mut self.base
+    }
+
+    /// Mutable access to the symbol store (to intern predicate or constant
+    /// names arriving after initial grounding).
+    pub fn symbols_mut(&mut self) -> &mut SymbolStore {
+        &mut self.symbols
+    }
+
+    /// Append a rule, maintaining the occurrence indices. Body lists are
+    /// normalized exactly as during initial construction.
+    pub fn push_rule(&mut self, head: AtomId, pos: Vec<AtomId>, neg: Vec<AtomId>) -> RuleId {
+        let rule = GroundRule::new(head, pos, neg);
+        let id = self.rules.len() as RuleId;
+        self.head_index[rule.head.index()].push(id);
+        for &p in rule.pos.iter() {
+            self.pos_index[p.index()].push(id);
+        }
+        for &q in rule.neg.iter() {
+            self.neg_index[q.index()].push(id);
+        }
+        self.rules.push(rule);
+        id
+    }
+
+    /// Add `atom` to the negative body of `rule` (no-op when already
+    /// present), maintaining the occurrence indices. Used by the
+    /// incremental grounder to resurrect negative literals it had pruned
+    /// while their atom was outside the positive envelope.
+    pub fn add_neg_literal(&mut self, rule: RuleId, atom: AtomId) {
+        let r = &mut self.rules[rule as usize];
+        match r.neg.binary_search(&atom) {
+            Ok(_) => {}
+            Err(ix) => {
+                let mut neg = r.neg.to_vec();
+                neg.insert(ix, atom);
+                r.neg = neg.into_boxed_slice();
+                self.neg_index[atom.index()].push(rule);
+            }
+        }
+    }
+
+    /// Remove a rule by id via swap-remove: the **last** rule takes over
+    /// `id` (the returned value names the rule that moved, if any). All
+    /// occurrence indices are patched; other rule ids are unchanged.
+    pub fn remove_rule(&mut self, id: RuleId) -> Option<RuleId> {
+        let unlink = |index: &mut Vec<Vec<RuleId>>, atom: AtomId, rid: RuleId| {
+            let v = &mut index[atom.index()];
+            let pos = v.iter().position(|&r| r == rid).expect("indexed rule");
+            v.swap_remove(pos);
+        };
+        let relink = |index: &mut Vec<Vec<RuleId>>, atom: AtomId, from: RuleId, to: RuleId| {
+            let v = &mut index[atom.index()];
+            let pos = v.iter().position(|&r| r == from).expect("indexed rule");
+            v[pos] = to;
+        };
+        let gone = self.rules[id as usize].clone();
+        unlink(&mut self.head_index, gone.head, id);
+        for &p in gone.pos.iter() {
+            unlink(&mut self.pos_index, p, id);
+        }
+        for &q in gone.neg.iter() {
+            unlink(&mut self.neg_index, q, id);
+        }
+        let last = (self.rules.len() - 1) as RuleId;
+        self.rules.swap_remove(id as usize);
+        if last == id {
+            return None;
+        }
+        let moved = self.rules[id as usize].clone();
+        relink(&mut self.head_index, moved.head, last, id);
+        for &p in moved.pos.iter() {
+            relink(&mut self.pos_index, p, last, id);
+        }
+        for &q in moved.neg.iter() {
+            relink(&mut self.neg_index, q, last, id);
+        }
+        Some(last)
     }
 
     /// A copy of this program over the **same Herbrand base and atom ids**

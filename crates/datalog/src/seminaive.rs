@@ -28,7 +28,6 @@ pub enum Pat {
 }
 
 impl Pat {
-
     /// True when every variable in the pattern is bound in `env`.
     fn is_determined(&self, env: &[Option<ConstId>]) -> bool {
         match self {
@@ -68,8 +67,9 @@ pub struct CompiledRule {
 pub fn compile_rule(rule: &Rule, extra_guards: &[CompiledAtom]) -> CompiledRule {
     let mut slots: FxHashMap<Symbol, usize> = FxHashMap::default();
     let mut var_names = Vec::new();
-    let compile_term = |t: &Term, slots: &mut FxHashMap<Symbol, usize>,
-                            var_names: &mut Vec<Symbol>|
+    let compile_term = |t: &Term,
+                        slots: &mut FxHashMap<Symbol, usize>,
+                        var_names: &mut Vec<Symbol>|
      -> Pat { compile_term_rec(t, slots, var_names) };
     let mut body = Vec::new();
     for lit in rule.body.iter().filter(|l| l.positive) {
@@ -162,10 +162,9 @@ fn compile_term_ro(t: &Term, slots: &FxHashMap<Symbol, usize>) -> Pat {
     match t {
         Term::Var(v) => Pat::Var(*slots.get(v).expect("slot assigned for every rule variable")),
         Term::Const(c) => Pat::Const(*c),
-        Term::App(f, args) => Pat::App(
-            *f,
-            args.iter().map(|a| compile_term_ro(a, slots)).collect(),
-        ),
+        Term::App(f, args) => {
+            Pat::App(*f, args.iter().map(|a| compile_term_ro(a, slots)).collect())
+        }
     }
 }
 
@@ -270,8 +269,8 @@ fn join_rec(
     }
     let snapshot = env.clone();
     let try_row = |row: &Tuple,
-                       env: &mut Vec<Option<ConstId>>,
-                       emit: &mut dyn FnMut(&[Option<ConstId>], &HerbrandBase)| {
+                   env: &mut Vec<Option<ConstId>>,
+                   emit: &mut dyn FnMut(&[Option<ConstId>], &HerbrandBase)| {
         let mut ok = true;
         for (pat, &val) in atom.pats.iter().zip(row.iter()) {
             if !match_pat(pat, val, env, base) {
@@ -335,14 +334,8 @@ pub fn evaluate_positive(
     limits: &EvalLimits,
 ) -> Result<Database, GroundError> {
     let mut full = Database::new();
-    let mut delta = Database::new();
-    for (pred, tuple) in facts {
-        if full.insert(*pred, tuple.clone()) {
-            delta.insert(*pred, tuple.clone());
-        }
-    }
+    let mut seed: Vec<(Symbol, Tuple)> = facts.to_vec();
     // Zero-body compiled rules (ground heads after compilation) fire once.
-    let mut buffer: Vec<(Symbol, Tuple)> = Vec::new();
     for rule in rules.iter().filter(|r| r.body.is_empty()) {
         let env: Vec<Option<ConstId>> = vec![None; rule.nvars];
         let head: Vec<ConstId> = rule
@@ -351,13 +344,33 @@ pub fn evaluate_positive(
             .iter()
             .map(|p| eval_pat(p, &env, base))
             .collect();
-        buffer.push((rule.head.pred, head.into_boxed_slice()));
+        seed.push((rule.head.pred, head.into_boxed_slice()));
     }
-    for (pred, tuple) in buffer.drain(..) {
+    extend_positive(rules, &mut full, seed, base, limits)?;
+    Ok(full)
+}
+
+/// Extend an existing least-model database with new seed tuples and run
+/// the semi-naive rounds to closure. `full` is updated in place; the
+/// returned database holds **exactly the tuples added by this call** (the
+/// delta-closure), which the incremental grounder uses to instantiate only
+/// the affected rule instances.
+pub fn extend_positive(
+    rules: &[CompiledRule],
+    full: &mut Database,
+    seed: Vec<(Symbol, Tuple)>,
+    base: &mut HerbrandBase,
+    limits: &EvalLimits,
+) -> Result<Database, GroundError> {
+    let mut added = Database::new();
+    let mut delta = Database::new();
+    for (pred, tuple) in seed {
         if full.insert(pred, tuple.clone()) {
+            added.insert(pred, tuple.clone());
             delta.insert(pred, tuple);
         }
     }
+    let mut buffer: Vec<(Symbol, Tuple)> = Vec::new();
 
     loop {
         if full.total_tuples() > limits.max_tuples {
@@ -368,7 +381,7 @@ pub fn evaluate_positive(
         // Ensure indices for every column of every relation used in a body.
         for rule in rules {
             for atom in &rule.body {
-                for db in [&mut full, &mut delta] {
+                for db in [&mut *full, &mut delta] {
                     if let Some(rel) = db.relation(atom.pred) {
                         let arity = rel.arity();
                         let rel = db.relation_mut(atom.pred, arity);
@@ -390,7 +403,7 @@ pub fn evaluate_positive(
                     .iter()
                     .enumerate()
                     .map(|(i, atom)| {
-                        let db = if i == focus { &delta } else { &full };
+                        let db: &Database = if i == focus { &delta } else { full };
                         db.relation(atom.pred).unwrap_or(&empty)
                     })
                     .collect();
@@ -401,28 +414,20 @@ pub fn evaluate_positive(
                 let head_pred = rule.head.pred;
                 let head_pats = &rule.head.pats;
                 let mut local: Vec<(Symbol, Vec<ConstId>)> = Vec::new();
-                join(
-                    &rule.body,
-                    &rels,
-                    base,
-                    &mut env,
-                    &mut |env, base| {
-                        let head: Vec<ConstId> = head_pats
-                            .iter()
-                            .map(|p| {
-                                try_eval_pat(p, env, base).map(Ok).unwrap_or(Err(()))
-                            })
-                            .collect::<Result<_, _>>()
-                            .unwrap_or_default();
-                        if head.len() == head_pats.len() {
-                            local.push((head_pred, head));
-                        } else {
-                            // Head mentions a term not yet interned; record
-                            // the env so we can intern outside the borrow.
-                            local.push((head_pred, vec![]));
-                        }
-                    },
-                );
+                join(&rule.body, &rels, base, &mut env, &mut |env, base| {
+                    let head: Vec<ConstId> = head_pats
+                        .iter()
+                        .map(|p| try_eval_pat(p, env, base).map(Ok).unwrap_or(Err(())))
+                        .collect::<Result<_, _>>()
+                        .unwrap_or_default();
+                    if head.len() == head_pats.len() {
+                        local.push((head_pred, head));
+                    } else {
+                        // Head mentions a term not yet interned; record
+                        // the env so we can intern outside the borrow.
+                        local.push((head_pred, vec![]));
+                    }
+                });
                 // Second pass for heads that needed interning: rerun with
                 // mutable base access. To keep the hot path allocation-free
                 // we only rerun when at least one head failed to resolve.
@@ -453,13 +458,14 @@ pub fn evaluate_positive(
         for (pred, tuple) in buffer.drain(..) {
             if !full.contains(pred, &tuple) {
                 full.insert(pred, tuple.clone());
+                added.insert(pred, tuple.clone());
                 next_delta.insert(pred, tuple);
                 grew = true;
             }
         }
         delta = next_delta;
         if !grew {
-            return Ok(full);
+            return Ok(added);
         }
     }
 }
@@ -488,8 +494,7 @@ mod tests {
                 rules.push(compile_rule(rule, &[]));
             }
         }
-        let db =
-            evaluate_positive(&rules, &facts, &mut base, &EvalLimits::default()).unwrap();
+        let db = evaluate_positive(&rules, &facts, &mut base, &EvalLimits::default()).unwrap();
         (db, base, prog.symbols)
     }
 
@@ -497,8 +502,7 @@ mod tests {
         match t {
             Term::Const(c) => base.intern_const(*c),
             Term::App(f, args) => {
-                let ids: Vec<ConstId> =
-                    args.iter().map(|a| intern_ground(a, base)).collect();
+                let ids: Vec<ConstId> = args.iter().map(|a| intern_ground(a, base)).collect();
                 base.intern_term(GroundTerm::App(*f, ids.into_boxed_slice()))
             }
             Term::Var(_) => panic!("fact with variable"),
@@ -507,45 +511,41 @@ mod tests {
 
     #[test]
     fn transitive_closure() {
-        let (db, base, syms) = run(
-            "e(a,b). e(b,c). e(c,d).
+        let (db, base, syms) = run("e(a,b). e(b,c). e(c,d).
              tc(X,Y) :- e(X,Y).
-             tc(X,Y) :- e(X,Z), tc(Z,Y).",
-        );
+             tc(X,Y) :- e(X,Z), tc(Z,Y).");
         let tc = syms.get("tc").unwrap();
         let rel = db.relation(tc).unwrap();
         assert_eq!(rel.len(), 6); // ab ac ad bc bd cd
-        let a = base.find_term(&GroundTerm::Const(syms.get("a").unwrap())).unwrap();
-        let d = base.find_term(&GroundTerm::Const(syms.get("d").unwrap())).unwrap();
+        let a = base
+            .find_term(&GroundTerm::Const(syms.get("a").unwrap()))
+            .unwrap();
+        let d = base
+            .find_term(&GroundTerm::Const(syms.get("d").unwrap()))
+            .unwrap();
         assert!(rel.contains(&[a, d]));
         assert!(!rel.contains(&[d, a]));
     }
 
     #[test]
     fn join_with_repeated_variables() {
-        let (db, _, syms) = run(
-            "e(a,a). e(a,b). loop(X) :- e(X,X).",
-        );
+        let (db, _, syms) = run("e(a,a). e(a,b). loop(X) :- e(X,X).");
         let l = syms.get("loop").unwrap();
         assert_eq!(db.relation(l).unwrap().len(), 1);
     }
 
     #[test]
     fn constants_in_rule_bodies() {
-        let (db, _, syms) = run(
-            "e(a,b). e(b,c). from_a(Y) :- e(a,Y).",
-        );
+        let (db, _, syms) = run("e(a,b). e(b,c). from_a(Y) :- e(a,Y).");
         assert_eq!(db.relation(syms.get("from_a").unwrap()).unwrap().len(), 1);
     }
 
     #[test]
     fn function_symbols_in_heads() {
         // Successor-bounded arithmetic: derivations build new terms.
-        let (db, base, syms) = run(
-            "n(z).
+        let (db, base, syms) = run("n(z).
              n(s(X)) :- n(X), small(X).
-             small(z). small(s(z)).",
-        );
+             small(z). small(s(z)).");
         let n = syms.get("n").unwrap();
         // z, s(z), s(s(z)) — growth stops because small/1 is finite.
         assert_eq!(db.relation(n).unwrap().len(), 3);
@@ -571,23 +571,16 @@ mod tests {
                 rules.push(compile_rule(rule, &[]));
             }
         }
-        let err = evaluate_positive(
-            &rules,
-            &facts,
-            &mut base,
-            &EvalLimits { max_tuples: 100 },
-        )
-        .unwrap_err();
+        let err = evaluate_positive(&rules, &facts, &mut base, &EvalLimits { max_tuples: 100 })
+            .unwrap_err();
         assert!(matches!(err, GroundError::AtomBudgetExceeded { .. }));
     }
 
     #[test]
     fn seminaive_equals_expected_on_cycles() {
-        let (db, _, syms) = run(
-            "e(a,b). e(b,a).
+        let (db, _, syms) = run("e(a,b). e(b,a).
              tc(X,Y) :- e(X,Y).
-             tc(X,Y) :- e(X,Z), tc(Z,Y).",
-        );
+             tc(X,Y) :- e(X,Z), tc(Z,Y).");
         // {a,b}² — cycles must terminate.
         assert_eq!(db.relation(syms.get("tc").unwrap()).unwrap().len(), 4);
     }

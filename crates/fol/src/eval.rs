@@ -48,7 +48,10 @@ impl std::fmt::Display for GeneralError {
             }
             GeneralError::ArityMismatch(p) => write!(f, "predicate {p} used with two arities"),
             GeneralError::NegativeIdbOccurrence(p) => {
-                write!(f, "fixpoint logic requires positive IDB occurrences, but {p} occurs negatively")
+                write!(
+                    f,
+                    "fixpoint logic requires positive IDB occurrences, but {p} occurs negatively"
+                )
             }
             GeneralError::EmptyDomain => write!(f, "empty active domain"),
         }
@@ -262,12 +265,7 @@ pub fn s_p_general(y: &GeneralProgram, ctx: &GeneralContext, i_tilde: &AtomSet) 
     }
 }
 
-fn step(
-    rules: &[PreparedRule],
-    ctx: &GeneralContext,
-    pos: &AtomSet,
-    neg: &AtomSet,
-) -> AtomSet {
+fn step(rules: &[PreparedRule], ctx: &GeneralContext, pos: &AtomSet, neg: &AtomSet) -> AtomSet {
     let mut out = pos.clone();
     let z = LiteralSet {
         pos: pos.clone(),
@@ -496,10 +494,8 @@ mod tests {
         let p = y.symbols.intern("p");
         let f = y.symbols.intern("f");
         let a = y.symbols.intern("a");
-        y.facts.push(Atom::new(
-            p,
-            vec![Term::App(f, vec![Term::Const(a)])],
-        ));
+        y.facts
+            .push(Atom::new(p, vec![Term::App(f, vec![Term::Const(a)])]));
         assert_eq!(
             GeneralContext::build(&y).unwrap_err(),
             GeneralError::FunctionSymbols

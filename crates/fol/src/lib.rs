@@ -26,7 +26,9 @@ pub mod formula;
 pub mod parser;
 pub mod transform;
 
-pub use eval::{afp_general, fp_model, s_p_general, GeneralAfpResult, GeneralContext, GeneralError};
+pub use eval::{
+    afp_general, fp_model, s_p_general, GeneralAfpResult, GeneralContext, GeneralError,
+};
 pub use formula::{Formula, GeneralProgram, GeneralRule, LiteralSet};
 pub use parser::{parse_general, FolParseError};
 pub use transform::{dependency_graph, lloyd_topor, AuxPred, Transformed};

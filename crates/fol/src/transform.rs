@@ -371,9 +371,7 @@ fn rename_term(t: &Term, map: &FxHashMap<Symbol, Symbol>) -> Term {
     match t {
         Term::Var(v) => Term::Var(map.get(v).copied().unwrap_or(*v)),
         Term::Const(c) => Term::Const(*c),
-        Term::App(f, args) => {
-            Term::App(*f, args.iter().map(|a| rename_term(a, map)).collect())
-        }
+        Term::App(f, args) => Term::App(*f, args.iter().map(|a| rename_term(a, map)).collect()),
     }
 }
 
@@ -419,7 +417,8 @@ mod tests {
         });
         let a = y.symbols.intern("a");
         let b = y.symbols.intern("b");
-        y.facts.push(Atom::new(e, vec![Term::Const(a), Term::Const(b)]));
+        y.facts
+            .push(Atom::new(e, vec![Term::Const(a), Term::Const(b)]));
         y
     }
 
@@ -431,7 +430,10 @@ mod tests {
         // plus the e fact.
         assert_eq!(t.aux.len(), 1);
         let u = t.aux[0].pred;
-        assert!(!t.aux[0].globally_positive, "u replaces a negative subformula");
+        assert!(
+            !t.aux[0].globally_positive,
+            "u replaces a negative subformula"
+        );
         let texts: Vec<String> = t
             .program
             .rules
@@ -554,7 +556,10 @@ mod tests {
             head: Atom::new(p, vec![Term::Var(x)]),
             body: Formula::forall(
                 vec![yv],
-                Formula::not(Formula::Atom(Atom::new(e, vec![Term::Var(x), Term::Var(yv)]))),
+                Formula::not(Formula::Atom(Atom::new(
+                    e,
+                    vec![Term::Var(x), Term::Var(yv)],
+                ))),
             ),
         });
         let t = lloyd_topor(&y);

@@ -86,7 +86,19 @@ impl<'p> Explainer<'p> {
     /// # Panics
     /// Debug-panics if `model` is not the well-founded model of `prog`
     /// (every true atom must be derivable with the model's own negatives).
+    /// Use [`Explainer::try_new`] when the model may not be replayable.
     pub fn new(prog: &'p GroundProgram, model: &'p PartialModel) -> Self {
+        Self::try_new(prog, model)
+            .expect("model is not S_P-replayable: some true atom has no derivation")
+    }
+
+    /// Build the explainer, returning `None` when `model`'s true atoms are
+    /// not all derivable by replaying `S_P` against its own negatives.
+    /// That holds for the well-founded model and everything informationally
+    /// below it (Fitting, perfect-model strata), but not in general for
+    /// e.g. the inflationary fixpoint, whose conclusions may rest on
+    /// assumptions the final model contradicts.
+    pub fn try_new(prog: &'p GroundProgram, model: &'p PartialModel) -> Option<Self> {
         let n = prog.atom_count();
         let mut rank = vec![usize::MAX; n];
         let mut deriving_rule: Vec<Option<RuleId>> = vec![None; n];
@@ -124,6 +136,11 @@ impl<'p> Explainer<'p> {
                 }
             }
         }
+        // Every true atom must have been derived in the replay; otherwise
+        // the model is not explainable in the paper's vocabulary.
+        if model.pos.iter().any(|a| rank[a as usize] == usize::MAX) {
+            return None;
+        }
         // Positive dependency SCCs for circularity reporting.
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for r in prog.rules() {
@@ -138,13 +155,13 @@ impl<'p> Explainer<'p> {
                 pos_comp[a] = cid as u32;
             }
         }
-        Explainer {
+        Some(Explainer {
             prog,
             model,
             rank,
             deriving_rule,
             pos_comp,
-        }
+        })
     }
 
     /// Position of `atom` in the derivation order of `S_P(W̃)`
@@ -160,8 +177,8 @@ impl<'p> Explainer<'p> {
     pub fn explain(&self, atom: AtomId) -> Reason {
         match self.model.truth(atom.0) {
             Truth::True => {
-                let rid = self.deriving_rule[atom.index()]
-                    .expect("true atoms are derived in the replay");
+                let rid =
+                    self.deriving_rule[atom.index()].expect("true atoms are derived in the replay");
                 let r = self.prog.rule(rid);
                 Reason::DerivedBy {
                     rule: rid,
@@ -306,8 +323,7 @@ impl<'p> Explainer<'p> {
                 }
             }
             Reason::SuspendedOn { atoms } => {
-                let names: Vec<String> =
-                    atoms.iter().map(|&q| self.prog.atom_name(q)).collect();
+                let names: Vec<String> = atoms.iter().map(|&q| self.prog.atom_name(q)).collect();
                 out.push_str(&format!(
                     "{pad}{name} is UNDEFINED: hinges on undefined {}\n",
                     names.join(", ")
@@ -424,9 +440,8 @@ mod tests {
     fn every_atom_gets_a_valid_reason() {
         // Sweep a mixed program; the explanation kind must match the truth
         // value everywhere.
-        let (g, model) = explainer_for(
-            "a. b :- a, not c. c :- not b. d :- e. e :- d. f :- not a. g :- b.",
-        );
+        let (g, model) =
+            explainer_for("a. b :- a, not c. c :- not b. d :- e. e :- d. f :- not a. g :- b.");
         let ex = Explainer::new(&g, &model);
         for id in 0..g.atom_count() as u32 {
             let atom = AtomId(id);

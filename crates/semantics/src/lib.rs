@@ -32,8 +32,8 @@ pub use inflationary::{inflationary_fixpoint, InflationaryResult, NaiveOutcome};
 pub use modular::{modular_wfs, ModularResult};
 pub use residual::{lift_residual_model, residual_program};
 pub use stable::{
-    brute_force_stable, enumerate_stable, is_stable, stable_models, EnumerateOptions,
-    EnumerateResult,
+    brute_force_stable, cautious_consequences, enumerate_stable, is_stable, stable_models,
+    EnumerateOptions, EnumerateResult,
 };
 pub use stratified::{is_locally_stratified, local_strata, perfect_model, PerfectResult};
 pub use unfounded::{greatest_unfounded_set, is_unfounded_set};

@@ -222,7 +222,6 @@ fn evaluate_component(prog: &GroundProgram, comp: &[usize], model: &mut PartialM
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

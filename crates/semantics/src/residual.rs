@@ -26,10 +26,7 @@ pub fn residual_program(prog: &GroundProgram, model: &PartialModel) -> GroundPro
     let mut new_id = vec![None; prog.atom_count()];
     for a in undefined.iter() {
         let (pred, args) = prog.base().atom(afp_datalog::AtomId(a));
-        let new_args: Vec<_> = args
-            .iter()
-            .map(|&t| reintern(t, prog, &mut b))
-            .collect();
+        let new_args: Vec<_> = args.iter().map(|&t| reintern(t, prog, &mut b)).collect();
         new_id[a as usize] = Some(b.base_mut().intern_atom(pred, &new_args));
     }
     'rules: for r in prog.rules() {
@@ -88,10 +85,11 @@ fn reintern(
         afp_datalog::atoms::GroundTerm::Const(c) => b.base_mut().intern_const(c),
         afp_datalog::atoms::GroundTerm::App(f, args) => {
             let new_args: Vec<_> = args.iter().map(|&a| reintern(a, prog, b)).collect();
-            b.base_mut().intern_term(afp_datalog::atoms::GroundTerm::App(
-                f,
-                new_args.into_boxed_slice(),
-            ))
+            b.base_mut()
+                .intern_term(afp_datalog::atoms::GroundTerm::App(
+                    f,
+                    new_args.into_boxed_slice(),
+                ))
         }
     }
 }
@@ -105,9 +103,7 @@ mod tests {
 
     #[test]
     fn residual_keeps_only_the_undefined_core() {
-        let g = parse_ground(
-            "base. p :- not q. q :- not p. r :- base, p. dead :- not base.",
-        );
+        let g = parse_ground("base. p :- not q. q :- not p. r :- base, p. dead :- not base.");
         let wfs = alternating_fixpoint(&g);
         let res = residual_program(&g, &wfs.model);
         // base true, dead false — gone. p, q, r remain.
@@ -145,10 +141,8 @@ mod tests {
                 .iter()
                 .map(|s| lift_residual_model(&g, &wfs.model, &res, s))
                 .collect();
-            let mut a: Vec<Vec<u32>> =
-                direct.iter().map(|m| m.iter().collect()).collect();
-            let mut b: Vec<Vec<u32>> =
-                via_residual.iter().map(|m| m.iter().collect()).collect();
+            let mut a: Vec<Vec<u32>> = direct.iter().map(|m| m.iter().collect()).collect();
+            let mut b: Vec<Vec<u32>> = via_residual.iter().map(|m| m.iter().collect()).collect();
             a.sort();
             b.sort();
             assert_eq!(a, b, "splitting failed on {src}");

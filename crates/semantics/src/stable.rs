@@ -148,6 +148,25 @@ pub fn stable_models(prog: &GroundProgram) -> Vec<AtomSet> {
     enumerate_stable(prog, &EnumerateOptions::default()).models
 }
 
+/// The cautious (skeptical) three-valued collapse of a set of stable
+/// models over a universe of `atom_count` atoms: an atom is **true** when
+/// it lies in every model, **false** when in none, **undefined**
+/// otherwise. With no models at all, everything is undefined — the caller
+/// should treat that case (program inconsistent under stable semantics)
+/// separately.
+pub fn cautious_consequences(models: &[AtomSet], atom_count: usize) -> PartialModel {
+    if models.is_empty() {
+        return PartialModel::empty(atom_count);
+    }
+    let mut pos = models[0].clone();
+    let mut any = models[0].clone();
+    for m in &models[1..] {
+        pos.intersect_with(m);
+        any.union_with(m);
+    }
+    PartialModel::new(pos, any.complement())
+}
+
 struct Search<'p> {
     prog: &'p GroundProgram,
     options: EnumerateOptions,
@@ -265,11 +284,7 @@ fn conditioned_s_p(
         pos_remaining.push(r.pos.len() as u32);
         let unconfirmed = r.neg.iter().filter(|&&q| !i_tilde.contains(q.0)).count() as u32;
         neg_remaining.push(unconfirmed);
-        if !suppressed
-            && unconfirmed == 0
-            && r.pos.is_empty()
-            && derived.insert(r.head.0)
-        {
+        if !suppressed && unconfirmed == 0 && r.pos.is_empty() && derived.insert(r.head.0) {
             queue.push(r.head.0);
         }
     }
@@ -369,10 +384,7 @@ mod tests {
             let wfs = alternating_fixpoint(&g);
             for m in stable_models(&g) {
                 assert!(wfs.model.pos.is_subset(&m), "WFS⁺ ⊆ M on {src}");
-                assert!(
-                    wfs.model.neg.is_disjoint(&m),
-                    "WFS⁻ ∩ M = ∅ on {src}"
-                );
+                assert!(wfs.model.neg.is_disjoint(&m), "WFS⁻ ∩ M = ∅ on {src}");
             }
         }
     }

@@ -173,9 +173,7 @@ mod tests {
     #[test]
     fn win_move_ground_cycle_not_locally_stratified() {
         // wins(a) depends negatively on wins(b) and vice versa.
-        let g = parse_ground(
-            "wins(a) :- not wins(b). wins(b) :- not wins(a).",
-        );
+        let g = parse_ground("wins(a) :- not wins(b). wins(b) :- not wins(a).");
         assert!(!is_locally_stratified(&g));
         assert!(perfect_model(&g).is_none());
     }
@@ -205,9 +203,7 @@ mod tests {
 
     #[test]
     fn perfect_equals_wfs_equals_unique_stable_on_stratified() {
-        let g = parse_ground(
-            "a. b :- a. c :- not b. d :- not c. e :- d, not c.",
-        );
+        let g = parse_ground("a. b :- a. c :- not b. d :- not c. e :- d, not c.");
         let perfect = perfect_model(&g).unwrap();
         let wfs = alternating_fixpoint(&g);
         assert_eq!(perfect.model, wfs.model);

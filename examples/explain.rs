@@ -1,14 +1,14 @@
 //! Justifications: ask the engine *why* each conclusion of the
 //! well-founded model holds, in the paper's own vocabulary — derivations
 //! for true atoms, witnesses of unusability (Definition 6.1) for false
-//! ones, and the undefined atoms a draw hinges on.
+//! ones, and the undefined atoms a draw hinges on — through
+//! [`afp::Model::explain`].
 //!
 //! ```text
 //! cargo run --example explain
 //! ```
 
-use afp::semantics::Explainer;
-use afp::well_founded;
+use afp::Engine;
 
 fn main() {
     // A little security policy: access is granted if some rule allows it
@@ -31,8 +31,7 @@ fn main() {
         vouched(x1) :- vouched(x2).
         vouched(x2) :- vouched(x1).
     ";
-    let sol = well_founded(src).expect("valid program");
-    let explainer = Explainer::new(&sol.ground, &sol.result.model);
+    let model = Engine::default().solve(src).expect("valid program");
 
     for (pred, args) in [
         ("grant", vec!["alice"]),
@@ -40,9 +39,8 @@ fn main() {
         ("grant", vec!["mallory"]),
         ("vouched", vec!["x1"]),
     ] {
-        let refs: Vec<&str> = args.clone();
-        match sol.ground.find_atom_by_name(pred, &refs) {
-            Some(atom) => println!("{}", explainer.render(atom, 4)),
+        match model.explain(pred, &args, 4) {
+            Some(tree) => println!("{tree}"),
             None => println!(
                 "{pred}({}) is FALSE: the grounder found no possible derivation\n",
                 args.join(", ")

@@ -1,12 +1,14 @@
 //! General logic programs from text (Section 8): first-order rule bodies
 //! with quantifiers, parsed, reduced to normal programs by Lloyd–Topor,
-//! and solved by the alternating fixpoint.
+//! and solved by the alternating fixpoint — the reduced program through
+//! the unified [`afp::Engine`].
 //!
 //! ```text
 //! cargo run --example general_programs
 //! ```
 
 use afp::fol::{afp_general, lloyd_topor, parse_general};
+use afp::{Engine, SafetyPolicy};
 
 fn main() {
     // Three classic graph concepts as FO formulas over an edge relation.
@@ -32,13 +34,19 @@ fn main() {
     let result = afp_general(&y).expect("evaluates");
     let names = result.ctx.set_to_names(&y, &result.model.pos);
     println!("general AFP, true atoms:");
-    for n in names.iter().filter(|n| !n.starts_with("node") && !n.starts_with("e(")) {
+    for n in names
+        .iter()
+        .filter(|n| !n.starts_with("node") && !n.starts_with("e("))
+    {
         println!("  {n}");
     }
 
     // And via the Lloyd–Topor reduction.
     let t = lloyd_topor(&y);
-    println!("\nafter elementary simplification ({} aux relations):", t.aux.len());
+    println!(
+        "\nafter elementary simplification ({} aux relations):",
+        t.aux.len()
+    );
     for r in t.program.rules.iter().filter(|r| !r.is_fact()) {
         println!(
             "  {}",
@@ -49,32 +57,36 @@ fn main() {
         println!(
             "  % {} is globally {}",
             t.program.symbols.name(aux.pred),
-            if aux.globally_positive { "positive" } else { "negative" }
+            if aux.globally_positive {
+                "positive"
+            } else {
+                "negative"
+            }
         );
     }
 
-    let ground = afp::datalog::ground_with(
-        &t.program,
-        &afp::GroundOptions {
-            safety: afp::SafetyPolicy::ActiveDomain,
-            ..Default::default()
-        },
-    )
-    .expect("grounds");
-    let afp_result = afp::core::alternating_fixpoint(&ground);
-    let norm: Vec<String> = ground
-        .set_to_names(&afp_result.model.pos)
-        .into_iter()
+    // The reduced normal program goes straight into an Engine session
+    // (no surface-text round trip).
+    let engine = Engine::builder().safety(SafetyPolicy::ActiveDomain).build();
+    let model = engine
+        .load_program(t.program.clone())
+        .expect("grounds")
+        .solve()
+        .expect("solves");
+    let mut norm: Vec<String> = model
+        .true_atoms()
         .filter(|n| n.starts_with("sink(") || n.starts_with("covered(") || n.starts_with("wf("))
         .collect();
+    norm.sort();
     println!("\nnormal-program AFP, original relations: {norm:?}");
 
     // Sanity: the two routes agree on the original relations
     // (Theorem 8.7 — all three predicates are globally positive).
-    let general: Vec<String> = names
+    let mut general: Vec<String> = names
         .into_iter()
         .filter(|n| n.starts_with("sink(") || n.starts_with("covered(") || n.starts_with("wf("))
         .collect();
+    general.sort();
     assert_eq!(general, norm);
     println!("\nTheorem 8.7 agreement on sink/covered/wf: ✓");
 }

@@ -1,11 +1,11 @@
-//! Quickstart: parse a program, compute its well-founded partial model via
-//! the alternating fixpoint, and query it.
+//! Quickstart: load a program into an [`afp::Engine`] session, compute its
+//! well-founded partial model via the alternating fixpoint, and query it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use afp::{well_founded, Truth};
+use afp::{Engine, Semantics, Strategy, Truth};
 
 fn main() {
     // Example 5.1 from the paper: p{d,e,f,g,h} come out false,
@@ -23,34 +23,33 @@ fn main() {
         p(i) :- p(c), not p(d).
     ";
 
-    let solution = well_founded(program).expect("parses and grounds");
+    let engine = Engine::builder()
+        .semantics(Semantics::WellFounded {
+            strategy: Strategy::default(),
+        })
+        .trace(true) // record the alternating sequence (Table I)
+        .build();
+    let mut session = engine.load(program).expect("parses and grounds");
+    let model = session.solve().expect("solves");
 
     println!("well-founded partial model of Example 5.1");
-    println!("  true      : {:?}", solution.true_atoms());
-    println!("  false     : {:?}", solution.false_atoms());
-    println!("  undefined : {:?}", solution.undefined_atoms());
-    println!("  total?    : {}", solution.is_total());
+    println!("  true      : {:?}", sorted(model.true_atoms()));
+    println!("  false     : {:?}", sorted(model.false_atoms()));
+    println!("  undefined : {:?}", sorted(model.undefined_atoms()));
+    println!("  total?    : {}", model.is_total());
 
     // Point queries.
     for arg in ["a", "c", "d"] {
-        let t = solution.truth("p", &[arg]);
+        let t = model.truth("p", &[arg]);
         println!("  p({arg}) is {t:?}");
     }
-    assert_eq!(solution.truth("p", &["c"]), Truth::True);
-    assert_eq!(solution.truth("p", &["d"]), Truth::False);
-    assert_eq!(solution.truth("p", &["a"]), Truth::Undefined);
+    assert_eq!(model.truth("p", &["c"]), Truth::True);
+    assert_eq!(model.truth("p", &["d"]), Truth::False);
+    assert_eq!(model.truth("p", &["a"]), Truth::Undefined);
 
-    // The alternating sequence itself (Table I) is available on demand.
-    let sol = afp::well_founded_with(
-        program,
-        &afp::GroundOptions::default(),
-        &afp::AfpOptions {
-            record_trace: true,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let trace = sol.result.trace.as_ref().unwrap();
+    // The alternating sequence itself (Table I) was recorded by the
+    // engine's `trace(true)` option.
+    let trace = model.trace().expect("trace requested");
     println!("\nalternating sequence (|Ĩ_k|, |S_P(Ĩ_k)|):");
     for step in &trace.steps {
         println!(
@@ -60,4 +59,21 @@ fn main() {
             step.s_p.count()
         );
     }
+
+    // The same session answers under any other semantics of the paper.
+    let stable = session
+        .solve_with(Semantics::Stable {
+            max_models: usize::MAX,
+        })
+        .expect("enumerates");
+    println!(
+        "\nthe partial model is not total, and indeed {} stable models exist",
+        stable.stable_models().len()
+    );
+}
+
+fn sorted(it: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = it.collect();
+    v.sort();
+    v
 }

@@ -1,13 +1,13 @@
 //! Example 2.2: transitive closure and its complement under three
-//! semantics. The well-founded (and stratified) semantics give `ntc` as
-//! the natural complement; the inflationary semantics floods it.
+//! semantics, all through **one** [`afp::Engine`] session. The
+//! well-founded (and stratified) semantics give `ntc` as the natural
+//! complement; the inflationary semantics floods it.
 //!
 //! ```text
 //! cargo run --example reachability
 //! ```
 
-use afp::semantics::{inflationary_fixpoint, perfect_model};
-use afp::{well_founded, Truth};
+use afp::{Engine, Semantics, Truth};
 
 fn main() {
     // The cyclic graph of the Minker objection (Section 2.1): a 2-cycle
@@ -21,26 +21,31 @@ fn main() {
         node(n0). node(n1). node(n2).
         e(n0, n1). e(n1, n0).
     ";
-    let sol = well_founded(src).expect("stratified program");
+    let mut session = Engine::default().load(src).expect("stratified program");
+    let wfs = session.solve().expect("solves");
     println!("well-founded semantics (via the alternating fixpoint):");
-    println!("  tc  true: {:?}", filter(&sol.true_atoms(), "tc("));
-    println!("  ntc true: {:?}", filter(&sol.true_atoms(), "ntc("));
-    assert_eq!(sol.truth("ntc", &["n0", "n2"]), Truth::True);
-    assert_eq!(sol.truth("tc", &["n0", "n1"]), Truth::True);
-    assert!(sol.is_total(), "stratified ⇒ total well-founded model");
+    println!("  tc  true: {:?}", with_prefix(&wfs, "tc("));
+    println!("  ntc true: {:?}", with_prefix(&wfs, "ntc("));
+    assert_eq!(wfs.truth("ntc", &["n0", "n2"]), Truth::True);
+    assert_eq!(wfs.truth("tc", &["n0", "n1"]), Truth::True);
+    assert!(wfs.is_total(), "stratified ⇒ total well-founded model");
 
-    // The perfect (stratified) model agrees exactly.
-    let perfect = perfect_model(&sol.ground).expect("locally stratified");
-    assert_eq!(perfect.model, sol.result.model);
+    // The perfect (stratified) model agrees exactly — same session, no
+    // re-parse, no re-ground.
+    let perfect = session
+        .solve_with(Semantics::Perfect)
+        .expect("locally stratified");
+    assert_eq!(perfect.partial_model(), wfs.partial_model());
     println!("\nperfect model (iterated fixpoint) agrees: true");
 
     // The inflationary semantics concludes ntc for every pair: ¬tc(X,Y)
     // holds vacuously in round one and conclusions are never retracted.
-    let ifp = inflationary_fixpoint(&sol.ground);
-    let ifp_names = sol.ground.set_to_names(&ifp.model);
+    let ifp = session
+        .solve_with(Semantics::Inflationary)
+        .expect("always defined");
     println!("\ninflationary semantics:");
-    println!("  ntc true: {:?}", filter(&ifp_names, "ntc("));
-    let ntc_count = ifp_names.iter().filter(|n| n.starts_with("ntc(")).count();
+    println!("  ntc true: {:?}", with_prefix(&ifp, "ntc("));
+    let ntc_count = with_prefix(&ifp, "ntc(").len();
     assert_eq!(ntc_count, 9, "IFP floods ntc with all 9 pairs");
     println!(
         "  → all {ntc_count} pairs, including ntc(n0, n1) even though tc(n0, n1) holds. \
@@ -48,10 +53,11 @@ fn main() {
     );
 }
 
-fn filter(names: &[String], prefix: &str) -> Vec<String> {
-    names
-        .iter()
+fn with_prefix(model: &afp::Model, prefix: &str) -> Vec<String> {
+    let mut v: Vec<String> = model
+        .true_atoms()
         .filter(|n| n.starts_with(prefix))
-        .cloned()
-        .collect()
+        .collect();
+    v.sort();
+    v
 }

@@ -1,14 +1,17 @@
-//! Stable models next to the well-founded model (Sections 2.4, 4, 5):
-//! enumeration, the `S̃_P`-fixpoint characterization, and the
-//! WFS ⊆ every-stable-model theorem.
+//! Stable models next to the well-founded model (Sections 2.4, 4, 5)
+//! through one [`afp::Engine`] session: enumeration, the `S̃_P`-fixpoint
+//! characterization, and the WFS ⊆ every-stable-model theorem.
 //!
 //! ```text
 //! cargo run --example stable_models
 //! ```
 
 use afp::core::ops;
-use afp::datalog::parse_program;
-use afp::semantics::{enumerate_stable, is_stable, EnumerateOptions};
+use afp::{Engine, Semantics};
+
+const ALL: Semantics = Semantics::Stable {
+    max_models: usize::MAX,
+};
 
 fn main() {
     // A choice between p and q, with consequences.
@@ -20,55 +23,70 @@ fn main() {
         s :- not r.
         base.
     ";
-    let program = parse_program(src).unwrap();
-    let ground = afp::datalog::ground(&program).unwrap();
+    let mut session = Engine::default().load(src).unwrap();
 
-    let wfs = afp::core::alternating_fixpoint(&ground);
+    let wfs = session.solve().unwrap();
     println!("well-founded model:");
-    println!("  true      : {:?}", ground.set_to_names(&wfs.model.pos));
-    println!("  false     : {:?}", ground.set_to_names(&wfs.model.neg));
-    println!(
-        "  undefined : {:?}",
-        ground.set_to_names(&wfs.undefined())
-    );
+    println!("  true      : {:?}", sorted(wfs.true_atoms()));
+    println!("  false     : {:?}", sorted(wfs.false_atoms()));
+    println!("  undefined : {:?}", sorted(wfs.undefined_atoms()));
 
-    let result = enumerate_stable(&ground, &EnumerateOptions::default());
-    println!("\nstable models ({}):", result.models.len());
-    for m in &result.models {
+    let stable = session.solve_with(ALL).unwrap();
+    let ground = stable.ground();
+    println!("\nstable models ({}):", stable.stable_models().len());
+    for m in stable.stable_models() {
         println!("  {:?}", ground.set_to_names(m));
         // Section 5: every stable model is a fixpoint of S̃_P …
         let m_tilde = m.complement();
-        assert_eq!(ops::s_tilde(&ground, &m_tilde), m_tilde);
+        assert_eq!(ops::s_tilde(ground, &m_tilde), m_tilde);
         // … and contains the well-founded partial model.
-        assert!(wfs.model.pos.is_subset(m));
-        assert!(wfs.model.neg.is_disjoint(m));
-        assert!(is_stable(&ground, m));
+        assert!(wfs.partial_model().pos.is_subset(m));
+        assert!(wfs.partial_model().neg.is_disjoint(m));
+        assert!(afp::semantics::is_stable(ground, m));
     }
     println!("\nevery stable model: is an S̃_P fixpoint ✓, contains the WFS ✓");
+    // The cautious collapse of the two models decides exactly r and base.
+    assert_eq!(sorted(stable.true_atoms()), vec!["base", "r"]);
 
     // An odd negative cycle has NO stable model, while the WFS still
     // assigns what it can.
-    let odd = afp::datalog::parse_ground("a :- not b. b :- not c. c :- not a. d.");
-    let stable = enumerate_stable(&odd, &EnumerateOptions::default());
-    let wfs_odd = afp::core::alternating_fixpoint(&odd);
+    let mut odd_session = Engine::new(ALL)
+        .load("a :- not b. b :- not c. c :- not a. d.")
+        .unwrap();
+    let odd_stable = odd_session.solve().unwrap();
+    let odd_wfs = odd_session
+        .solve_with(Semantics::WellFounded {
+            strategy: Default::default(),
+        })
+        .unwrap();
     println!(
         "\nodd cycle program: {} stable models; WFS still concludes {:?}",
-        stable.models.len(),
-        odd.set_to_names(&wfs_odd.model.pos)
+        odd_stable.stable_models().len(),
+        sorted(odd_wfs.true_atoms())
     );
-    assert!(stable.models.is_empty());
+    assert!(odd_stable.stable_models().is_empty());
 
     // SAT as stable models (the NP-completeness construction of §2.4):
     // models of (x1 ∨ ¬x2) ∧ (x2 ∨ x3).
     let sat = afp_bench::gen::sat_to_stable(3, &[[1, -2, -2], [2, 3, 3]]);
-    let models = afp::semantics::stable_models(&sat);
-    println!("\nSAT reduction: {} satisfying assignments found as stable models:", models.len());
-    for m in &models {
-        let names: Vec<String> = sat
+    let sat_model = Engine::new(ALL).load_ground(sat).solve().unwrap();
+    println!(
+        "\nSAT reduction: {} satisfying assignments found as stable models:",
+        sat_model.stable_models().len()
+    );
+    for m in sat_model.stable_models() {
+        let names: Vec<String> = sat_model
+            .ground()
             .set_to_names(m)
             .into_iter()
             .filter(|n| n.starts_with('v') || n.starts_with("nv"))
             .collect();
         println!("  {names:?}");
     }
+}
+
+fn sorted(it: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = it.collect();
+    v.sort();
+    v
 }

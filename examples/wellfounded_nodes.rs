@@ -1,7 +1,8 @@
 //! Example 8.2: the well-founded nodes of a graph, written as a fixpoint-
 //! logic formula with a universal quantifier, reduced to a normal program
 //! by Lloyd–Topor elementary simplification, and solved by the alternating
-//! fixpoint — all three routes agreeing (Theorems 8.1 and 8.7).
+//! fixpoint (via the unified [`afp::Engine`]) — all three routes agreeing
+//! (Theorems 8.1 and 8.7).
 //!
 //! ```text
 //! cargo run --example wellfounded_nodes
@@ -9,6 +10,7 @@
 
 use afp::datalog::ast::{Atom, Term};
 use afp::fol::{afp_general, fp_model, lloyd_topor, Formula, GeneralProgram, GeneralRule};
+use afp::{Engine, SafetyPolicy};
 
 fn main() {
     // w(X) ← node(X) ∧ ¬∃Y[e(Y,X) ∧ ¬w(Y)]
@@ -59,7 +61,7 @@ fn main() {
     println!("general AFP              : w = {gen_w:?}");
     assert_eq!(fp_w, gen_w);
 
-    // Route 3: Lloyd–Topor to a normal program, then ground + AFP.
+    // Route 3: Lloyd–Topor to a normal program, then an Engine session.
     let t = lloyd_topor(&y);
     println!("\nnormal program after elementary simplification:");
     for r in t.program.rules.iter().filter(|r| !r.is_fact()) {
@@ -68,20 +70,15 @@ fn main() {
             afp::datalog::ast::display_rule(r, &t.program.symbols)
         );
     }
-    let u_name = t.program.symbols.name(t.aux[0].pred);
-    println!(
-        "  ({u_name} is the 'unfounded' aux relation; globally negative — Definition 8.5)"
-    );
-    let ground = afp::datalog::ground_with(
-        &t.program,
-        &afp::GroundOptions {
-            safety: afp::SafetyPolicy::ActiveDomain,
-            ..Default::default()
-        },
-    )
-    .expect("grounds");
-    let afp_result = afp::core::alternating_fixpoint(&ground);
-    let norm_w = pick_w(&ground.set_to_names(&afp_result.model.pos));
+    let u_name = t.program.symbols.name(t.aux[0].pred).to_string();
+    println!("  ({u_name} is the 'unfounded' aux relation; globally negative — Definition 8.5)");
+    let engine = Engine::builder().safety(SafetyPolicy::ActiveDomain).build();
+    let model = engine
+        .load_program(t.program)
+        .expect("grounds")
+        .solve()
+        .expect("solves");
+    let norm_w = pick_w(&sorted(model.true_atoms()));
     println!("\nnormal program AFP⁺      : w = {norm_w:?}");
     assert_eq!(fp_w, norm_w, "Theorem 8.7");
 
@@ -93,10 +90,9 @@ fn main() {
     // normal program's AFP leaves w(a), w(b), w(c) *undefined* rather
     // than false: normal-program alternating fixpoints capture negation
     // of positive existential closures, not of universal ones.
-    let aux_pos = ground
-        .set_to_names(&afp_result.model.pos)
-        .into_iter()
-        .filter(|n| n.starts_with(u_name))
+    let aux_pos = model
+        .true_atoms()
+        .filter(|n| n.starts_with(u_name.as_str()))
         .count();
     assert_eq!(aux_pos, 0);
     println!(
@@ -104,7 +100,7 @@ fn main() {
     );
     println!(
         "and w(a), w(b), w(c) come out undefined (not false): {:?} undefined",
-        pick_w(&ground.set_to_names(&afp_result.undefined()))
+        pick_w(&sorted(model.undefined_atoms()))
     );
 }
 
@@ -114,4 +110,10 @@ fn pick_w(names: &[String]) -> Vec<String> {
         .filter(|n| n.starts_with("w("))
         .cloned()
         .collect()
+}
+
+fn sorted(it: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = it.collect();
+    v.sort();
+    v
 }

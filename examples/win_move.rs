@@ -1,13 +1,15 @@
-//! The win–move game of Example 5.2 / Figure 4: `wins(X)` is true, false,
-//! or undefined in the well-founded model exactly as position X is won,
-//! lost, or drawn in the combinatorial game ("one wins if the opponent has
-//! no moves, as in checkers").
+//! The win–move game of Example 5.2 / Figure 4, through the unified
+//! [`afp::Engine`]: `wins(X)` is true, false, or undefined in the
+//! well-founded model exactly as position X is won, lost, or drawn in the
+//! combinatorial game ("one wins if the opponent has no moves, as in
+//! checkers"). The closing act plays the game *live*: new moves are
+//! asserted into the session and re-solved warm.
 //!
 //! ```text
 //! cargo run --example win_move
 //! ```
 
-use afp::{well_founded, Truth};
+use afp::{Engine, Truth};
 
 fn game(edges: &[(&str, &str)]) -> String {
     let mut src = String::from("wins(X) :- move(X, Y), not wins(Y).\n");
@@ -17,11 +19,11 @@ fn game(edges: &[(&str, &str)]) -> String {
     src
 }
 
-fn report(name: &str, edges: &[(&str, &str)], nodes: &[&str]) {
-    let sol = well_founded(&game(edges)).expect("valid program");
+fn report(engine: &Engine, name: &str, edges: &[(&str, &str)], nodes: &[&str]) {
+    let model = engine.solve(&game(edges)).expect("valid program");
     println!("\n{name}: edges {edges:?}");
     for n in nodes {
-        let value = match sol.truth("wins", &[n]) {
+        let value = match model.truth("wins", &[n]) {
             Truth::True => "WIN",
             Truth::False => "LOSE",
             Truth::Undefined => "DRAW",
@@ -30,13 +32,16 @@ fn report(name: &str, edges: &[(&str, &str)], nodes: &[&str]) {
     }
     println!(
         "  well-founded model total? {}  (total ⇒ unique stable model)",
-        sol.is_total()
+        model.is_total()
     );
 }
 
 fn main() {
+    let engine = Engine::default();
+
     // Figure 4(a): acyclic — everything decided.
     report(
+        &engine,
         "Figure 4(a) — acyclic",
         &[
             ("a", "b"),
@@ -53,6 +58,7 @@ fn main() {
 
     // Figure 4(b): a ⇄ b cycle with a tail — a, b are drawn.
     report(
+        &engine,
         "Figure 4(b) — cyclic, partial model",
         &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
         &["a", "b", "c", "d"],
@@ -60,6 +66,7 @@ fn main() {
 
     // Figure 4(c): cycle, but still a total model.
     report(
+        &engine,
         "Figure 4(c) — cyclic, total model",
         &[("a", "b"), ("b", "a"), ("b", "c")],
         &["a", "b", "c"],
@@ -76,11 +83,11 @@ fn main() {
     for &(u, v) in &g.edges {
         src.push_str(&format!("move({}, {}).\n", node_name(u), node_name(v)));
     }
-    let sol = well_founded(&src).unwrap();
+    let model = engine.solve(&src).unwrap();
     let reference = solve(&g);
     let mut agree = 0;
     for (i, val) in reference.iter().enumerate() {
-        let t = sol.truth("wins", &[&node_name(i as u32)]);
+        let t = model.truth("wins", &[&node_name(i as u32)]);
         let matches = matches!(
             (val, t),
             (GameValue::Win, Truth::True)
@@ -104,4 +111,22 @@ fn main() {
         loses,
         g.n - wins - loses
     );
+
+    // Live play: Figure 4(b) again, but the board grows move by move.
+    // The session reuses its grounding — and its previous conclusions —
+    // on every re-solve.
+    let mut session = engine
+        .load("wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a).")
+        .unwrap();
+    let model = session.solve().unwrap();
+    assert_eq!(model.truth("wins", &["a"]), Truth::Undefined); // pure 2-cycle: drawn
+    session.assert_facts("move(b, c). move(c, d).").unwrap();
+    let model = session.solve().unwrap();
+    assert_eq!(model.truth("wins", &["c"]), Truth::True); // c moves to the sink d
+    let stats = session.stats();
+    println!(
+        "\nlive session: {} solves, {} warm, {} re-grounds (grounding reused in place)",
+        stats.solves, stats.warm_solves, stats.regrounds
+    );
+    assert_eq!(stats.regrounds, 0);
 }

@@ -1,4 +1,4 @@
-//! `afp` — command-line front end.
+//! `afp` — command-line front end over the unified [`afp::Engine`].
 //!
 //! ```text
 //! afp [OPTIONS] [FILE]          read a program from FILE (default: stdin)
@@ -9,6 +9,7 @@
 //!   -t, --trace           print the alternating sequence (wfs only)
 //!   -a, --active-domain   range-restrict unsafe rules to the active domain
 //!   -n, --max-models <N>  cap stable-model enumeration
+//!   -j, --json            machine-readable output on stdout
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
@@ -16,10 +17,12 @@
 //! Exit codes: 0 ok; 1 no stable model (with `-s stable`) or query false;
 //! 2 usage / parse / grounding error.
 
-use afp::datalog::{parse_program, parser::parse_atom_into, GroundOptions, SafetyPolicy};
-use afp::{AfpOptions, Truth};
+use afp::{Engine, Error, Model, Semantics, Truth};
 use std::io::Read;
 use std::process::ExitCode;
+
+const USAGE_HINT: &str =
+    "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] [-n N] [-j] [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -27,15 +30,13 @@ struct Options {
     trace: bool,
     active_domain: bool,
     max_models: usize,
+    json: bool,
     ground_only: bool,
     file: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "afp — well-founded and stable model solver\n\
-         usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] [-n N] [--ground] [FILE]"
-    );
+    eprintln!("afp — well-founded and stable model solver\n{USAGE_HINT}");
     std::process::exit(2);
 }
 
@@ -46,6 +47,7 @@ fn parse_args() -> Options {
         trace: false,
         active_domain: false,
         max_models: usize::MAX,
+        json: false,
         ground_only: false,
         file: None,
     };
@@ -64,6 +66,7 @@ fn parse_args() -> Options {
                 let n = args.next().unwrap_or_else(|| usage());
                 options.max_models = n.parse().unwrap_or_else(|_| usage());
             }
+            "-j" | "--json" => options.json = true,
             "--ground" => options.ground_only = true,
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),
@@ -76,6 +79,19 @@ fn parse_args() -> Options {
         }
     }
     options
+}
+
+fn semantics_of(name: &str, max_models: usize) -> Option<Semantics> {
+    Some(match name {
+        "wfs" => Semantics::WellFounded {
+            strategy: Default::default(),
+        },
+        "stable" => Semantics::Stable { max_models },
+        "fitting" => Semantics::Fitting,
+        "perfect" => Semantics::Perfect,
+        "ifp" => Semantics::Inflationary,
+        _ => None?,
+    })
 }
 
 fn main() -> ExitCode {
@@ -97,162 +113,229 @@ fn main() -> ExitCode {
             s
         }
     };
+    // Validated only after stdin is drained: exiting while the writer is
+    // still feeding the pipe would hand well-behaved callers an EPIPE.
+    let Some(semantics) = semantics_of(&options.semantics, options.max_models) else {
+        eprintln!(
+            "afp: unknown semantics {:?}\n{USAGE_HINT}",
+            options.semantics
+        );
+        return ExitCode::from(2);
+    };
 
-    let mut program = match parse_program(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("afp: parse error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let ground_options = GroundOptions {
-        safety: if options.active_domain {
-            SafetyPolicy::ActiveDomain
-        } else {
-            SafetyPolicy::Reject
-        },
-        ..Default::default()
-    };
-    // Resolve the query against the program's symbols before grounding so
-    // names line up.
-    let query_atom = match &options.query {
+    // Resolve the query to (pred, args-as-names) before solving so bad
+    // queries exit 2 without wasted work.
+    let query: Option<(String, Vec<String>)> = match &options.query {
         None => None,
-        Some(text) => match parse_atom_into(text, &mut program) {
-            Ok(a) if a.is_ground() => Some(a),
-            Ok(_) => {
-                eprintln!("afp: query must be a ground atom");
-                return ExitCode::from(2);
-            }
-            Err(e) => {
-                eprintln!("afp: bad query: {e}");
+        Some(text) => match parse_query(text) {
+            Ok(q) => Some(q),
+            Err(msg) => {
+                eprintln!("afp: bad query: {msg}\n{USAGE_HINT}");
                 return ExitCode::from(2);
             }
         },
     };
 
-    let ground = match afp::datalog::ground_with(&program, &ground_options) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("afp: grounding error: {e}");
-            return ExitCode::from(2);
-        }
+    let engine = Engine::builder()
+        .semantics(semantics)
+        .safety(if options.active_domain {
+            afp::SafetyPolicy::ActiveDomain
+        } else {
+            afp::SafetyPolicy::Reject
+        })
+        .trace(options.trace)
+        .build();
+
+    let mut session = match engine.load(&src) {
+        Ok(s) => s,
+        Err(e) => return report_error(&e),
     };
     if options.ground_only {
-        print!("{ground}");
+        print!("{}", session.ground());
         return ExitCode::SUCCESS;
     }
-
-    let lookup = |model: &afp::PartialModel, atom: &afp::datalog::Atom| -> Truth {
-        let args: Vec<String> = atom
-            .args
-            .iter()
-            .map(|t| afp::datalog::ast::display_term(t, &program.symbols))
-            .collect();
-        let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
-        let name = program.symbols.name(atom.pred);
-        match ground.find_atom_by_name(name, &arg_refs) {
-            Some(id) => model.truth(id.0),
-            None => Truth::False,
-        }
+    let model = match session.solve() {
+        Ok(m) => m,
+        Err(e) => return report_error(&e),
     };
 
-    match options.semantics.as_str() {
-        "wfs" => {
-            let r = afp::core::alternating_fixpoint_with(
-                &ground,
-                &AfpOptions {
-                    record_trace: options.trace,
-                    ..Default::default()
-                },
+    if options.trace {
+        if let Some(trace) = model.trace() {
+            println!("% alternating sequence");
+            for s in &trace.steps {
+                println!(
+                    "% k={} |negatives|={} |positives|={}",
+                    s.k,
+                    s.i_tilde.count(),
+                    s.s_p.count()
+                );
+            }
+        }
+    }
+
+    if let Some((pred, args)) = &query {
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let truth = model.truth(pred, &arg_refs);
+        if options.json {
+            println!(
+                "{{\"semantics\":{},\"query\":{},\"truth\":{}}}",
+                json_str(model.semantics().name()),
+                json_str(options.query.as_deref().unwrap_or_default()),
+                json_str(truth_name(truth))
             );
-            if options.trace {
-                if let Some(trace) = &r.trace {
-                    println!("% alternating sequence");
-                    for s in &trace.steps {
-                        println!(
-                            "% k={} |negatives|={} |positives|={}",
-                            s.k,
-                            s.i_tilde.count(),
-                            s.s_p.count()
-                        );
+        } else {
+            println!("{truth:?}");
+        }
+        // Exit-code contract: wfs signals a non-true query; stable still
+        // signals "no stable model" even when a query is printed.
+        let failed = match semantics {
+            Semantics::WellFounded { .. } => truth != Truth::True,
+            Semantics::Stable { .. } => model.stable_models().is_empty(),
+            _ => false,
+        };
+        return if failed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    match semantics {
+        Semantics::Stable { .. } => {
+            if options.json {
+                print_stable_json(&model);
+            } else {
+                for (i, m) in model.stable_models().iter().enumerate() {
+                    println!("% stable model {}", i + 1);
+                    for name in model.ground().set_to_names(m) {
+                        println!("{name}.");
                     }
                 }
-            }
-            if let Some(q) = &query_atom {
-                let t = lookup(&r.model, q);
-                println!("{t:?}");
-                return if t == Truth::True {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::from(1)
-                };
-            }
-            print_partial(&ground, &r.model);
-            println!("% total: {}", r.is_total);
-            ExitCode::SUCCESS
-        }
-        "fitting" => {
-            let r = afp::semantics::fitting_model(&ground);
-            if let Some(q) = &query_atom {
-                println!("{:?}", lookup(&r.model, q));
-                return ExitCode::SUCCESS;
-            }
-            print_partial(&ground, &r.model);
-            ExitCode::SUCCESS
-        }
-        "perfect" => match afp::semantics::perfect_model(&ground) {
-            Some(r) => {
-                if let Some(q) = &query_atom {
-                    println!("{:?}", lookup(&r.model, q));
-                    return ExitCode::SUCCESS;
+                if model.stable_models().is_empty() {
+                    println!("% no stable model");
                 }
-                print_partial(&ground, &r.model);
+            }
+            if model.stable_models().is_empty() {
+                ExitCode::from(1)
+            } else {
                 ExitCode::SUCCESS
             }
-            None => {
-                eprintln!("afp: program is not locally stratified");
-                ExitCode::from(2)
-            }
-        },
-        "ifp" => {
-            let r = afp::semantics::inflationary_fixpoint(&ground);
-            for name in ground.set_to_names(&r.model) {
-                println!("{name}.");
-            }
-            ExitCode::SUCCESS
         }
-        "stable" => {
-            let r = afp::semantics::enumerate_stable(
-                &ground,
-                &afp::semantics::EnumerateOptions {
-                    max_models: options.max_models,
-                    max_nodes: usize::MAX,
-                },
-            );
-            for (i, m) in r.models.iter().enumerate() {
-                println!("% stable model {}", i + 1);
-                for name in ground.set_to_names(m) {
+        Semantics::Inflationary => {
+            if options.json {
+                print_assignment_json(&model);
+            } else {
+                for name in sorted(model.true_atoms()) {
                     println!("{name}.");
                 }
-            }
-            if r.models.is_empty() {
-                println!("% no stable model");
-                return ExitCode::from(1);
             }
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("afp: unknown semantics {other:?}");
-            ExitCode::from(2)
+            if options.json {
+                print_assignment_json(&model);
+            } else {
+                print_partial(&model);
+                if matches!(other, Semantics::WellFounded { .. }) {
+                    println!("% total: {}", model.is_total());
+                }
+            }
+            ExitCode::SUCCESS
         }
     }
 }
 
-fn print_partial(ground: &afp::GroundProgram, model: &afp::PartialModel) {
-    for name in ground.set_to_names(&model.pos) {
+fn report_error(e: &Error) -> ExitCode {
+    match e {
+        Error::NotLocallyStratified => eprintln!("afp: program is not locally stratified"),
+        other => eprintln!("afp: {other}"),
+    }
+    ExitCode::from(2)
+}
+
+/// Parse `pred(c1, …, ck)` into plain names; rejects variables.
+fn parse_query(text: &str) -> Result<(String, Vec<String>), String> {
+    let mut tmp = afp::Program::new();
+    let atom = afp::datalog::parser::parse_atom_into(text, &mut tmp).map_err(|e| e.to_string())?;
+    if !atom.is_ground() {
+        return Err("query must be a ground atom".into());
+    }
+    let pred = tmp.symbols.name(atom.pred).to_string();
+    let args = atom
+        .args
+        .iter()
+        .map(|t| afp::datalog::ast::display_term(t, &tmp.symbols))
+        .collect();
+    Ok((pred, args))
+}
+
+fn sorted(iter: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = iter.collect();
+    v.sort();
+    v
+}
+
+fn print_partial(model: &Model) {
+    for name in sorted(model.true_atoms()) {
         println!("{name}.");
     }
-    for name in ground.set_to_names(&model.undefined()) {
+    for name in sorted(model.undefined_atoms()) {
         println!("{name}?  % undefined");
     }
+}
+
+fn print_assignment_json(model: &Model) {
+    println!(
+        "{{\"semantics\":{},\"total\":{},\"true\":{},\"false\":{},\"undefined\":{}}}",
+        json_str(model.semantics().name()),
+        model.is_total(),
+        json_list(sorted(model.true_atoms())),
+        json_list(sorted(model.false_atoms())),
+        json_list(sorted(model.undefined_atoms())),
+    );
+}
+
+fn print_stable_json(model: &Model) {
+    let models: Vec<String> = model
+        .stable_models()
+        .iter()
+        .map(|m| json_list(model.ground().set_to_names(m)))
+        .collect();
+    println!(
+        "{{\"semantics\":\"stable\",\"complete\":{},\"count\":{},\"models\":[{}]}}",
+        model.is_complete(),
+        model.stable_models().len(),
+        models.join(",")
+    );
+}
+
+fn truth_name(t: Truth) -> &'static str {
+    match t {
+        Truth::True => "true",
+        Truth::False => "false",
+        Truth::Undefined => "undefined",
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_list(items: Vec<String>) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", quoted.join(","))
 }

@@ -1,0 +1,773 @@
+//! The unified entry point: one [`Engine`] for all five semantics of the
+//! paper, producing reusable [`Session`]s whose grounding survives across
+//! queries and fact updates, and a single three-valued [`Model`] type for
+//! every result.
+//!
+//! Theorem 7.8 puts the alternating fixpoint, the well-founded semantics,
+//! stable models, Fitting's semantics and perfect models on one lattice of
+//! partial models; this module puts them behind one API:
+//!
+//! ```
+//! use afp::{Engine, Semantics, Truth};
+//!
+//! let engine = Engine::default();
+//! let mut session = engine
+//!     .load("wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).")
+//!     .unwrap();
+//! let model = session.solve().unwrap();
+//! assert_eq!(model.truth("wins", &["b"]), Truth::True);
+//! assert!(model.is_total());
+//!
+//! // The same session answers under any other semantics …
+//! let stable = session.solve_with(Semantics::Stable { max_models: usize::MAX }).unwrap();
+//! assert_eq!(stable.stable_models().len(), 1);
+//!
+//! // … and absorbs new facts without re-parsing or re-grounding.
+//! session.assert_facts("move(c, d).").unwrap();
+//! let model = session.solve().unwrap();
+//! assert_eq!(model.truth("wins", &["c"]), Truth::True);
+//! ```
+//!
+//! ## Warm re-solves
+//!
+//! A [`Session`] keeps the incremental grounder
+//! ([`afp_datalog::IncrementalGrounder`]) alive: `assert_facts` /
+//! `retract_facts` extend the existing ground program (envelope delta,
+//! focused re-joins, pruned-literal resurrection) instead of starting from
+//! text. For the well-founded semantics the session additionally seeds the
+//! next alternating fixpoint with the part of the previous negative
+//! fixpoint that provably survives the delta — atoms that cannot reach any
+//! changed atom in the dependency graph keep their truth values (the
+//! relevance/splitting argument), so the old conclusions restricted to
+//! them are a valid under-chain start for
+//! [`afp_core::alternating_fixpoint_from`]. [`Session::stats`] reports
+//! both reuse channels.
+
+use afp_core::afp::{alternating_fixpoint_from, AfpOptions, AfpTrace};
+use afp_core::interp::{PartialModel, Truth};
+use afp_core::Strategy;
+use afp_datalog::ast::Program;
+use afp_datalog::atoms::AtomId;
+use afp_datalog::bitset::AtomSet;
+use afp_datalog::program::GroundProgram;
+use afp_datalog::{GroundOptions, IncrementalGrounder, SafetyPolicy};
+use std::sync::Arc;
+
+use crate::Error;
+
+/// Which of the paper's semantics a solve computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// The well-founded partial model via the alternating fixpoint
+    /// (Sections 5–7; the paper's main object).
+    WellFounded {
+        /// How the `S_P` closures of the under-chain are evaluated.
+        strategy: Strategy,
+    },
+    /// Gelfond–Lifschitz stable models (Sections 2.4, 4). The model
+    /// reports the cautious collapse (true in all / false in all /
+    /// undefined otherwise) and carries the enumerated models.
+    Stable {
+        /// Stop enumeration after this many models.
+        max_models: usize,
+    },
+    /// Fitting's Kripke–Kleene three-valued semantics (Section 2.1).
+    Fitting,
+    /// The perfect model of a locally stratified program (Section 2.3);
+    /// solving errs with [`Error::NotLocallyStratified`] otherwise.
+    Perfect,
+    /// The inflationary fixpoint (Section 2.2): always total, and
+    /// deliberately wrong on Example 2.2 — kept for comparison.
+    Inflationary,
+}
+
+impl Default for Semantics {
+    fn default() -> Self {
+        Semantics::WellFounded {
+            strategy: Strategy::default(),
+        }
+    }
+}
+
+impl Semantics {
+    /// Kebab-case name, as the CLI spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Semantics::WellFounded { .. } => "wfs",
+            Semantics::Stable { .. } => "stable",
+            Semantics::Fitting => "fitting",
+            Semantics::Perfect => "perfect",
+            Semantics::Inflationary => "ifp",
+        }
+    }
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    semantics: Semantics,
+    ground: GroundOptions,
+    record_trace: bool,
+    relevance: Vec<String>,
+}
+
+impl EngineBuilder {
+    /// Default semantics for sessions of this engine
+    /// ([`Session::solve_with`] can override per solve).
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Safety policy for rules with unguarded variables.
+    pub fn safety(mut self, policy: SafetyPolicy) -> Self {
+        self.ground.safety = policy;
+        self
+    }
+
+    /// Full grounding options (safety, envelope and rule budgets).
+    pub fn ground_options(mut self, options: GroundOptions) -> Self {
+        self.ground = options;
+        self
+    }
+
+    /// Record the alternating sequence (Table I) on well-founded solves.
+    pub fn trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Restrict solving to the dependency cone of these ground query
+    /// atoms (written as text, e.g. `"wins(a)"`). Atoms outside the cone
+    /// have no rules in the restricted program and report `False`; only
+    /// query truth values within the cone are meaningful. Disables warm
+    /// seeding.
+    pub fn relevance<I, S>(mut self, queries: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.relevance = queries.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> Engine {
+        Engine { config: self }
+    }
+}
+
+/// The unified solver front end. An `Engine` is a reusable configuration;
+/// [`Engine::load`] produces a [`Session`] per program.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineBuilder,
+}
+
+impl Engine {
+    /// An engine with the given semantics and default options.
+    pub fn new(semantics: Semantics) -> Engine {
+        Engine::builder().semantics(semantics).build()
+    }
+
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Parse and ground `src` into a reusable session.
+    pub fn load(&self, src: &str) -> Result<Session, Error> {
+        let program = afp_datalog::parse_program(src)?;
+        self.load_program(program)
+    }
+
+    /// Ground an already-parsed program into a reusable session.
+    pub fn load_program(&self, program: Program) -> Result<Session, Error> {
+        let grounder = IncrementalGrounder::new(&program, &self.config.ground)?;
+        Ok(Session {
+            config: self.config.clone(),
+            grounder: Some(grounder),
+            ast: Some(program),
+            fixed: None,
+            snapshot: None,
+            dirty: Vec::new(),
+            warm: None,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Wrap an existing ground program in a session (no grounder state;
+    /// `assert_facts` appends fact rules directly, which is exact for
+    /// ground programs).
+    pub fn load_ground(&self, ground: GroundProgram) -> Session {
+        Session {
+            config: self.config.clone(),
+            grounder: None,
+            ast: None,
+            fixed: Some(ground),
+            snapshot: None,
+            dirty: Vec::new(),
+            warm: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// One-shot convenience: load and solve in one call.
+    pub fn solve(&self, src: &str) -> Result<Model, Error> {
+        self.load(src)?.solve()
+    }
+}
+
+/// Reuse counters for a [`Session`] — how much work warm re-solves skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total solves.
+    pub solves: u64,
+    /// Well-founded solves that started from a non-empty warm seed.
+    pub warm_solves: u64,
+    /// Atoms in the last warm seed.
+    pub last_seed_size: usize,
+    /// Full re-groundings since load. Stays `0` on the pure incremental
+    /// path; counts the cold fallbacks the session takes where a warm
+    /// delta would be unsound — retraction under the active-domain
+    /// policy, and asserts after a negative literal over a
+    /// never-materialized term was pruned unrecoverably.
+    pub regrounds: u64,
+    /// Facts asserted.
+    pub asserts: u64,
+    /// Facts retracted.
+    pub retracts: u64,
+}
+
+/// A loaded program: interned symbols, ground rules, and (for programs
+/// loaded from text or AST) the live grounder state for incremental fact
+/// updates. Produced by [`Engine::load`].
+pub struct Session {
+    config: EngineBuilder,
+    grounder: Option<IncrementalGrounder>,
+    /// Source program retained for the cold re-ground fallback.
+    ast: Option<Program>,
+    fixed: Option<GroundProgram>,
+    /// Copy-on-write snapshot handed to models; invalidated on mutation.
+    snapshot: Option<Arc<GroundProgram>>,
+    /// Atoms whose rules changed since the last well-founded solve.
+    dirty: Vec<AtomId>,
+    /// Negative fixpoint of the last well-founded solve, for warm seeding.
+    warm: Option<AtomSet>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// The current ground program.
+    pub fn ground(&self) -> &GroundProgram {
+        match &self.grounder {
+            Some(g) => g.program(),
+            None => self.fixed.as_ref().expect("fixed or grounder"),
+        }
+    }
+
+    /// Reuse counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Assert ground facts, written as source text (e.g.
+    /// `"move(c, d). move(d, e)."`). The existing grounding is extended in
+    /// place — no re-parse of the program, no envelope recomputation from
+    /// scratch, no instance re-join outside the delta.
+    pub fn assert_facts(&mut self, facts: &str) -> Result<(), Error> {
+        let parsed = afp_datalog::parse_program(facts)?;
+        for rule in &parsed.rules {
+            if !rule.is_fact() || !rule.head.is_ground() {
+                return Err(Error::NotAFact(afp_datalog::ast::display_rule(
+                    rule,
+                    &parsed.symbols,
+                )));
+            }
+        }
+        for rule in &parsed.rules {
+            self.stats.asserts += 1;
+            match &mut self.grounder {
+                Some(g) => {
+                    if !g.supports_incremental() {
+                        // A pruned negative literal could not be keyed for
+                        // resurrection; a warm delta could silently change
+                        // old instances' semantics. Fall back to cold.
+                        self.cold_update(&rule.head, &parsed.symbols, true)?;
+                        continue;
+                    }
+                    let effect = g.assert_fact(&rule.head, &parsed.symbols)?;
+                    if effect.fresh {
+                        self.dirty.extend(effect.changed);
+                        self.snapshot = None;
+                    }
+                }
+                None => {
+                    let ground = self.fixed.as_mut().expect("fixed or grounder");
+                    let atom = intern_ast_atom(ground, &rule.head, &parsed.symbols);
+                    let already = ground
+                        .rules_with_head(atom)
+                        .iter()
+                        .any(|&r| ground.rule(r).is_fact());
+                    if !already {
+                        ground.push_rule(atom, vec![], vec![]);
+                        self.dirty.push(atom);
+                        self.snapshot = None;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retract ground facts previously stated in the program or asserted.
+    /// Unknown facts are ignored. The grounding is patched in place.
+    pub fn retract_facts(&mut self, facts: &str) -> Result<(), Error> {
+        let parsed = afp_datalog::parse_program(facts)?;
+        for rule in &parsed.rules {
+            if !rule.is_fact() || !rule.head.is_ground() {
+                return Err(Error::NotAFact(afp_datalog::ast::display_rule(
+                    rule,
+                    &parsed.symbols,
+                )));
+            }
+        }
+        for rule in &parsed.rules {
+            self.stats.retracts += 1;
+            match &mut self.grounder {
+                Some(g) => {
+                    if g.uses_active_domain() {
+                        // Retraction can shrink the active domain, and
+                        // instances whose only positive subgoal was a
+                        // stripped `$dom` guard would wrongly survive a
+                        // warm retract. Fall back to cold.
+                        self.cold_update(&rule.head, &parsed.symbols, false)?;
+                        continue;
+                    }
+                    let effect = g.retract_fact(&rule.head, &parsed.symbols)?;
+                    if effect.fresh {
+                        self.dirty.extend(effect.changed);
+                        self.snapshot = None;
+                    }
+                }
+                None => {
+                    let ground = self.fixed.as_mut().expect("fixed or grounder");
+                    let Some(atom) = find_ast_atom(ground, &rule.head, &parsed.symbols) else {
+                        continue;
+                    };
+                    let Some(&rid) = ground
+                        .rules_with_head(atom)
+                        .iter()
+                        .find(|&&r| ground.rule(r).is_fact())
+                    else {
+                        continue;
+                    };
+                    ground.remove_rule(rid);
+                    self.dirty.push(atom);
+                    self.snapshot = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve under the session's default semantics.
+    pub fn solve(&mut self) -> Result<Model, Error> {
+        self.solve_with(self.config.semantics)
+    }
+
+    /// Solve under an explicit semantics, sharing the session's grounding.
+    pub fn solve_with(&mut self, semantics: Semantics) -> Result<Model, Error> {
+        self.stats.solves += 1;
+        let record_trace = self.config.record_trace;
+        let warm_seed = self.take_warm_seed(&semantics);
+        let ground = self.snapshot();
+        let restricted = self.restrict_for_relevance(&ground)?;
+        let solve_on: &GroundProgram = restricted.as_ref().unwrap_or(&ground);
+
+        let mut trace: Option<AfpTrace> = None;
+        let mut stable: Vec<AtomSet> = Vec::new();
+        let mut complete = true;
+        let assignment = match semantics {
+            Semantics::WellFounded { strategy } => {
+                let seed = warm_seed.unwrap_or_else(|| solve_on.empty_set());
+                if !seed.is_empty() {
+                    self.stats.warm_solves += 1;
+                }
+                self.stats.last_seed_size = seed.count();
+                let result = alternating_fixpoint_from(
+                    solve_on,
+                    &AfpOptions {
+                        strategy,
+                        record_trace,
+                    },
+                    &seed,
+                );
+                trace = result.trace;
+                if restricted.is_none() {
+                    self.warm = Some(result.negative_fixpoint);
+                    self.dirty.clear();
+                }
+                result.model
+            }
+            Semantics::Stable { max_models } => {
+                let result = afp_semantics::enumerate_stable(
+                    solve_on,
+                    &afp_semantics::EnumerateOptions {
+                        max_models,
+                        max_nodes: usize::MAX,
+                    },
+                );
+                complete = result.complete;
+                stable = result.models;
+                afp_semantics::cautious_consequences(&stable, solve_on.atom_count())
+            }
+            Semantics::Fitting => afp_semantics::fitting_model(solve_on).model,
+            Semantics::Perfect => match afp_semantics::perfect_model(solve_on) {
+                Some(r) => r.model,
+                None => return Err(Error::NotLocallyStratified),
+            },
+            Semantics::Inflationary => {
+                let r = afp_semantics::inflationary_fixpoint(solve_on);
+                let neg = r.model.complement();
+                PartialModel::new(r.model, neg)
+            }
+        };
+        Ok(Model {
+            ground: restricted.map(Arc::new).unwrap_or(ground),
+            semantics,
+            assignment,
+            stable,
+            complete,
+            trace,
+        })
+    }
+
+    /// Apply one fact update by editing the retained source program and
+    /// re-grounding cold — the sound fallback where a warm delta is not
+    /// (see `assert_facts` / `retract_facts`). Atom ids change, so every
+    /// piece of warm state is dropped.
+    fn cold_update(
+        &mut self,
+        atom: &afp_datalog::ast::Atom,
+        from: &afp_datalog::SymbolStore,
+        assert: bool,
+    ) -> Result<(), Error> {
+        let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+        let imported = import_ast_atom(ast, atom, from);
+        if assert {
+            let present = ast.rules.iter().any(|r| r.is_fact() && r.head == imported);
+            if !present {
+                ast.push(afp_datalog::ast::Rule::fact(imported));
+            }
+        } else {
+            ast.rules.retain(|r| !(r.is_fact() && r.head == imported));
+        }
+        self.grounder = Some(IncrementalGrounder::new(
+            self.ast.as_ref().expect("just used"),
+            &self.config.ground,
+        )?);
+        self.stats.regrounds += 1;
+        self.warm = None;
+        self.dirty.clear();
+        self.snapshot = None;
+        Ok(())
+    }
+
+    /// Compute (and consume) the warm seed for a well-founded solve: the
+    /// previous negative fixpoint minus everything that can reach a dirty
+    /// atom in the dependency graph.
+    fn take_warm_seed(&mut self, semantics: &Semantics) -> Option<AtomSet> {
+        if !matches!(semantics, Semantics::WellFounded { .. }) || !self.config.relevance.is_empty()
+        {
+            return None;
+        }
+        let old = self.warm.as_ref()?;
+        let prog = self.ground();
+        let n = prog.atom_count();
+        // Ancestors of the dirty atoms: anything whose truth could change.
+        let mut affected = AtomSet::empty(n);
+        let mut queue: Vec<AtomId> = Vec::new();
+        for &a in &self.dirty {
+            if affected.insert(a.0) {
+                queue.push(a);
+            }
+        }
+        while let Some(atom) = queue.pop() {
+            for &rid in prog
+                .rules_with_pos(atom)
+                .iter()
+                .chain(prog.rules_with_neg(atom).iter())
+            {
+                let head = prog.rule(rid).head;
+                if affected.insert(head.0) {
+                    queue.push(head);
+                }
+            }
+        }
+        // Old conclusions over unaffected atoms survive (old ids are
+        // stable; the universe may have grown).
+        Some(AtomSet::from_iter(
+            n,
+            old.iter().filter(|&a| !affected.contains(a)),
+        ))
+    }
+
+    fn snapshot(&mut self) -> Arc<GroundProgram> {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(Arc::new(self.ground().clone()));
+        }
+        Arc::clone(self.snapshot.as_ref().expect("just set"))
+    }
+
+    /// Apply the engine's relevance restriction, if configured. Queries
+    /// that fail to parse are an error; queries naming atoms the grounder
+    /// never materialized resolve to nothing (such atoms are false in
+    /// every semantics, and the empty cone answers exactly that).
+    fn restrict_for_relevance(
+        &self,
+        ground: &GroundProgram,
+    ) -> Result<Option<GroundProgram>, Error> {
+        if self.config.relevance.is_empty() {
+            return Ok(None);
+        }
+        let mut seeds: Vec<AtomId> = Vec::new();
+        for query in &self.config.relevance {
+            let mut tmp = Program::new();
+            let atom = afp_datalog::parser::parse_atom_into(query, &mut tmp)?;
+            if let Some(id) = find_ast_atom(ground, &atom, &tmp.symbols) {
+                seeds.push(id);
+            }
+        }
+        Ok(Some(afp_core::relevance::restrict_to_query(ground, &seeds)))
+    }
+}
+
+/// Re-intern an AST atom (expressed against `from`) into a source
+/// program's symbol store, mapping names.
+fn import_ast_atom(
+    ast: &mut Program,
+    atom: &afp_datalog::ast::Atom,
+    from: &afp_datalog::SymbolStore,
+) -> afp_datalog::ast::Atom {
+    fn import_term(
+        t: &afp_datalog::ast::Term,
+        to: &mut afp_datalog::SymbolStore,
+        from: &afp_datalog::SymbolStore,
+    ) -> afp_datalog::ast::Term {
+        match t {
+            afp_datalog::ast::Term::Const(c) => {
+                afp_datalog::ast::Term::Const(to.intern(from.name(*c)))
+            }
+            afp_datalog::ast::Term::App(f, args) => afp_datalog::ast::Term::App(
+                to.intern(from.name(*f)),
+                args.iter().map(|a| import_term(a, to, from)).collect(),
+            ),
+            afp_datalog::ast::Term::Var(v) => afp_datalog::ast::Term::Var(to.intern(from.name(*v))),
+        }
+    }
+    afp_datalog::ast::Atom::new(
+        ast.symbols.intern(from.name(atom.pred)),
+        atom.args
+            .iter()
+            .map(|t| import_term(t, &mut ast.symbols, from))
+            .collect(),
+    )
+}
+
+/// Intern an AST atom (expressed against `from`) into a ground program.
+fn intern_ast_atom(
+    ground: &mut GroundProgram,
+    atom: &afp_datalog::ast::Atom,
+    from: &afp_datalog::SymbolStore,
+) -> AtomId {
+    fn intern_term(
+        t: &afp_datalog::ast::Term,
+        ground: &mut GroundProgram,
+        from: &afp_datalog::SymbolStore,
+    ) -> afp_datalog::atoms::ConstId {
+        match t {
+            afp_datalog::ast::Term::Const(c) => {
+                let sym = ground.symbols_mut().intern(from.name(*c));
+                ground.base_mut().intern_const(sym)
+            }
+            afp_datalog::ast::Term::App(f, args) => {
+                let ids: Vec<_> = args.iter().map(|a| intern_term(a, ground, from)).collect();
+                let sym = ground.symbols_mut().intern(from.name(*f));
+                ground
+                    .base_mut()
+                    .intern_term(afp_datalog::atoms::GroundTerm::App(
+                        sym,
+                        ids.into_boxed_slice(),
+                    ))
+            }
+            afp_datalog::ast::Term::Var(_) => unreachable!("caller checked groundness"),
+        }
+    }
+    let args: Vec<_> = atom
+        .args
+        .iter()
+        .map(|t| intern_term(t, ground, from))
+        .collect();
+    let pred = ground.symbols_mut().intern(from.name(atom.pred));
+    ground.intern_atom_ids(pred, &args)
+}
+
+/// Resolve an AST atom against a ground program without interning.
+fn find_ast_atom(
+    ground: &GroundProgram,
+    atom: &afp_datalog::ast::Atom,
+    from: &afp_datalog::SymbolStore,
+) -> Option<AtomId> {
+    fn find_term(
+        t: &afp_datalog::ast::Term,
+        ground: &GroundProgram,
+        from: &afp_datalog::SymbolStore,
+    ) -> Option<afp_datalog::atoms::ConstId> {
+        match t {
+            afp_datalog::ast::Term::Const(c) => {
+                let sym = ground.symbols().get(from.name(*c))?;
+                ground
+                    .base()
+                    .find_term(&afp_datalog::atoms::GroundTerm::Const(sym))
+            }
+            afp_datalog::ast::Term::App(f, args) => {
+                let ids: Option<Vec<_>> = args.iter().map(|a| find_term(a, ground, from)).collect();
+                let sym = ground.symbols().get(from.name(*f))?;
+                ground
+                    .base()
+                    .find_term(&afp_datalog::atoms::GroundTerm::App(
+                        sym,
+                        ids?.into_boxed_slice(),
+                    ))
+            }
+            afp_datalog::ast::Term::Var(_) => None,
+        }
+    }
+    let args: Option<Vec<_>> = atom
+        .args
+        .iter()
+        .map(|t| find_term(t, ground, from))
+        .collect();
+    let pred = ground.symbols().get(from.name(atom.pred))?;
+    ground.base().find_atom(pred, &args?)
+}
+
+/// A solved program under one semantics: a three-valued assignment over
+/// the ground atoms, plus semantics-specific extras (stable model list,
+/// alternating-sequence trace). All five [`Semantics`] produce this type.
+pub struct Model {
+    ground: Arc<GroundProgram>,
+    semantics: Semantics,
+    assignment: PartialModel,
+    stable: Vec<AtomSet>,
+    complete: bool,
+    trace: Option<AfpTrace>,
+}
+
+impl Model {
+    /// Three-valued truth of `pred(args…)`. Atoms never materialized
+    /// during grounding are false (they have no derivation under any of
+    /// the five semantics).
+    pub fn truth(&self, pred: &str, args: &[&str]) -> Truth {
+        match self.ground.find_atom_by_name(pred, args) {
+            Some(id) => self.truth_of(id),
+            None => Truth::False,
+        }
+    }
+
+    /// Three-valued truth of an interned atom.
+    pub fn truth_of(&self, atom: AtomId) -> Truth {
+        self.assignment.truth(atom.0)
+    }
+
+    /// The semantics this model was computed under.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Is every atom decided? (For the well-founded semantics a total
+    /// model is also the unique stable model — Section 5.)
+    pub fn is_total(&self) -> bool {
+        self.assignment.is_total()
+    }
+
+    /// True atoms, rendered lazily in atom-id order (grounding order, not
+    /// alphabetical — collect and sort for display stability).
+    pub fn true_atoms(&self) -> impl Iterator<Item = String> + '_ {
+        self.assignment
+            .pos
+            .iter()
+            .map(|id| self.ground.atom_name(AtomId(id)))
+    }
+
+    /// False atoms within the materialized base, rendered lazily.
+    pub fn false_atoms(&self) -> impl Iterator<Item = String> + '_ {
+        self.assignment
+            .neg
+            .iter()
+            .map(|id| self.ground.atom_name(AtomId(id)))
+    }
+
+    /// Undefined atoms, rendered lazily.
+    pub fn undefined_atoms(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.ground.atom_count() as u32)
+            .filter(|&id| self.assignment.truth(id) == Truth::Undefined)
+            .map(|id| self.ground.atom_name(AtomId(id)))
+    }
+
+    /// The underlying three-valued assignment.
+    pub fn partial_model(&self) -> &PartialModel {
+        &self.assignment
+    }
+
+    /// The ground program this model assigns over.
+    pub fn ground(&self) -> &GroundProgram {
+        &self.ground
+    }
+
+    /// The enumerated stable models (empty unless solved with
+    /// [`Semantics::Stable`]; an empty list there means **no** stable
+    /// model exists, in which case the three-valued assignment is
+    /// everywhere undefined).
+    pub fn stable_models(&self) -> &[AtomSet] {
+        &self.stable
+    }
+
+    /// False when stable enumeration was cut off by `max_models`.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The alternating sequence (Table I), when tracing was enabled and
+    /// the semantics records one.
+    pub fn trace(&self) -> Option<&AfpTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Render a justification tree for `pred(args…)` in the paper's
+    /// vocabulary (derivations, witnesses of unusability, undefined
+    /// dependencies), to `depth` levels.
+    ///
+    /// Returns `None` when the model is not explainable this way: atoms
+    /// the grounder never materialized, and semantics whose conclusions
+    /// are not `S_P`-replayable (the inflationary fixpoint, stable-model
+    /// collapses with more than one model).
+    pub fn explain(&self, pred: &str, args: &[&str], depth: usize) -> Option<String> {
+        let atom = self.ground.find_atom_by_name(pred, args)?;
+        let explainer = afp_semantics::Explainer::try_new(&self.ground, &self.assignment)?;
+        Some(explainer.render(atom, depth))
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("semantics", &self.semantics.name())
+            .field("atoms", &self.ground.atom_count())
+            .field("true", &self.assignment.pos.count())
+            .field("false", &self.assignment.neg.count())
+            .field("total", &self.is_total())
+            .finish()
+    }
+}

@@ -8,57 +8,83 @@
 //! Fitting, stratified and inflationary semantics it is related to, and
 //! the first-order extension of Section 8.
 //!
-//! ## Crates
-//!
-//! * [`datalog`] (`afp-datalog`) — parser, Herbrand machinery, grounder,
-//!   relational engine;
-//! * [`core`] (`afp-core`) — the operators `S_P`, `S̃_P`, `A_P` and the
-//!   alternating fixpoint computation;
-//! * [`semantics`] (`afp-semantics`) — unfounded sets, stable models,
-//!   Fitting, perfect models, inflationary fixpoints;
-//! * [`fol`] (`afp-fol`) — first-order rule bodies, Lloyd–Topor, fixpoint
-//!   logic.
-//!
-//! ## One-call API
+//! ## Quickstart: one [`Engine`], five semantics, reusable sessions
 //!
 //! ```
-//! use afp::{well_founded, Truth};
+//! use afp::{Engine, Semantics, Truth};
 //!
 //! // Figure 4(c): a ⇄ b cycle, but b can escape to the sink c.
-//! let sol = afp::well_founded(
-//!     "wins(X) :- move(X, Y), not wins(Y).
-//!      move(a, b). move(b, a). move(b, c).",
-//! ).unwrap();
-//! assert_eq!(sol.truth("wins", &["b"]), Truth::True);  // b moves to the sink
-//! assert_eq!(sol.truth("wins", &["a"]), Truth::False); // a can only feed b
-//! assert!(sol.is_total()); // ⇒ also the unique stable model
+//! let engine = Engine::default(); // well-founded semantics by default
+//! let mut session = engine
+//!     .load(
+//!         "wins(X) :- move(X, Y), not wins(Y).
+//!          move(a, b). move(b, a). move(b, c).",
+//!     )
+//!     .unwrap();
 //!
-//! // A pure 2-cycle is drawn: the well-founded model is partial.
-//! let draw = afp::well_founded(
-//!     "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a).",
-//! ).unwrap();
-//! assert_eq!(draw.truth("wins", &["a"]), Truth::Undefined);
-//! assert!(!draw.is_total());
+//! let model = session.solve().unwrap();
+//! assert_eq!(model.truth("wins", &["b"]), Truth::True);  // b escapes to the sink
+//! assert_eq!(model.truth("wins", &["a"]), Truth::False); // a can only feed b
+//! assert!(model.is_total()); // ⇒ also the unique stable model (Section 5)
+//!
+//! // The same session answers under every other semantics of the paper.
+//! let stable = session
+//!     .solve_with(Semantics::Stable { max_models: usize::MAX })
+//!     .unwrap();
+//! assert_eq!(stable.stable_models().len(), 1);
+//! let fitting = session.solve_with(Semantics::Fitting).unwrap();
+//! assert!(fitting.partial_model().leq(model.partial_model())); // Fitting ⊑ WFS
+//!
+//! // Fact updates reuse the grounding: no re-parse, no cold re-ground.
+//! session.assert_facts("move(c, d).").unwrap();
+//! let model = session.solve().unwrap();
+//! assert_eq!(model.truth("wins", &["c"]), Truth::True);
+//! assert_eq!(session.stats().regrounds, 0);
 //! ```
+//!
+//! See [`engine`] for the full API: [`EngineBuilder`] (semantics,
+//! [`SafetyPolicy`], tracing, relevance restriction), [`Session`]
+//! (`assert_facts` / `retract_facts` / warm re-solve), and the unified
+//! three-valued [`Model`].
+//!
+//! ## Crates
+//!
+//! * [`datalog`] (`afp-datalog`) — parser, Herbrand machinery, batch and
+//!   incremental grounder, relational engine;
+//! * [`core`] (`afp-core`) — the operators `S_P`, `S̃_P`, `A_P` and the
+//!   (resumable) alternating fixpoint computation;
+//! * [`semantics`] (`afp-semantics`) — unfounded sets, stable models,
+//!   Fitting, perfect models, inflationary fixpoints, explanations;
+//! * [`fol`] (`afp-fol`) — first-order rule bodies, Lloyd–Topor, fixpoint
+//!   logic.
 
 pub use afp_core as core;
 pub use afp_datalog as datalog;
 pub use afp_fol as fol;
 pub use afp_semantics as semantics;
 
+pub mod engine;
+
 pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
 pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
+pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats};
 
 use std::fmt;
 
-/// Anything that can go wrong on the parse → ground → solve pipeline.
+/// Anything that can go wrong across the parse → ground → solve pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// The source text did not parse.
     Parse(afp_datalog::ParseError),
     /// The program could not be grounded.
     Ground(afp_datalog::GroundError),
+    /// [`Semantics::Perfect`] was requested for a program that is not
+    /// locally stratified (no perfect model exists — Section 2.3).
+    NotLocallyStratified,
+    /// [`Session::assert_facts`] / [`Session::retract_facts`] was given a
+    /// rule that is not a ground fact.
+    NotAFact(String),
 }
 
 impl fmt::Display for Error {
@@ -66,6 +92,12 @@ impl fmt::Display for Error {
         match self {
             Error::Parse(e) => write!(f, "parse error: {e}"),
             Error::Ground(e) => write!(f, "grounding error: {e}"),
+            Error::NotLocallyStratified => {
+                write!(f, "program is not locally stratified")
+            }
+            Error::NotAFact(rule) => {
+                write!(f, "not a ground fact: {rule}")
+            }
         }
     }
 }
@@ -86,6 +118,9 @@ impl From<afp_datalog::GroundError> for Error {
 
 /// The well-founded solution of a program: the ground instantiation plus
 /// the alternating fixpoint partial model over it.
+///
+/// Returned by the deprecated free functions; new code should use
+/// [`Engine::load`] and the unified [`Model`] instead.
 #[derive(Debug)]
 pub struct Solution {
     /// The relevant ground instantiation.
@@ -128,13 +163,22 @@ impl Solution {
 }
 
 /// Parse, ground, and compute the well-founded partial model via the
-/// alternating fixpoint. Safe rules only; see [`well_founded_with`] for
-/// the active-domain policy.
+/// alternating fixpoint.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Engine::default().load(src)?.solve() — sessions reuse the \
+            grounding across queries and fact updates"
+)]
 pub fn well_founded(src: &str) -> Result<Solution, Error> {
+    #[allow(deprecated)]
     well_founded_with(src, &GroundOptions::default(), &AfpOptions::default())
 }
 
 /// [`well_founded`] with explicit grounding and fixpoint options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Engine::builder().ground_options(…).build().load(src)?.solve()"
+)]
 pub fn well_founded_with(
     src: &str,
     ground_options: &GroundOptions,
@@ -148,6 +192,11 @@ pub fn well_founded_with(
 
 /// Parse, ground, and enumerate stable models (sets of true atoms,
 /// rendered). Exponential in the worst case.
+#[deprecated(
+    since = "0.1.0",
+    note = "use Engine::new(Semantics::Stable { .. }).load(src)?.solve() and \
+            Model::stable_models()"
+)]
 pub fn stable_models(src: &str) -> Result<Vec<Vec<String>>, Error> {
     let program = afp_datalog::parse_program(src)?;
     let ground = afp_datalog::ground(&program)?;
@@ -156,6 +205,7 @@ pub fn stable_models(src: &str) -> Result<Vec<Vec<String>>, Error> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -205,5 +255,23 @@ mod tests {
     fn error_display() {
         let e = well_founded("p :- ").unwrap_err();
         assert!(e.to_string().contains("parse error"));
+        assert!(Error::NotLocallyStratified
+            .to_string()
+            .contains("not locally stratified"));
+        assert!(Error::NotAFact("p :- q.".into())
+            .to_string()
+            .contains("not a ground fact"));
+    }
+
+    #[test]
+    fn deprecated_wrappers_agree_with_the_engine() {
+        let src = "p :- not q. q :- not p. r.";
+        let legacy = well_founded(src).unwrap();
+        let model = Engine::default().solve(src).unwrap();
+        assert_eq!(model.truth("r", &[]), legacy.truth("r", &[]));
+        assert_eq!(model.truth("p", &[]), legacy.truth("p", &[]));
+        let mut new_true: Vec<String> = model.true_atoms().collect();
+        new_true.sort();
+        assert_eq!(new_true, legacy.true_atoms());
     }
 }

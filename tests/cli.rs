@@ -11,12 +11,12 @@ fn run_afp(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child
+    // Ignore EPIPE: usage errors may exit before stdin is drained.
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+        .write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("wait");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -60,20 +60,14 @@ fn stable_enumeration_and_counts() {
     assert_eq!(code, Some(0));
     assert!(stdout.contains("% stable model 1"));
     assert!(stdout.contains("% stable model 2"));
-    let (stdout, _, code) = run_afp(
-        &["-s", "stable"],
-        "p :- not q. q :- not r. r :- not p.",
-    );
+    let (stdout, _, code) = run_afp(&["-s", "stable"], "p :- not q. q :- not r. r :- not p.");
     assert_eq!(code, Some(1));
     assert!(stdout.contains("% no stable model"));
 }
 
 #[test]
 fn max_models_flag() {
-    let (stdout, _, _) = run_afp(
-        &["-s", "stable", "-n", "1"],
-        "p :- not q. q :- not p.",
-    );
+    let (stdout, _, _) = run_afp(&["-s", "stable", "-n", "1"], "p :- not q. q :- not p.");
     assert!(stdout.contains("% stable model 1"));
     assert!(!stdout.contains("% stable model 2"));
 }
@@ -146,4 +140,80 @@ fn trace_flag_prints_sequence() {
     let (stdout, _, _) = run_afp(&["-t"], "p :- not q. q :- not p.");
     assert!(stdout.contains("% alternating sequence"));
     assert!(stdout.contains("k=0"));
+}
+
+#[test]
+fn json_output_for_truth_assignments() {
+    let (stdout, _, code) = run_afp(
+        &["--json"],
+        "a. b :- a. c :- not b. p :- not q. q :- not p.",
+    );
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"semantics\":\"wfs\""));
+    assert!(stdout.contains("\"total\":false"));
+    assert!(stdout.contains("\"true\":[\"a\",\"b\"]"));
+    assert!(stdout.contains("\"false\":[\"c\"]"));
+    assert!(stdout.contains("\"undefined\":[\"p\",\"q\"]"));
+}
+
+#[test]
+fn json_output_for_stable_models() {
+    let (stdout, _, code) = run_afp(&["-s", "stable", "-j"], "p :- not q. q :- not p.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"semantics\":\"stable\""));
+    assert!(stdout.contains("\"count\":2"));
+    assert!(stdout.contains("[\"p\"]"));
+    assert!(stdout.contains("[\"q\"]"));
+    // No stable model still exits 1, with an empty JSON list.
+    let (stdout, _, code) = run_afp(
+        &["-s", "stable", "-j"],
+        "p :- not q. q :- not r. r :- not p.",
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"count\":0"));
+}
+
+#[test]
+fn json_output_for_queries() {
+    let (stdout, _, code) = run_afp(&["-q", "b", "-j"], "a. b :- a.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"query\":\"b\""));
+    assert!(stdout.contains("\"truth\":\"true\""));
+    let (stdout, _, code) = run_afp(&["-q", "zzz", "-j"], "a.");
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"truth\":\"false\""));
+}
+
+#[test]
+fn stable_query_keeps_no_model_exit_code() {
+    // The documented contract — exit 1 when no stable model exists —
+    // holds even when a query is printed.
+    let (stdout, _, code) = run_afp(
+        &["-s", "stable", "-q", "a"],
+        "a :- not b. b :- not c. c :- not a.",
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("Undefined"));
+    let (_, _, code) = run_afp(&["-s", "stable", "-q", "p"], "p :- not q. q :- not p.");
+    assert_eq!(code, Some(0));
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage_hint() {
+    let (_, stderr, code) = run_afp(&["--no-such-flag"], "a.");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+    let (_, stderr, code) = run_afp(&["-s", "nonsense"], "a.");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn bad_queries_exit_2_with_usage_hint() {
+    for query in ["wins(X)", "p(", ""] {
+        let (_, stderr, code) = run_afp(&["-q", query], "a.");
+        assert_eq!(code, Some(2), "query {query:?}");
+        assert!(stderr.contains("bad query"), "query {query:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "query {query:?}: {stderr}");
+    }
 }

@@ -1,5 +1,9 @@
 //! Failure injection: every malformed input and resource exhaustion path
 //! surfaces as a typed error, never a panic or a wrong answer.
+//!
+//! Exercises the deprecated free-function facade on purpose: the wrappers
+//! must keep their error contract until they are removed.
+#![allow(deprecated)]
 
 use afp::datalog::{GroundError, GroundOptions, ParseError, SafetyPolicy};
 use afp::{well_founded, well_founded_with, Error};
@@ -51,7 +55,9 @@ fn atom_budget_stops_function_symbol_divergence() {
     );
     assert!(matches!(
         result,
-        Err(Error::Ground(GroundError::AtomBudgetExceeded { limit: 500 }))
+        Err(Error::Ground(GroundError::AtomBudgetExceeded {
+            limit: 500
+        }))
     ));
 }
 
@@ -88,7 +94,9 @@ fn rule_budget_enforced() {
     );
     assert!(matches!(
         result,
-        Err(Error::Ground(GroundError::RuleBudgetExceeded { limit: 100 }))
+        Err(Error::Ground(GroundError::RuleBudgetExceeded {
+            limit: 100
+        }))
     ));
 }
 

@@ -148,7 +148,11 @@ fn rule_desc_strategy() -> impl Strategy<Value = RuleDesc> {
         0..PREDS.len(),
         proptest::collection::vec(0u8..5, 2),
         proptest::collection::vec(
-            (0..PREDS.len(), proptest::collection::vec(0u8..5, 2), any::<bool>()),
+            (
+                0..PREDS.len(),
+                proptest::collection::vec(0u8..5, 2),
+                any::<bool>(),
+            ),
             0..3,
         ),
     )
@@ -197,11 +201,7 @@ proptest! {
     }
 }
 
-fn lookup(
-    prog: &afp_datalog::GroundProgram,
-    afp: &afp::AfpResult,
-    name: &str,
-) -> Truth {
+fn lookup(prog: &afp_datalog::GroundProgram, afp: &afp::AfpResult, name: &str) -> Truth {
     for id in 0..prog.atom_count() as u32 {
         if prog.atom_name(afp_datalog::AtomId(id)) == name {
             return afp.model.truth(id);

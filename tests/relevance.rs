@@ -2,8 +2,8 @@
 //! restricting a program to the dependency cone of a query atom preserves
 //! its well-founded truth value — for every atom inside the cone.
 
-use afp::core::relevance::{relevant_atoms, restrict_to_query};
 use afp::core::alternating_fixpoint;
+use afp::core::relevance::{relevant_atoms, restrict_to_query};
 use afp_datalog::atoms::AtomId;
 use afp_datalog::program::{GroundProgram, GroundProgramBuilder};
 use proptest::prelude::*;
@@ -15,14 +15,10 @@ fn program_strategy() -> impl Strategy<Value = (GroundProgram, u32)> {
             proptest::collection::vec(0..n_atoms as u32, 0..3),
             proptest::collection::vec(0..n_atoms as u32, 0..3),
         );
-        (
-            proptest::collection::vec(rule, 0..20),
-            0..n_atoms as u32,
-        )
-            .prop_map(move |(rules, seed)| {
+        (proptest::collection::vec(rule, 0..20), 0..n_atoms as u32).prop_map(
+            move |(rules, seed)| {
                 let mut b = GroundProgramBuilder::new();
-                let atoms: Vec<_> =
-                    (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
+                let atoms: Vec<_> = (0..n_atoms).map(|i| b.prop(&format!("a{i}"))).collect();
                 for (head, pos, neg) in rules {
                     b.rule(
                         atoms[head as usize],
@@ -31,7 +27,8 @@ fn program_strategy() -> impl Strategy<Value = (GroundProgram, u32)> {
                     );
                 }
                 (b.finish(), seed)
-            })
+            },
+        )
     })
 }
 

@@ -9,8 +9,7 @@
 
 use afp::core::alternating_fixpoint;
 use afp::semantics::{
-    brute_force_stable, fitting_model, inflationary_fixpoint, is_locally_stratified,
-    perfect_model,
+    brute_force_stable, fitting_model, inflationary_fixpoint, is_locally_stratified, perfect_model,
 };
 use afp_datalog::program::{GroundProgram, GroundProgramBuilder};
 use proptest::prelude::*;
@@ -21,8 +20,8 @@ use proptest::prelude::*;
 fn stratified_program_strategy() -> impl Strategy<Value = GroundProgram> {
     let layer_size = 4usize;
     let rule = (
-        0usize..3,                                     // head layer
-        0u32..layer_size as u32,                       // head atom in layer
+        0usize..3,                                                             // head layer
+        0u32..layer_size as u32,                                               // head atom in layer
         proptest::collection::vec((0usize..3, 0u32..layer_size as u32), 0..3), // pos
         proptest::collection::vec((0usize..3, 0u32..layer_size as u32), 0..2), // neg
     );
@@ -53,10 +52,7 @@ fn stratified_program_strategy() -> impl Strategy<Value = GroundProgram> {
 }
 
 fn horn_program_strategy() -> impl Strategy<Value = GroundProgram> {
-    let rule = (
-        0u32..8,
-        proptest::collection::vec(0u32..8, 0..3),
-    );
+    let rule = (0u32..8, proptest::collection::vec(0u32..8, 0..3));
     proptest::collection::vec(rule, 0..14).prop_map(|rules| {
         let mut b = GroundProgramBuilder::new();
         let atoms: Vec<_> = (0..8).map(|i| b.prop(&format!("h{i}"))).collect();

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! reimplements the strategy-combinator subset the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, [`strategy::Just`], integer-range and tuple
+//! strategies, [`collection::vec`], `any::<bool>()`, the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` and `prop_assume!`
+//! macros, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports the case number; cases are
+//!   generated deterministically from the test's name, so failures
+//!   reproduce on re-run;
+//! * **no persistence** (`proptest-regressions` files are neither read
+//!   nor written);
+//! * rejected cases (`prop_assume!`) are simply skipped, not retried.
+//!
+//! Swap the path dependency for the registry crate to restore full
+//! behavior; the test sources need no changes.
+
+#![warn(missing_docs)]
+
+/// Deterministic case generation and test configuration.
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out.
+        Reject(String),
+        /// `prop_assert!`-family failure.
+        Fail(String),
+    }
+
+    /// Runner configuration (only `cases` is honored by this shim).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64 generator seeding case generation. Seeded from the test
+    /// name so every test has an independent, stable stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The [`Strategy`] trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Build recursive structures: `self` generates leaves, `recurse`
+        /// wraps an inner strategy one level deeper. `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility and
+        /// ignored; recursion is bounded by `depth` alone.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = recurse(s.clone()).boxed();
+            }
+            s
+        }
+
+        /// Type-erase the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = rng.below(self.options.len() as u64) as usize;
+            self.options[ix].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $ix:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`], convertible from `usize` (exact),
+    /// `Range<usize>` and `RangeInclusive<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over an element strategy, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy, mirroring `proptest::bool::ANY`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy value.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = core::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, i8, i16, i32);
+
+    /// The canonical strategy for `A`, mirroring `proptest::prelude::any`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions over generated inputs, mirroring
+/// `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    // Strategy expressions are pure constructors; rebuilding
+                    // them per case keeps this macro free of identifier
+                    // gymnastics at negligible cost.
+                    #[allow(unused_parens)]
+                    let ($($pat),+) = ($($crate::strategy::Strategy::generate(
+                        &($strat), &mut rng
+                    )),+);
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case} failed: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
