@@ -246,6 +246,27 @@ impl Program {
     }
 }
 
+/// Translate an atom expressed against a foreign [`SymbolStore`] into
+/// `to`'s symbol space, mapping by name and interning as needed. Two
+/// stores that start as clones diverge as soon as either side interns a
+/// new name, so any atom crossing between them goes through this.
+pub fn import_atom(to: &mut SymbolStore, atom: &Atom, from: &SymbolStore) -> Atom {
+    fn import_term(t: &Term, from: &SymbolStore, to: &mut SymbolStore) -> Term {
+        match t {
+            Term::Const(c) => Term::Const(to.intern(from.name(*c))),
+            Term::App(f, args) => Term::App(
+                to.intern(from.name(*f)),
+                args.iter().map(|a| import_term(a, from, to)).collect(),
+            ),
+            Term::Var(v) => Term::Var(to.intern(from.name(*v))),
+        }
+    }
+    Atom::new(
+        to.intern(from.name(atom.pred)),
+        atom.args.iter().map(|t| import_term(t, from, to)).collect(),
+    )
+}
+
 /// Render a term.
 pub fn display_term(t: &Term, store: &SymbolStore) -> String {
     match t {

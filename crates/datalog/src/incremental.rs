@@ -261,25 +261,7 @@ impl IncrementalGrounder {
     /// program's but the two diverge as soon as either side interns new
     /// names, so assert/retract go through this translation.
     pub fn import_atom(&mut self, atom: &Atom, from: &crate::symbol::SymbolStore) -> Atom {
-        fn import_term(
-            t: &crate::ast::Term,
-            from: &crate::symbol::SymbolStore,
-            to: &mut crate::symbol::SymbolStore,
-        ) -> crate::ast::Term {
-            match t {
-                crate::ast::Term::Const(c) => crate::ast::Term::Const(to.intern(from.name(*c))),
-                crate::ast::Term::App(f, args) => crate::ast::Term::App(
-                    to.intern(from.name(*f)),
-                    args.iter().map(|a| import_term(a, from, to)).collect(),
-                ),
-                crate::ast::Term::Var(v) => crate::ast::Term::Var(to.intern(from.name(*v))),
-            }
-        }
-        let to = self.prog.symbols_mut();
-        Atom::new(
-            to.intern(from.name(atom.pred)),
-            atom.args.iter().map(|t| import_term(t, from, to)).collect(),
-        )
+        crate::ast::import_atom(self.prog.symbols_mut(), atom, from)
     }
 
     /// Add a ground EDB fact, extending the envelope and the ground

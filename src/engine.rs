@@ -301,6 +301,10 @@ impl Session {
                         self.dirty.extend(effect.changed);
                         self.snapshot = None;
                     }
+                    // Mirror into the retained AST: a later cold fallback
+                    // re-grounds from it and must see this fact.
+                    let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                    apply_fact_to_ast(ast, &rule.head, &parsed.symbols, true);
                 }
                 None => {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
@@ -349,6 +353,10 @@ impl Session {
                         self.dirty.extend(effect.changed);
                         self.snapshot = None;
                     }
+                    // Mirror into the retained AST: a later cold fallback
+                    // re-grounds from it and must not resurrect this fact.
+                    let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                    apply_fact_to_ast(ast, &rule.head, &parsed.symbols, false);
                 }
                 None => {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
@@ -446,27 +454,20 @@ impl Session {
     /// Apply one fact update by editing the retained source program and
     /// re-grounding cold — the sound fallback where a warm delta is not
     /// (see `assert_facts` / `retract_facts`). Atom ids change, so every
-    /// piece of warm state is dropped.
+    /// piece of warm state is dropped. The edit and the re-ground commit
+    /// together: on a re-ground error (e.g. a budget) the session keeps
+    /// its previous AST and grounder, so the failed update leaves no
+    /// trace a later fallback could resurrect.
     fn cold_update(
         &mut self,
         atom: &afp_datalog::ast::Atom,
         from: &afp_datalog::SymbolStore,
         assert: bool,
     ) -> Result<(), Error> {
-        let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
-        let imported = import_ast_atom(ast, atom, from);
-        if assert {
-            let present = ast.rules.iter().any(|r| r.is_fact() && r.head == imported);
-            if !present {
-                ast.push(afp_datalog::ast::Rule::fact(imported));
-            }
-        } else {
-            ast.rules.retain(|r| !(r.is_fact() && r.head == imported));
-        }
-        self.grounder = Some(IncrementalGrounder::new(
-            self.ast.as_ref().expect("just used"),
-            &self.config.ground,
-        )?);
+        let mut ast = self.ast.clone().expect("grounder sessions retain the AST");
+        apply_fact_to_ast(&mut ast, atom, from, assert);
+        self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
+        self.ast = Some(ast);
         self.stats.regrounds += 1;
         self.warm = None;
         self.dirty.clear();
@@ -543,36 +544,24 @@ impl Session {
     }
 }
 
-/// Re-intern an AST atom (expressed against `from`) into a source
-/// program's symbol store, mapping names.
-fn import_ast_atom(
+/// Add or remove a ground fact in a retained source program. Idempotent
+/// in both directions; used by the warm update paths (to keep the AST in
+/// lockstep with the grounder) and by the cold fallback itself.
+fn apply_fact_to_ast(
     ast: &mut Program,
     atom: &afp_datalog::ast::Atom,
     from: &afp_datalog::SymbolStore,
-) -> afp_datalog::ast::Atom {
-    fn import_term(
-        t: &afp_datalog::ast::Term,
-        to: &mut afp_datalog::SymbolStore,
-        from: &afp_datalog::SymbolStore,
-    ) -> afp_datalog::ast::Term {
-        match t {
-            afp_datalog::ast::Term::Const(c) => {
-                afp_datalog::ast::Term::Const(to.intern(from.name(*c)))
-            }
-            afp_datalog::ast::Term::App(f, args) => afp_datalog::ast::Term::App(
-                to.intern(from.name(*f)),
-                args.iter().map(|a| import_term(a, to, from)).collect(),
-            ),
-            afp_datalog::ast::Term::Var(v) => afp_datalog::ast::Term::Var(to.intern(from.name(*v))),
+    assert: bool,
+) {
+    let imported = afp_datalog::ast::import_atom(&mut ast.symbols, atom, from);
+    if assert {
+        let present = ast.rules.iter().any(|r| r.is_fact() && r.head == imported);
+        if !present {
+            ast.push(afp_datalog::ast::Rule::fact(imported));
         }
+    } else {
+        ast.rules.retain(|r| !(r.is_fact() && r.head == imported));
     }
-    afp_datalog::ast::Atom::new(
-        ast.symbols.intern(from.name(atom.pred)),
-        atom.args
-            .iter()
-            .map(|t| import_term(t, &mut ast.symbols, from))
-            .collect(),
-    )
 }
 
 /// Intern an AST atom (expressed against `from`) into a ground program.

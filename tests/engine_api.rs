@@ -273,6 +273,76 @@ fn unsound_deltas_fall_back_to_cold_regrounding() {
     assert_eq!(model.truth("p", &["d"]), Truth::True);
 }
 
+/// Cold fallbacks re-ground from the session's *current* fact set: a fact
+/// asserted warm survives a later cold retract, and a fact retracted warm
+/// stays gone through a later cold assert. (Regression: the warm paths
+/// once updated only the grounder, so the retained AST went stale and the
+/// cold fallback silently undid warm updates.)
+#[test]
+fn cold_fallback_sees_warm_updates() {
+    use afp::SafetyPolicy;
+
+    // Warm assert, then a cold retract (retraction under the
+    // active-domain policy re-grounds): r(c) must survive the re-ground.
+    let engine = Engine::builder().safety(SafetyPolicy::ActiveDomain).build();
+    let mut session = engine.load("p(X) :- not q(X). q(a). r(b).").unwrap();
+    session.solve().unwrap();
+    session.assert_facts("r(c).").unwrap();
+    assert_eq!(session.stats().regrounds, 0, "assert stays warm");
+    session.retract_facts("q(a).").unwrap();
+    assert!(
+        session.stats().regrounds >= 1,
+        "active-domain retract goes cold"
+    );
+    let warm = session.solve().unwrap();
+    let cold = engine.solve("p(X) :- not q(X). r(b). r(c).").unwrap();
+    for atom in ["a", "b", "c"] {
+        assert_eq!(
+            warm.truth("p", &[atom]),
+            cold.truth("p", &[atom]),
+            "p({atom})"
+        );
+        assert_eq!(
+            warm.truth("r", &[atom]),
+            cold.truth("r", &[atom]),
+            "r({atom})"
+        );
+        assert_eq!(
+            warm.truth("q", &[atom]),
+            cold.truth("q", &[atom]),
+            "q({atom})"
+        );
+    }
+    assert_eq!(
+        warm.truth("r", &["c"]),
+        Truth::True,
+        "warm-asserted fact survives the cold fallback"
+    );
+
+    // Warm retract, then a cold assert (an unkeyable pruned negative
+    // literal re-grounds): s(b) must not be resurrected by the re-ground.
+    let engine = Engine::default();
+    let mut session = engine
+        .load("p(X) :- e(X), not q(f(X)). e(a). s(b).")
+        .unwrap();
+    session.solve().unwrap();
+    session.retract_facts("s(b).").unwrap();
+    assert_eq!(session.stats().regrounds, 0, "retract stays warm");
+    session.assert_facts("q(f(a)).").unwrap();
+    assert!(session.stats().regrounds >= 1, "unkeyable assert goes cold");
+    let warm = session.solve().unwrap();
+    let cold = engine
+        .solve("p(X) :- e(X), not q(f(X)). e(a). q(f(a)).")
+        .unwrap();
+    assert_eq!(warm.truth("p", &["a"]), cold.truth("p", &["a"]));
+    assert_eq!(warm.truth("p", &["a"]), Truth::False);
+    assert_eq!(
+        warm.truth("s", &["b"]),
+        Truth::False,
+        "warm-retracted fact stays gone through the cold fallback"
+    );
+}
+
 /// The explain hook renders justifications for explainable semantics and
 /// degrades to `None` for non-replayable ones.
 #[test]

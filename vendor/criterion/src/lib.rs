@@ -1,5 +1,15 @@
 //! Offline stand-in for the `criterion` crate.
 //!
+//! <div class="warning">
+//!
+//! **This is not the real `criterion`.** It is a path dependency wired
+//! in under the real crate name (see the crate manifests and
+//! `vendor/README.md`): timings come from a plain
+//! `Instant` loop with no statistics engine, outlier rejection, or
+//! saved baselines, so reported numbers are indicative only.
+//!
+//! </div>
+//!
 //! The registry is unreachable in this build environment, so this crate
 //! implements the subset of the Criterion API the `afp-bench` benches use:
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /

@@ -1,5 +1,18 @@
 //! Offline stand-in for the `proptest` crate.
 //!
+//! <div class="warning">
+//!
+//! **This is not the real `proptest`.** It is a path dependency wired
+//! in under the real crate name (see the crate manifests and
+//! `vendor/README.md`), so property tests in this
+//! workspace run with **far weaker case generation and no shrinking**
+//! than upstream: a small deterministic case budget, naive uniform
+//! value distributions (no edge-case biasing), and unminimized failure
+//! reports. A passing property test here is much weaker evidence than
+//! the same test under real proptest.
+//!
+//! </div>
+//!
 //! The registry is unreachable in this build environment, so this crate
 //! reimplements the strategy-combinator subset the workspace's property
 //! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /

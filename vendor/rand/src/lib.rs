@@ -1,5 +1,14 @@
 //! Offline stand-in for the `rand` crate.
 //!
+//! <div class="warning">
+//!
+//! **This is not the real `rand`.** It is a path dependency wired in
+//! under the real crate name (see the crate manifests and
+//! `vendor/README.md`); it covers only the tiny API surface `afp-bench`
+//! uses and its streams differ from upstream.
+//!
+//! </div>
+//!
 //! The real `rand` cannot be fetched in this build environment, so this
 //! crate provides the small API surface `afp-bench` relies on — `StdRng`
 //! seeded via [`SeedableRng::seed_from_u64`], plus [`Rng::gen_bool`] and
