@@ -2,6 +2,12 @@
 //! the size of the Herbrand base. Win–move instances of growing size; the
 //! reported times should grow polynomially (roughly linearly ×
 //! alternation depth), never combinatorially.
+//!
+//! The `chain_of_knots` group is the separating workload for
+//! SCC-stratified evaluation: the global alternating fixpoint decides
+//! one knot per round (`Θ(k²)` total) while the component-wise path
+//! decides each knot locally (`Θ(k)` total). Expect the gap to *grow*
+//! with `k`.
 
 use afp_bench::gen::{self, Graph};
 use afp_core::afp::alternating_fixpoint;
@@ -26,6 +32,19 @@ fn afp_scaling(c: &mut Criterion) {
         let prog = gen::win_move_ground(&Graph::path(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
             b.iter(|| alternating_fixpoint(prog))
+        });
+    }
+    group.finish();
+
+    // Chains of coupled knots: global Θ(k²) vs SCC-stratified Θ(k).
+    let mut group = c.benchmark_group("afp_scaling/chain_of_knots");
+    for k in [64usize, 256, 1024] {
+        let prog = gen::hard_knot_chain(k);
+        group.bench_with_input(BenchmarkId::new("global_afp", k), &prog, |b, prog| {
+            b.iter(|| alternating_fixpoint(prog))
+        });
+        group.bench_with_input(BenchmarkId::new("scc_stratified", k), &prog, |b, prog| {
+            b.iter(|| afp_semantics::modular_wfs(prog))
         });
     }
     group.finish();

@@ -2,11 +2,22 @@
 //! for the `Engine`/`Session` API. The cold path re-parses, re-grounds
 //! (envelope fixpoint + instantiation joins) and solves from scratch on
 //! every fact update; the warm path extends the existing grounding with
-//! the delta and seeds the alternating fixpoint with the surviving
-//! negative conclusions.
+//! the delta and re-solves only what the delta touched — per strongly
+//! connected component under the default SCC-stratified strategy.
+//!
+//! Three groups:
+//!
+//! * `win_move_path_*` — the original warm-vs-cold single-fact loop;
+//! * `leaf_update_*` / `mid_update_*` — update a knot of a chain of
+//!   knots: the per-SCC warm path re-evaluates only the knot's forward
+//!   dependency cone and copies every other component, versus the global
+//!   strategy's seed-restart, which re-pays the cone's full alternation
+//!   depth over the whole program;
+//! * `batched_asserts_*` — assert N facts in one call (one envelope
+//!   delta round) versus N calls (N rounds).
 
-use afp::Engine;
-use afp_bench::gen::{node_name, Graph};
+use afp::{Engine, Semantics, Strategy, WfStrategy};
+use afp_bench::gen::{hard_knot_chain_src, node_name, Graph};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn win_move_src(g: &Graph) -> String {
@@ -47,5 +58,76 @@ fn session_reuse(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, session_reuse);
+fn knot_update(c: &mut Criterion) {
+    for k in [64usize, 256] {
+        let src = hard_knot_chain_src(k);
+        // A leaf update dirties one knot; a mid-chain update dirties the
+        // upper half of the chain — the global strategy then pays the
+        // full alternation depth of that cone again, while the per-SCC
+        // path pays one small alternating fixpoint per affected knot.
+        for (site, fact) in [
+            ("leaf", format!("e(k{}).", k - 1)),
+            ("mid", format!("e(k{}).", k / 2)),
+        ] {
+            let mut group = c.benchmark_group(format!("session_reuse/{site}_update_{k}"));
+            for (name, strategy) in [
+                ("scc_warm", WfStrategy::SccStratified),
+                ("global_warm", WfStrategy::Global(Strategy::Naive)),
+            ] {
+                let engine = Engine::builder()
+                    .semantics(Semantics::WellFounded { strategy })
+                    .build();
+                let mut session = engine.load(&src).unwrap();
+                session.solve().unwrap();
+                group.bench_function(BenchmarkId::new(name, k), |b| {
+                    b.iter(|| {
+                        session.retract_facts(&fact).unwrap();
+                        session.solve().unwrap();
+                        session.assert_facts(&fact).unwrap();
+                        session.solve().unwrap()
+                    })
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+fn batched_asserts(c: &mut Criterion) {
+    let engine = Engine::default();
+    for n in [16usize, 64] {
+        let g = Graph::path(128);
+        let src = win_move_src(&g);
+        let facts: Vec<String> = (0..n).map(|i| format!("move(n127, x{i}).")).collect();
+        let batch = facts.concat();
+        let mut group = c.benchmark_group(format!("session_reuse/batched_asserts_{n}"));
+        group.bench_function(BenchmarkId::new("one_call", n), |b| {
+            let mut session = engine.load(&src).unwrap();
+            session.solve().unwrap();
+            b.iter(|| {
+                // One grounder delta round for the whole batch…
+                session.assert_facts(&batch).unwrap();
+                let model = session.solve().unwrap();
+                session.retract_facts(&batch).unwrap();
+                model
+            })
+        });
+        group.bench_function(BenchmarkId::new("n_calls", n), |b| {
+            let mut session = engine.load(&src).unwrap();
+            session.solve().unwrap();
+            b.iter(|| {
+                // …versus one round per fact.
+                for f in &facts {
+                    session.assert_facts(f).unwrap();
+                }
+                let model = session.solve().unwrap();
+                session.retract_facts(&batch).unwrap();
+                model
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, session_reuse, knot_update, batched_asserts);
 criterion_main!(benches);

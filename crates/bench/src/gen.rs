@@ -325,6 +325,64 @@ pub fn knot_chain(k: usize) -> GroundProgram {
     b.finish()
 }
 
+/// A **coupled** chain of knots: `k` two-atom negative cycles where each
+/// knot is broken by the *previous* knot's outcome:
+///
+/// ```text
+/// a₀ :- not b₀.          aᵢ :- not bᵢ.
+/// b₀ :- not a₀, not p₋.  bᵢ :- not aᵢ, not pᵢ₋₁.   (p₋ a fact)
+/// p₀ :- a₀.              pᵢ :- aᵢ.
+/// ```
+///
+/// Every knot is decided (`pᵢ₋₁` true kills `bᵢ`, so `aᵢ` wins), but the
+/// *global* alternating fixpoint can only decide one knot per round —
+/// alternation depth `Θ(k)`, total cost `Θ(k²)`. Component-wise
+/// evaluation decides each knot in `O(1)` rounds over `O(1)` rules:
+/// total `Θ(k)`. This is the separating workload for the SCC-stratified
+/// strategy.
+pub fn hard_knot_chain(k: usize) -> GroundProgram {
+    let mut b = GroundProgramBuilder::new();
+    let boot = b.prop("p_start");
+    b.fact(boot);
+    let mut prev = boot;
+    for i in 0..k {
+        let a = b.prop(&format!("a{i}"));
+        let bb = b.prop(&format!("b{i}"));
+        let p = b.prop(&format!("p{i}"));
+        b.rule(a, vec![], vec![bb]);
+        b.rule(bb, vec![], vec![a, prev]);
+        b.rule(p, vec![a], vec![]);
+        prev = p;
+    }
+    b.finish()
+}
+
+/// [`hard_knot_chain`] as a non-ground program with the bootstrap fact as
+/// an EDB relation, for session/update workloads: retracting or
+/// re-asserting `e(kᵢ)` dirties only knot `i`'s forward cone.
+///
+/// ```text
+/// a(K) :- e(K), not b(K).     b(K) :- e(K), not a(K), not pprev(K).
+/// p(K) :- a(K).               pprev(K) :- link(J, K), p(J).
+/// pprev(k0).
+/// ```
+pub fn hard_knot_chain_src(k: usize) -> String {
+    let mut src = String::from(
+        "a(K) :- e(K), not b(K).\n\
+         b(K) :- e(K), not a(K), not pprev(K).\n\
+         p(K) :- a(K).\n\
+         pprev(K) :- link(J, K), p(J).\n\
+         pprev(k0).\n",
+    );
+    for i in 0..k {
+        src.push_str(&format!("e(k{i}).\n"));
+        if i + 1 < k {
+            src.push_str(&format!("link(k{i}, k{}).\n", i + 1));
+        }
+    }
+    src
+}
+
 /// A "negation ladder" of depth `k`: `p₀` is a fact and each
 /// `pᵢ₊₁ ← ¬pᵢ` alternates — a long chain of singleton components with
 /// negative links; stratified, decided all the way up.
@@ -405,6 +463,40 @@ mod tests {
         let r = afp_semantics::modular_wfs(&g);
         assert!(r.components >= 10);
         assert!(r.largest_component <= 2);
+    }
+
+    #[test]
+    fn hard_knot_chain_is_total_and_separating() {
+        let g = hard_knot_chain(8);
+        let global = afp_core::alternating_fixpoint(&g);
+        assert!(global.is_total, "every knot is decided by its predecessor");
+        let modular = afp_semantics::modular_wfs(&g);
+        assert_eq!(modular.model, global.model);
+        // One knot decided per global round: alternation depth Θ(k).
+        assert!(
+            global.iterations >= 8,
+            "global alternation must walk the chain ({} rounds)",
+            global.iterations
+        );
+        assert!(modular.largest_component <= 2);
+        // Winners all the way up.
+        for i in 0..8 {
+            let a = g.find_atom_by_name(&format!("a{i}"), &[]).unwrap();
+            assert!(global.model.pos.contains(a.0));
+        }
+    }
+
+    #[test]
+    fn hard_knot_chain_src_matches_ground_shape() {
+        let src = hard_knot_chain_src(6);
+        let ast = afp_datalog::parser::parse_program(&src).unwrap();
+        let g = afp_datalog::ground(&ast).unwrap();
+        let r = afp_core::alternating_fixpoint(&g);
+        assert!(r.is_total);
+        for i in 0..6 {
+            let a = g.find_atom_by_name("a", &[&format!("k{i}")]).unwrap();
+            assert!(r.model.pos.contains(a.0), "a(k{i}) wins");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::ast::Program;
 use crate::fx::FxHashMap;
+use crate::program::RuleId;
 use crate::symbol::Symbol;
 
 /// Polarity label of a dependency arc.
@@ -262,60 +263,213 @@ impl DepGraph {
 /// to a node of `B` (A depends on B), `B` is emitted before `A`.
 pub fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = adj.len();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    for succ in adj {
+        targets.extend(succ.iter().map(|&w| w as u32));
+        offsets.push(targets.len() as u32);
+    }
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    tarjan_csr(n, &offsets, &targets, |comp| {
+        out.push(comp.iter().map(|&w| w as usize).collect());
+    });
+    out
+}
+
+/// Iterative Tarjan over a CSR adjacency (`targets[offsets[v]..offsets[v+1]]`
+/// are the successors of `v`). `emit` is called once per strongly connected
+/// component, in reverse topological order of the condensation (callees
+/// before callers); the slice it receives is scratch, valid for the call.
+fn tarjan_csr(n: usize, offsets: &[u32], targets: &[u32], mut emit: impl FnMut(&[u32])) {
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
     let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
     let mut next_index: u32 = 0;
-    let mut out: Vec<Vec<usize>> = Vec::new();
 
-    // Explicit DFS stack: (node, next child position).
-    let mut call: Vec<(usize, usize)> = Vec::new();
+    // Explicit DFS stack: (node, next child position in `targets`).
+    let mut call: Vec<(u32, u32)> = Vec::new();
     for root in 0..n {
         if index[root] != u32::MAX {
             continue;
         }
-        call.push((root, 0));
+        call.push((root as u32, offsets[root]));
         index[root] = next_index;
         low[root] = next_index;
         next_index += 1;
-        stack.push(root);
+        stack.push(root as u32);
         on_stack[root] = true;
         while let Some(&mut (v, ref mut ci)) = call.last_mut() {
-            if *ci < adj[v].len() {
-                let w = adj[v][*ci];
+            let v = v as usize;
+            if *ci < offsets[v + 1] {
+                let w = targets[*ci as usize] as usize;
                 *ci += 1;
                 if index[w] == u32::MAX {
                     index[w] = next_index;
                     low[w] = next_index;
                     next_index += 1;
-                    stack.push(w);
+                    stack.push(w as u32);
                     on_stack[w] = true;
-                    call.push((w, 0));
+                    call.push((w as u32, offsets[w]));
                 } else if on_stack[w] {
                     low[v] = low[v].min(index[w]);
                 }
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
+                    let parent = parent as usize;
                     low[parent] = low[parent].min(low[v]);
                 }
                 if low[v] == index[v] {
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("stack holds the component");
-                        on_stack[w] = false;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
+                    let first = stack
+                        .iter()
+                        .rposition(|&w| w as usize == v)
+                        .expect("stack holds the component");
+                    for &w in &stack[first..] {
+                        on_stack[w as usize] = false;
                     }
-                    out.push(comp);
+                    emit(&stack[first..]);
+                    stack.truncate(first);
                 }
             }
         }
     }
-    out
+}
+
+/// The condensation of a ground program's **atom** dependency graph,
+/// precomputed once and reused across solves: atom → component ids in
+/// topological (dependency) order, the atoms of each component, and the
+/// rules of each component (those whose head lies in it).
+///
+/// Component ids are assigned so that if any atom of component `A` depends
+/// (directly or transitively) on an atom of component `B ≠ A`, then
+/// `B < A` — processing components in id order is bottom-up. This is the
+/// substrate of the in-place component-wise well-founded evaluation
+/// (`afp-semantics::modular`) and of per-component warm re-solves in the
+/// engine's sessions.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Atom index → component id.
+    comp_of: Vec<u32>,
+    /// Component id → range into `atoms` (len = components + 1).
+    atom_offsets: Vec<u32>,
+    /// Atom indices grouped by component, components in id order.
+    atoms: Vec<u32>,
+    /// Component id → range into `rules` (len = components + 1).
+    rule_offsets: Vec<u32>,
+    /// Rule ids grouped by their head's component.
+    rules: Vec<RuleId>,
+    /// Size of the largest component.
+    largest: usize,
+}
+
+impl Condensation {
+    /// Condense the atom dependency graph of `prog` (an arc `head → q` for
+    /// every body atom `q`, positive or negative). Linear in the program
+    /// size.
+    pub fn of(prog: &crate::program::GroundProgram) -> Condensation {
+        let n = prog.atom_count();
+        // CSR adjacency head → body atoms.
+        let mut offsets = vec![0u32; n + 1];
+        for r in prog.rules() {
+            offsets[r.head.index() + 1] += (r.pos.len() + r.neg.len()) as u32;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        for r in prog.rules() {
+            let c = &mut cursor[r.head.index()];
+            for &q in r.pos.iter().chain(r.neg.iter()) {
+                targets[*c as usize] = q.0;
+                *c += 1;
+            }
+        }
+
+        let mut comp_of = vec![0u32; n];
+        let mut comp_sizes: Vec<u32> = Vec::new();
+        let mut largest = 0usize;
+        tarjan_csr(n, &offsets, &targets, |comp| {
+            let cid = comp_sizes.len() as u32;
+            for &a in comp {
+                comp_of[a as usize] = cid;
+            }
+            comp_sizes.push(comp.len() as u32);
+            largest = largest.max(comp.len());
+        });
+
+        // Group atoms and rules by component (counting sort).
+        let k = comp_sizes.len();
+        let mut atom_offsets = vec![0u32; k + 1];
+        for (i, &s) in comp_sizes.iter().enumerate() {
+            atom_offsets[i + 1] = atom_offsets[i] + s;
+        }
+        let mut cursor = atom_offsets.clone();
+        let mut atoms = vec![0u32; n];
+        for a in 0..n as u32 {
+            let c = &mut cursor[comp_of[a as usize] as usize];
+            atoms[*c as usize] = a;
+            *c += 1;
+        }
+
+        let mut rule_offsets = vec![0u32; k + 1];
+        for r in prog.rules() {
+            rule_offsets[comp_of[r.head.index()] as usize + 1] += 1;
+        }
+        for i in 0..k {
+            rule_offsets[i + 1] += rule_offsets[i];
+        }
+        let mut cursor = rule_offsets.clone();
+        let mut rules = vec![0 as RuleId; prog.rule_count()];
+        for (rid, r) in prog.rules().iter().enumerate() {
+            let c = &mut cursor[comp_of[r.head.index()] as usize];
+            rules[*c as usize] = rid as RuleId;
+            *c += 1;
+        }
+
+        Condensation {
+            comp_of,
+            atom_offsets,
+            atoms,
+            rule_offsets,
+            rules,
+            largest,
+        }
+    }
+
+    /// Number of strongly connected components.
+    pub fn len(&self) -> usize {
+        self.atom_offsets.len() - 1
+    }
+
+    /// True when the program has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Component id of an atom. Component ids respect dependencies: every
+    /// component an atom's rules mention (other than its own) has a
+    /// smaller id.
+    pub fn component_of(&self, atom: u32) -> u32 {
+        self.comp_of[atom as usize]
+    }
+
+    /// The atoms of component `comp`, in ascending atom-id order.
+    pub fn atoms(&self, comp: usize) -> &[u32] {
+        &self.atoms[self.atom_offsets[comp] as usize..self.atom_offsets[comp + 1] as usize]
+    }
+
+    /// The rules whose head lies in component `comp`.
+    pub fn rules(&self, comp: usize) -> &[RuleId] {
+        &self.rules[self.rule_offsets[comp] as usize..self.rule_offsets[comp + 1] as usize]
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.largest
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +590,42 @@ mod tests {
         let cycle_pos = sccs.iter().position(|c| c.len() == 3).unwrap();
         let three_pos = sccs.iter().position(|c| c == &vec![3]).unwrap();
         assert!(cycle_pos < three_pos);
+    }
+
+    #[test]
+    fn condensation_groups_atoms_and_rules() {
+        use crate::program::parse_ground;
+        let g = parse_ground("p :- not q. q :- not p. r :- p. r :- q. s :- not r. t.");
+        let c = Condensation::of(&g);
+        assert_eq!(c.len(), 4, "{{p,q}}, {{r}}, {{s}}, {{t}}");
+        assert_eq!(c.largest(), 2);
+        let p = g.find_atom_by_name("p", &[]).unwrap().0;
+        let q = g.find_atom_by_name("q", &[]).unwrap().0;
+        let r = g.find_atom_by_name("r", &[]).unwrap().0;
+        let s = g.find_atom_by_name("s", &[]).unwrap().0;
+        assert_eq!(c.component_of(p), c.component_of(q));
+        assert_ne!(c.component_of(p), c.component_of(r));
+        // Dependency order: callees get smaller ids.
+        assert!(c.component_of(p) < c.component_of(r));
+        assert!(c.component_of(r) < c.component_of(s));
+        // The knot's component holds both atoms and both 2-cycle rules.
+        let knot = c.component_of(p) as usize;
+        assert_eq!(c.atoms(knot), &[p.min(q), p.max(q)]);
+        assert_eq!(c.rules(knot).len(), 2);
+        // Every rule lands in exactly one component slice.
+        let total: usize = (0..c.len()).map(|i| c.rules(i).len()).sum();
+        assert_eq!(total, g.rule_count());
+        let total_atoms: usize = (0..c.len()).map(|i| c.atoms(i).len()).sum();
+        assert_eq!(total_atoms, g.atom_count());
+    }
+
+    #[test]
+    fn condensation_of_empty_program() {
+        use crate::program::GroundProgramBuilder;
+        let g = GroundProgramBuilder::new().finish();
+        let c = Condensation::of(&g);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
     }
 
     #[test]

@@ -29,11 +29,23 @@
 //! the cost of a slightly larger ground program than a cold re-ground
 //! would produce.
 //!
+//! Updates are **batched**: [`IncrementalGrounder::assert_batch`] /
+//! [`IncrementalGrounder::retract_batch`] apply N facts with one
+//! envelope round, one resurrection pass, and one focused re-join (the
+//! single-fact entry points are one-element batches). Under the
+//! active-domain policy the grounder also keeps per-term fact reference
+//! counts, so `retract_batch` can tell the retractions that *actually*
+//! shrink the domain (cold re-ground required) from the
+//! domain-preserving majority (warm).
+//!
 //! One caveat: a negative literal over a term that was never materialized
 //! (possible only with function symbols under the active-domain policy)
 //! cannot be keyed for resurrection. Such programs set
 //! [`IncrementalGrounder::supports_incremental`] to `false` and callers
-//! should fall back to cold grounding on `assert`.
+//! should fall back to cold grounding on `assert`. The same flag turns
+//! false when a batch errors mid-delta (rule/envelope budget): the
+//! grounder is then *poisoned* — the program may be missing consequences
+//! — and must be rebuilt cold before further use.
 
 use crate::ast::{Atom, Program};
 use crate::atoms::{AtomId, ConstId, HerbrandBase};
@@ -70,13 +82,14 @@ struct Emission {
     neg: Vec<NegResolution>,
 }
 
-/// What an [`IncrementalGrounder::assert_fact`] /
-/// [`IncrementalGrounder::retract_fact`] call did to the ground program.
+/// What an [`IncrementalGrounder::assert_batch`] /
+/// [`IncrementalGrounder::retract_batch`] call (or their single-fact
+/// wrappers) did to the ground program.
 #[derive(Debug, Clone, Default)]
 pub struct DeltaEffect {
-    /// The fact's atom id in the ground program (when it resolved).
+    /// The last fact's atom id in the ground program (when it resolved).
     pub atom: Option<AtomId>,
-    /// `false` when the call was a no-op (fact already present / absent).
+    /// `false` when the call was a no-op (facts already present / absent).
     pub fresh: bool,
     /// Heads of rules added or patched, plus the fact atom itself — the
     /// atoms whose truth value may differ from the previous solve.
@@ -87,6 +100,17 @@ pub struct DeltaEffect {
     pub new_rules: usize,
     /// Negative literals resurrected onto existing instances.
     pub resurrected: usize,
+}
+
+/// Outcome of [`IncrementalGrounder::retract_batch`].
+#[derive(Debug, Clone)]
+pub enum RetractOutcome {
+    /// The batch was applied warm; the effect describes the delta.
+    Applied(DeltaEffect),
+    /// Nothing was applied: the batch would shrink the active domain, so
+    /// a warm retract is unsound — re-ground cold from the edited source
+    /// program.
+    DomainShrunk,
 }
 
 /// The grounder with its working state retained for incremental updates.
@@ -108,6 +132,26 @@ pub struct IncrementalGrounder {
     /// Pruned negative literals by working-base key → instances to patch.
     dropped: FxHashMap<(Symbol, Tuple), Vec<RuleId>>,
     precise: bool,
+    /// Set when a mutating call errored mid-delta (a rule or envelope
+    /// budget hit): the ground program may hold a fact whose consequences
+    /// were never instantiated. All further warm updates are refused
+    /// ([`IncrementalGrounder::supports_incremental`] turns false) so the
+    /// caller re-grounds cold.
+    poisoned: bool,
+    /// Active-domain bookkeeping (maintained only when `need_dom`): for
+    /// every working-base term, how many current EDB facts contribute it
+    /// as a subterm. A retraction that drops some term's count to zero
+    /// (and the term is not kept alive by a rule constant) shrinks the
+    /// active domain and needs a cold re-ground.
+    dom_fact_refs: FxHashMap<ConstId, u32>,
+    /// Terms contributed by rule constants — never retractable.
+    dom_rule_consts: FxHashSet<ConstId>,
+    /// Atoms currently present as **EDB facts** (stated in the source
+    /// program or asserted). A bodyless rule alone does not qualify: a
+    /// rule instance whose guards were stripped and whose negative
+    /// literals were pruned is *derived*, and retracting its head must
+    /// not delete it.
+    edb_facts: FxHashSet<AtomId>,
 }
 
 impl IncrementalGrounder {
@@ -169,15 +213,31 @@ impl IncrementalGrounder {
         }
 
         // ---- Active domain facts ----------------------------------------
+        // Alongside the domain itself, keep the provenance needed to
+        // decide later whether a retraction shrinks it: per-term fact
+        // reference counts, and the terms pinned by non-fact rule
+        // constants (which no retraction can remove).
+        let mut dom_fact_refs: FxHashMap<ConstId, u32> = FxHashMap::default();
+        let mut dom_rule_consts: FxHashSet<ConstId> = FxHashSet::default();
         if need_dom {
             let mut dom_terms: Vec<ConstId> = Vec::new();
+            let mut per_fact: Vec<ConstId> = Vec::new();
             for (_, tuple) in &facts {
+                per_fact.clear();
                 for &t in tuple.iter() {
-                    collect_subterms(t, &base, &mut dom_terms);
+                    collect_subterms(t, &base, &mut per_fact);
                 }
+                per_fact.sort_unstable();
+                per_fact.dedup();
+                for &t in &per_fact {
+                    *dom_fact_refs.entry(t).or_insert(0) += 1;
+                }
+                dom_terms.extend_from_slice(&per_fact);
             }
-            for rule in &program.rules {
+            for rule in program.rules.iter().filter(|r| !r.is_fact()) {
+                let start = dom_terms.len();
                 collect_rule_consts(rule, &mut base, &mut dom_terms);
+                dom_rule_consts.extend(dom_terms[start..].iter().copied());
             }
             dom_terms.sort_unstable();
             dom_terms.dedup();
@@ -209,6 +269,10 @@ impl IncrementalGrounder {
             emitted: FxHashSet::default(),
             dropped: FxHashMap::default(),
             precise: true,
+            poisoned: false,
+            dom_fact_refs,
+            dom_rule_consts,
+            edb_facts: FxHashSet::default(),
         };
 
         // ---- Pass 3: instantiate over the envelope ----------------------
@@ -219,6 +283,7 @@ impl IncrementalGrounder {
                 continue;
             }
             let head = grounder.intern_final(*pred, tuple);
+            grounder.edb_facts.insert(head);
             grounder.push_rule_checked(head, vec![], vec![])?;
         }
         for ix in 0..grounder.compiled.len() {
@@ -240,11 +305,21 @@ impl IncrementalGrounder {
         self.prog
     }
 
-    /// `false` when some negative literal could not be keyed for
-    /// resurrection (see module docs); asserts are then unsound and the
-    /// caller should re-ground cold.
+    /// `false` when warm asserts would be unsound and the caller should
+    /// re-ground cold: either some negative literal could not be keyed
+    /// for resurrection (see module docs), or a previous mutating call
+    /// errored mid-delta and left the program partially extended
+    /// ([`IncrementalGrounder::is_poisoned`]).
     pub fn supports_incremental(&self) -> bool {
-        self.precise
+        self.precise && !self.poisoned
+    }
+
+    /// `true` after a mutating call errored mid-delta (rule or envelope
+    /// budget): the ground program may hold a fact whose consequences
+    /// were never instantiated, so it must not be solved or warm-updated
+    /// — re-ground cold from the source program.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// `true` when grounding used active-domain guards. Retraction can
@@ -264,10 +339,8 @@ impl IncrementalGrounder {
         crate::ast::import_atom(self.prog.symbols_mut(), atom, from)
     }
 
-    /// Add a ground EDB fact, extending the envelope and the ground
-    /// program by exactly the affected instances. `from` is the symbol
-    /// store `atom` was parsed against (see
-    /// [`IncrementalGrounder::import_atom`]).
+    /// Add one ground EDB fact — [`IncrementalGrounder::assert_batch`]
+    /// with a single element.
     ///
     /// # Panics
     /// Panics if `atom` is not ground.
@@ -276,39 +349,74 @@ impl IncrementalGrounder {
         atom: &Atom,
         from: &crate::symbol::SymbolStore,
     ) -> Result<DeltaEffect, GroundError> {
-        assert!(atom.is_ground(), "assert_fact needs a ground atom");
-        let atom = &self.import_atom(atom, from);
-        let tuple: Tuple = atom
-            .args
-            .iter()
-            .map(|t| intern_ground_term(t, &mut self.base))
-            .collect();
-        let final_atom = self.intern_final(atom.pred, &tuple);
-        let mut effect = DeltaEffect {
-            atom: Some(final_atom),
-            ..DeltaEffect::default()
-        };
-        if self
-            .prog
-            .rules_with_head(final_atom)
-            .iter()
-            .any(|&r| self.prog.rule(r).is_fact())
-        {
-            return Ok(effect); // already a fact — no-op
-        }
-        effect.fresh = true;
-        self.push_rule_checked(final_atom, vec![], vec![])?;
+        self.assert_batch(std::slice::from_ref(atom), from)
+    }
 
-        // Seed the envelope rounds with the fact, plus any new active-domain
-        // members it introduces.
-        let mut seed: Vec<(Symbol, Tuple)> = vec![(atom.pred, tuple)];
-        if self.need_dom {
-            let mut dom_terms = Vec::new();
-            for (_, tuple) in seed.clone() {
-                for &t in tuple.iter() {
-                    collect_subterms(t, &self.base, &mut dom_terms);
-                }
+    /// Add a batch of ground EDB facts, extending the envelope and the
+    /// ground program by exactly the affected instances — with **one**
+    /// semi-naive envelope round and one focused re-join pass for the
+    /// whole batch, not one per fact. `from` is the symbol store the
+    /// atoms were parsed against (see
+    /// [`IncrementalGrounder::import_atom`]).
+    ///
+    /// On an error (rule or envelope budget), the grounder is left
+    /// **poisoned**: the program may hold facts whose consequences were
+    /// never instantiated, [`IncrementalGrounder::supports_incremental`]
+    /// turns false, and the caller must re-ground cold from its source
+    /// program before solving again.
+    ///
+    /// # Panics
+    /// Panics if any atom is not ground.
+    pub fn assert_batch(
+        &mut self,
+        atoms: &[Atom],
+        from: &crate::symbol::SymbolStore,
+    ) -> Result<DeltaEffect, GroundError> {
+        let result = self.assert_batch_inner(atoms, from);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn assert_batch_inner(
+        &mut self,
+        atoms: &[Atom],
+        from: &crate::symbol::SymbolStore,
+    ) -> Result<DeltaEffect, GroundError> {
+        let mut effect = DeltaEffect::default();
+        let mut seed: Vec<(Symbol, Tuple)> = Vec::with_capacity(atoms.len());
+        let mut dom_terms: Vec<ConstId> = Vec::new();
+        for atom in atoms {
+            assert!(atom.is_ground(), "assert_batch needs ground atoms");
+            let atom = self.import_atom(atom, from);
+            let tuple: Tuple = atom
+                .args
+                .iter()
+                .map(|t| intern_ground_term(t, &mut self.base))
+                .collect();
+            let final_atom = self.intern_final(atom.pred, &tuple);
+            effect.atom = Some(final_atom);
+            if !self.edb_facts.insert(final_atom) {
+                continue; // already an EDB fact — no-op
             }
+            effect.fresh = true;
+            self.push_rule_checked(final_atom, vec![], vec![])?;
+            effect.changed.push(final_atom);
+            if self.need_dom {
+                // One subterm walk serves both the refcounts and the
+                // domain seed below.
+                dom_terms.extend(self.count_fact_terms(&tuple, true));
+            }
+            seed.push((atom.pred, tuple));
+        }
+        if seed.is_empty() {
+            return Ok(effect); // whole batch was a no-op
+        }
+
+        // One envelope delta for the whole batch: the facts plus any new
+        // active-domain members they introduce.
+        if self.need_dom {
             dom_terms.sort_unstable();
             dom_terms.dedup();
             for t in dom_terms {
@@ -368,34 +476,113 @@ impl IncrementalGrounder {
                 }
             }
         }
-        effect.changed.push(final_atom);
         effect.changed.sort_unstable();
         effect.changed.dedup();
         Ok(effect)
     }
 
     /// Remove a ground EDB fact (the bodyless rule for its atom), if
-    /// present. The envelope intentionally stays a stale superset — see
-    /// the module docs for why this is semantics-preserving.
+    /// present — **unconditionally warm**. The envelope intentionally
+    /// stays a stale superset (see the module docs for why this is
+    /// semantics-preserving), but under the active-domain policy a
+    /// retraction that shrinks the domain is *not* preserved this way:
+    /// use [`IncrementalGrounder::retract_batch`], which detects that
+    /// case, unless the caller re-grounds cold on every retract anyway.
     pub fn retract_fact(
         &mut self,
         atom: &Atom,
         from: &crate::symbol::SymbolStore,
     ) -> Result<DeltaEffect, GroundError> {
-        assert!(atom.is_ground(), "retract_fact needs a ground atom");
-        let atom = &self.import_atom(atom, from);
+        let atom = self.import_atom(atom, from);
+        Ok(self.retract_one(&atom))
+    }
+
+    /// Remove a batch of ground EDB facts with one dirty-set merge —
+    /// after checking that the batch keeps the active domain intact.
+    /// When the batch would shrink the domain (some term of a retracted
+    /// fact no longer occurs in any remaining fact or non-fact rule),
+    /// **nothing is applied** and [`RetractOutcome::DomainShrunk`] is
+    /// returned: the caller must re-ground cold from its edited source
+    /// program. Programs grounded without active-domain guards never
+    /// shrink.
+    pub fn retract_batch(
+        &mut self,
+        atoms: &[Atom],
+        from: &crate::symbol::SymbolStore,
+    ) -> RetractOutcome {
+        let atoms: Vec<Atom> = atoms.iter().map(|a| self.import_atom(a, from)).collect();
+        if self.need_dom && self.batch_shrinks_domain(&atoms) {
+            return RetractOutcome::DomainShrunk;
+        }
+        let mut effect = DeltaEffect::default();
+        for atom in &atoms {
+            let one = self.retract_one(atom);
+            effect.fresh |= one.fresh;
+            effect.atom = one.atom.or(effect.atom);
+            effect.changed.extend(one.changed);
+        }
+        effect.changed.sort_unstable();
+        effect.changed.dedup();
+        RetractOutcome::Applied(effect)
+    }
+
+    /// Would retracting every (present) fact of `atoms` remove some term
+    /// from the active domain? Simulates the batch's reference-count
+    /// decrements so that two facts jointly holding a term's last two
+    /// references are detected even though each alone would not shrink.
+    fn batch_shrinks_domain(&mut self, atoms: &[Atom]) -> bool {
+        let mut dec: FxHashMap<ConstId, u32> = FxHashMap::default();
+        let mut seen: FxHashSet<AtomId> = FxHashSet::default();
+        for atom in atoms {
+            let Some(final_atom) = self.find_final_atom(atom) else {
+                continue; // never materialized — retract is a no-op
+            };
+            if !self.edb_facts.contains(&final_atom) || !seen.insert(final_atom) {
+                continue; // no-op, or the same fact twice in one batch
+            }
+            let tuple: Tuple = atom
+                .args
+                .iter()
+                .map(|t| intern_ground_term(t, &mut self.base))
+                .collect();
+            let mut terms = Vec::new();
+            for &t in tuple.iter() {
+                collect_subterms(t, &self.base, &mut terms);
+            }
+            terms.sort_unstable();
+            terms.dedup();
+            for t in terms {
+                *dec.entry(t).or_insert(0) += 1;
+            }
+        }
+        dec.iter().any(|(t, &d)| {
+            !self.dom_rule_consts.contains(t)
+                && self.dom_fact_refs.get(t).copied().unwrap_or(0) <= d
+        })
+    }
+
+    /// Warm-retract one imported fact atom, maintaining the resurrection
+    /// records and (under the active-domain policy) the term refcounts.
+    fn retract_one(&mut self, atom: &Atom) -> DeltaEffect {
+        assert!(atom.is_ground(), "retract needs a ground atom");
         let mut effect = DeltaEffect::default();
         let Some(final_atom) = self.find_final_atom(atom) else {
-            return Ok(effect); // never materialized — nothing to retract
+            return effect; // never materialized — nothing to retract
         };
         effect.atom = Some(final_atom);
+        if !self.edb_facts.remove(&final_atom) {
+            // Not an EDB fact. A bodyless *rule* with this head may well
+            // exist (a derived instance whose guards were stripped and
+            // negative literals pruned) — it is not retractable.
+            return effect;
+        }
         let Some(&rid) = self
             .prog
             .rules_with_head(final_atom)
             .iter()
             .find(|&&r| self.prog.rule(r).is_fact())
         else {
-            return Ok(effect); // not a fact — no-op
+            return effect; // the fact rule itself is gone — nothing to do
         };
         if let Some(moved) = self.prog.remove_rule(rid) {
             // The swap-remove renamed the former last rule; keep the
@@ -408,9 +595,39 @@ impl IncrementalGrounder {
                 }
             }
         }
+        if self.need_dom {
+            let tuple: Tuple = atom
+                .args
+                .iter()
+                .map(|t| intern_ground_term(t, &mut self.base))
+                .collect();
+            self.count_fact_terms(&tuple, false);
+        }
         effect.fresh = true;
         effect.changed.push(final_atom);
-        Ok(effect)
+        effect
+    }
+
+    /// Adjust the active-domain refcounts for one fact's subterms
+    /// (deduplicated within the fact, so assert/retract stay symmetric).
+    /// Returns the deduplicated subterm list so callers can reuse the
+    /// walk (the assert path feeds it to the domain seed).
+    fn count_fact_terms(&mut self, tuple: &[ConstId], add: bool) -> Vec<ConstId> {
+        let mut terms = Vec::new();
+        for &t in tuple {
+            collect_subterms(t, &self.base, &mut terms);
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        for &t in &terms {
+            let slot = self.dom_fact_refs.entry(t).or_insert(0);
+            if add {
+                *slot += 1;
+            } else {
+                *slot = slot.saturating_sub(1);
+            }
+        }
+        terms
     }
 
     // ---- internals ------------------------------------------------------
@@ -694,6 +911,164 @@ mod tests {
             .filter(|&&r| g.program().rule(r).is_fact())
             .count();
         assert_eq!(facts, 1);
+    }
+
+    #[test]
+    fn batch_assert_equals_cold_ground_of_concatenated_text() {
+        let base_src = "wins(X) :- move(X, Y), not wins(Y). move(a, b).";
+        let mut program = parse_program(base_src).unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let batch: Vec<_> = ["move(b, c)", "move(c, d)", "move(d, e)"]
+            .iter()
+            .map(|f| parse_atom_into(f, &mut program).unwrap())
+            .collect();
+        let effect = g.assert_batch(&batch, &program.symbols).unwrap();
+        assert!(effect.fresh);
+        assert!(effect.new_rules >= 3);
+        let cold_src = format!("{base_src} move(b, c). move(c, d). move(d, e).");
+        let cold = ground_with(&parse_program(&cold_src).unwrap(), &options).unwrap();
+        assert_same_programs(g.program(), &cold);
+    }
+
+    #[test]
+    fn batch_with_duplicates_and_noops_is_idempotent() {
+        let mut program = parse_program("p(X) :- e(X). e(a).").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let batch: Vec<_> = ["e(a)", "e(b)", "e(b)"]
+            .iter()
+            .map(|f| parse_atom_into(f, &mut program).unwrap())
+            .collect();
+        let effect = g.assert_batch(&batch, &program.symbols).unwrap();
+        assert!(effect.fresh);
+        let cold = ground_with(
+            &parse_program("p(X) :- e(X). e(a). e(b).").unwrap(),
+            &options,
+        )
+        .unwrap();
+        assert_same_programs(g.program(), &cold);
+    }
+
+    #[test]
+    fn budget_error_mid_batch_poisons_the_grounder() {
+        // Budget: the base program grounds in 4 rules; the batch would
+        // need many more, erroring partway through instantiation.
+        let mut program = parse_program("p(X, Y) :- d(X), d(Y). d(a).").unwrap();
+        let options = GroundOptions {
+            max_ground_rules: 6,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        assert!(g.supports_incremental());
+        let batch: Vec<_> = ["d(b)", "d(c)", "d(e)"]
+            .iter()
+            .map(|f| parse_atom_into(f, &mut program).unwrap())
+            .collect();
+        let err = g.assert_batch(&batch, &program.symbols);
+        assert!(err.is_err());
+        assert!(g.is_poisoned());
+        assert!(!g.supports_incremental(), "poisoned ⇒ no more warm deltas");
+    }
+
+    #[test]
+    fn domain_preserving_retraction_stays_warm() {
+        let mut program = parse_program("p(X) :- not q(X). r(c). r(d). s(d).").unwrap();
+        let options = GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        // d is still held by s(d): retracting r(d) keeps the domain.
+        let atom = parse_atom_into("r(d)", &mut program).unwrap();
+        match g.retract_batch(std::slice::from_ref(&atom), &program.symbols) {
+            RetractOutcome::Applied(effect) => assert!(effect.fresh),
+            RetractOutcome::DomainShrunk => panic!("d is kept alive by s(d)"),
+        }
+        // Now s(d) holds the last reference: retracting it shrinks.
+        let atom = parse_atom_into("s(d)", &mut program).unwrap();
+        match g.retract_batch(std::slice::from_ref(&atom), &program.symbols) {
+            RetractOutcome::DomainShrunk => {}
+            RetractOutcome::Applied(_) => panic!("last reference to d must shrink the domain"),
+        }
+        // Nothing was applied: the fact rule is still present.
+        let sd = g.program().find_atom_by_name("s", &["d"]).unwrap();
+        assert!(g
+            .program()
+            .rules_with_head(sd)
+            .iter()
+            .any(|&r| g.program().rule(r).is_fact()));
+    }
+
+    #[test]
+    fn derived_bodyless_rules_are_not_retractable() {
+        // `p :- not q.` grounds to the bodyless rule `p.` because q is
+        // outside the envelope and the literal is pruned — but p is
+        // DERIVED, not an EDB fact, and retracting it must be a no-op.
+        let mut program = parse_program("p :- not q. r.").unwrap();
+        let options = GroundOptions::default();
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("p", &mut program).unwrap();
+        let effect = g.retract_fact(&atom, &program.symbols).unwrap();
+        assert!(!effect.fresh, "derived conclusions cannot be retracted");
+        let p = g.program().find_atom_by_name("p", &[]).unwrap();
+        assert_eq!(g.program().rules_with_head(p).len(), 1);
+
+        // The same under the active-domain policy, where the stripped
+        // `$dom` guard also empties the body.
+        let mut program = parse_program("p(X) :- not q(X). ok :- p(c). r(c).").unwrap();
+        let options = GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("p(c)", &mut program).unwrap();
+        match g.retract_batch(std::slice::from_ref(&atom), &program.symbols) {
+            RetractOutcome::Applied(effect) => {
+                assert!(!effect.fresh, "p(c) was never stated or asserted")
+            }
+            RetractOutcome::DomainShrunk => panic!("a no-op cannot shrink the domain"),
+        }
+        let pc = g.program().find_atom_by_name("p", &["c"]).unwrap();
+        assert!(
+            !g.program().rules_with_head(pc).is_empty(),
+            "the derived instance survives"
+        );
+    }
+
+    #[test]
+    fn rule_constants_pin_the_domain() {
+        // c occurs syntactically in a non-fact rule: retracting r(c)
+        // cannot shrink the domain.
+        let mut program = parse_program("p(X) :- not q(X). ok :- p(c). r(c). r(d).").unwrap();
+        let options = GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let atom = parse_atom_into("r(c)", &mut program).unwrap();
+        match g.retract_batch(std::slice::from_ref(&atom), &program.symbols) {
+            RetractOutcome::Applied(effect) => assert!(effect.fresh),
+            RetractOutcome::DomainShrunk => panic!("c is pinned by `ok :- p(c)`"),
+        }
+    }
+
+    #[test]
+    fn joint_last_references_shrink_even_when_each_alone_would_not() {
+        let mut program = parse_program("p(X) :- not q(X). r(d). s(d).").unwrap();
+        let options = GroundOptions {
+            safety: SafetyPolicy::ActiveDomain,
+            ..Default::default()
+        };
+        let mut g = IncrementalGrounder::new(&program, &options).unwrap();
+        let batch: Vec<_> = ["r(d)", "s(d)"]
+            .iter()
+            .map(|f| parse_atom_into(f, &mut program).unwrap())
+            .collect();
+        match g.retract_batch(&batch, &program.symbols) {
+            RetractOutcome::DomainShrunk => {}
+            RetractOutcome::Applied(_) => panic!("the batch drops d's last two references"),
+        }
     }
 
     #[test]

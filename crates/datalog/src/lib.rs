@@ -41,9 +41,10 @@ pub mod symbol;
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use atoms::{AtomId, ConstId, HerbrandBase};
 pub use bitset::AtomSet;
+pub use depgraph::Condensation;
 pub use error::{GroundError, ParseError};
 pub use ground::{ground, ground_with, GroundOptions, SafetyPolicy};
-pub use incremental::{DeltaEffect, IncrementalGrounder};
+pub use incremental::{DeltaEffect, IncrementalGrounder, RetractOutcome};
 pub use parser::parse_program;
 pub use program::{parse_ground, GroundProgram, GroundProgramBuilder, GroundRule, RuleId};
 pub use symbol::{Symbol, SymbolStore};

@@ -12,7 +12,11 @@
 //! * [`stratified`] — locally stratified programs and perfect models
 //!   (Section 2.3);
 //! * [`inflationary`] — inductive fixpoint logic's inflationary semantics
-//!   and the Example 2.2 failure mode (Section 2.2).
+//!   and the Example 2.2 failure mode (Section 2.2);
+//! * [`modular`] — SCC-stratified well-founded evaluation, in place over
+//!   the global ground program with per-component warm reuse: the
+//!   engine's default well-founded strategy and its answer to the
+//!   Section 9 tractability question.
 
 #![warn(missing_docs)]
 
@@ -29,7 +33,7 @@ pub mod wfs;
 pub use explain::{Explainer, Reason, Witness};
 pub use fitting::{fitting_model, FittingResult};
 pub use inflationary::{inflationary_fixpoint, InflationaryResult, NaiveOutcome};
-pub use modular::{modular_wfs, ModularResult};
+pub use modular::{modular_wfs, modular_wfs_update, modular_wfs_with, ModularResult};
 pub use residual::{lift_residual_model, residual_program};
 pub use stable::{
     brute_force_stable, cautious_consequences, enumerate_stable, is_stable, stable_models,

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use afp::{Engine, Semantics, Strategy, Truth};
+use afp::{Engine, Semantics, Truth, WfStrategy};
 
 fn main() {
     // Example 5.1 from the paper: p{d,e,f,g,h} come out false,
@@ -25,7 +25,7 @@ fn main() {
 
     let engine = Engine::builder()
         .semantics(Semantics::WellFounded {
-            strategy: Strategy::default(),
+            strategy: WfStrategy::default(),
         })
         .trace(true) // record the alternating sequence (Table I)
         .build();

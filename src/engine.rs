@@ -28,32 +28,67 @@
 //! assert_eq!(model.truth("wins", &["c"]), Truth::True);
 //! ```
 //!
-//! ## Warm re-solves
+//! ## SCC-stratified solving and warm re-solves
+//!
+//! Well-founded solves run **per strongly connected component** of the
+//! atom dependency graph by default ([`WfStrategy::SccStratified`]): the
+//! session condenses the graph once into a reusable
+//! [`afp_datalog::Condensation`] and evaluates each component in place
+//! against the global partial model
+//! ([`afp_semantics::modular_wfs_update`]), so the `O(|H|·|P_H|)`
+//! worst case is paid per component, not per program. The global
+//! alternating fixpoint ([`WfStrategy::Global`]) remains available for
+//! differential testing and is what trace recording (Table I) uses.
 //!
 //! A [`Session`] keeps the incremental grounder
 //! ([`afp_datalog::IncrementalGrounder`]) alive: `assert_facts` /
-//! `retract_facts` extend the existing ground program (envelope delta,
-//! focused re-joins, pruned-literal resurrection) instead of starting from
-//! text. For the well-founded semantics the session additionally seeds the
-//! next alternating fixpoint with the part of the previous negative
-//! fixpoint that provably survives the delta — atoms that cannot reach any
-//! changed atom in the dependency graph keep their truth values (the
-//! relevance/splitting argument), so the old conclusions restricted to
-//! them are a valid under-chain start for
-//! [`afp_core::alternating_fixpoint_from`]. [`Session::stats`] reports
-//! both reuse channels.
+//! `retract_facts` extend the existing ground program — with **one**
+//! envelope delta and one focused re-join pass per batch of facts, not
+//! one per fact — instead of starting from text. Re-solves are warm in
+//! both strategies, via the relevance/splitting argument (atoms that
+//! cannot reach any changed atom in the dependency graph keep their
+//! truth values):
+//!
+//! * per-SCC (the default): components disjoint from the changed cone
+//!   **copy their stored truth values verbatim** from the previous
+//!   solve; only the forward dependency cone of the delta is
+//!   re-evaluated;
+//! * global: the previous negative fixpoint restricted to unaffected
+//!   atoms seeds the under-chain of
+//!   [`afp_core::alternating_fixpoint_from`].
+//!
+//! [`Session::stats`] reports every reuse channel.
 
 use afp_core::afp::{alternating_fixpoint_from, AfpOptions, AfpTrace};
 use afp_core::interp::{PartialModel, Truth};
 use afp_core::Strategy;
-use afp_datalog::ast::Program;
+use afp_datalog::ast::{Atom, Program};
 use afp_datalog::atoms::AtomId;
 use afp_datalog::bitset::AtomSet;
+use afp_datalog::depgraph::Condensation;
 use afp_datalog::program::GroundProgram;
-use afp_datalog::{GroundOptions, IncrementalGrounder, SafetyPolicy};
+use afp_datalog::{GroundOptions, IncrementalGrounder, RetractOutcome, SafetyPolicy, SymbolStore};
 use std::sync::Arc;
 
 use crate::Error;
+
+/// How a well-founded solve is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WfStrategy {
+    /// Condense the atom dependency graph and run the alternating
+    /// fixpoint per strongly connected component, in place over the
+    /// global ground program (`afp_semantics::modular`). The default:
+    /// asymptotically faster on programs with many small components, and
+    /// the substrate for per-component warm re-solves. Trace recording
+    /// ([`EngineBuilder::trace`]) falls back to [`WfStrategy::Global`] —
+    /// the alternating sequence of Table I is a global object.
+    #[default]
+    SccStratified,
+    /// The paper's global alternating fixpoint, with the given
+    /// under-chain closure strategy. Retained for differential testing
+    /// and for trace/Table-I output.
+    Global(Strategy),
+}
 
 /// Which of the paper's semantics a solve computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +96,8 @@ pub enum Semantics {
     /// The well-founded partial model via the alternating fixpoint
     /// (Sections 5–7; the paper's main object).
     WellFounded {
-        /// How the `S_P` closures of the under-chain are evaluated.
-        strategy: Strategy,
+        /// How the solve is evaluated (per-SCC by default).
+        strategy: WfStrategy,
     },
     /// Gelfond–Lifschitz stable models (Sections 2.4, 4). The model
     /// reports the cautious collapse (true in all / false in all /
@@ -84,7 +119,7 @@ pub enum Semantics {
 impl Default for Semantics {
     fn default() -> Self {
         Semantics::WellFounded {
-            strategy: Strategy::default(),
+            strategy: WfStrategy::default(),
         }
     }
 }
@@ -116,6 +151,16 @@ impl EngineBuilder {
     /// ([`Session::solve_with`] can override per solve).
     pub fn semantics(mut self, semantics: Semantics) -> Self {
         self.semantics = semantics;
+        self
+    }
+
+    /// Well-founded evaluation strategy for this engine's sessions: sets
+    /// the default semantics to [`Semantics::WellFounded`] with the given
+    /// strategy. Per-SCC evaluation ([`WfStrategy::SccStratified`]) is
+    /// already the default; use this to opt back into the global
+    /// alternating fixpoint ([`WfStrategy::Global`]).
+    pub fn strategy(mut self, strategy: WfStrategy) -> Self {
+        self.semantics = Semantics::WellFounded { strategy };
         self
     }
 
@@ -191,7 +236,8 @@ impl Engine {
             fixed: None,
             snapshot: None,
             dirty: Vec::new(),
-            warm: None,
+            last_model: None,
+            scc_cond: None,
             stats: SessionStats::default(),
         })
     }
@@ -207,7 +253,8 @@ impl Engine {
             fixed: Some(ground),
             snapshot: None,
             dirty: Vec::new(),
-            warm: None,
+            last_model: None,
+            scc_cond: None,
             stats: SessionStats::default(),
         }
     }
@@ -218,25 +265,42 @@ impl Engine {
     }
 }
 
-/// Reuse counters for a [`Session`] — how much work warm re-solves skipped.
+/// Reuse counters for a [`Session`] — how much work warm re-solves and
+/// batched updates skipped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Total solves.
     pub solves: u64,
-    /// Well-founded solves that started from a non-empty warm seed.
+    /// Well-founded solves that reused previous conclusions: a non-empty
+    /// under-chain seed (global strategy) or at least one copied
+    /// component (per-SCC strategy).
     pub warm_solves: u64,
-    /// Atoms in the last warm seed.
+    /// Atoms whose truth values were carried over into the last
+    /// well-founded solve (seed atoms or atoms of copied components).
     pub last_seed_size: usize,
     /// Full re-groundings since load. Stays `0` on the pure incremental
     /// path; counts the cold fallbacks the session takes where a warm
-    /// delta would be unsound — retraction under the active-domain
-    /// policy, and asserts after a negative literal over a
-    /// never-materialized term was pruned unrecoverably.
+    /// delta would be unsound — retractions that shrink the active
+    /// domain, asserts after a negative literal over a
+    /// never-materialized term was pruned unrecoverably, and recovery
+    /// from a mid-delta grounding error.
     pub regrounds: u64,
     /// Facts asserted.
     pub asserts: u64,
     /// Facts retracted.
     pub retracts: u64,
+    /// Well-founded solves taken by the SCC-stratified path.
+    pub scc_solves: u64,
+    /// Components in the condensation at the last SCC-stratified solve.
+    pub last_components: usize,
+    /// Components evaluated by the last SCC-stratified solve.
+    pub last_components_evaluated: usize,
+    /// Components whose values were copied verbatim by the last
+    /// SCC-stratified solve.
+    pub last_components_reused: usize,
+    /// Envelope delta rounds run by the grounder — one per *batch* of
+    /// asserted facts, however many facts the batch carries.
+    pub delta_rounds: u64,
 }
 
 /// A loaded program: interned symbols, ground rules, and (for programs
@@ -252,8 +316,14 @@ pub struct Session {
     snapshot: Option<Arc<GroundProgram>>,
     /// Atoms whose rules changed since the last well-founded solve.
     dirty: Vec<AtomId>,
-    /// Negative fixpoint of the last well-founded solve, for warm seeding.
-    warm: Option<AtomSet>,
+    /// Full model of the last well-founded solve. The SCC-stratified
+    /// strategy copies unaffected components from it; the global strategy
+    /// seeds its under-chain from its negative half (`AfpResult` sets
+    /// `negative_fixpoint == model.neg`, so nothing else needs storing).
+    last_model: Option<PartialModel>,
+    /// Condensation of the current ground program; invalidated whenever
+    /// the program mutates, rebuilt (linear time) on the next SCC solve.
+    scc_cond: Option<Condensation>,
     stats: SessionStats,
 }
 
@@ -274,49 +344,60 @@ impl Session {
     /// Assert ground facts, written as source text (e.g.
     /// `"move(c, d). move(d, e)."`). The existing grounding is extended in
     /// place — no re-parse of the program, no envelope recomputation from
-    /// scratch, no instance re-join outside the delta.
+    /// scratch, no instance re-join outside the delta — and the whole
+    /// batch runs **one** envelope/delta round (or, when a warm delta
+    /// would be unsound, at most one cold re-ground), however many facts
+    /// it carries.
     pub fn assert_facts(&mut self, facts: &str) -> Result<(), Error> {
-        let parsed = afp_datalog::parse_program(facts)?;
-        for rule in &parsed.rules {
-            if !rule.is_fact() || !rule.head.is_ground() {
-                return Err(Error::NotAFact(afp_datalog::ast::display_rule(
-                    rule,
-                    &parsed.symbols,
-                )));
-            }
-        }
-        for rule in &parsed.rules {
-            self.stats.asserts += 1;
-            match &mut self.grounder {
-                Some(g) => {
-                    if !g.supports_incremental() {
-                        // A pruned negative literal could not be keyed for
-                        // resurrection; a warm delta could silently change
-                        // old instances' semantics. Fall back to cold.
-                        self.cold_update(&rule.head, &parsed.symbols, true)?;
-                        continue;
-                    }
-                    let effect = g.assert_fact(&rule.head, &parsed.symbols)?;
-                    if effect.fresh {
-                        self.dirty.extend(effect.changed);
-                        self.snapshot = None;
-                    }
-                    // Mirror into the retained AST: a later cold fallback
-                    // re-grounds from it and must see this fact.
-                    let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
-                    apply_fact_to_ast(ast, &rule.head, &parsed.symbols, true);
+        let (atoms, symbols) = parse_fact_batch(facts)?;
+        self.stats.asserts += atoms.len() as u64;
+        match &mut self.grounder {
+            Some(g) => {
+                if !g.supports_incremental() {
+                    // A pruned negative literal could not be keyed for
+                    // resurrection (or the grounder is poisoned by an
+                    // earlier mid-delta error); a warm delta could
+                    // silently change old instances' semantics. Apply
+                    // every edit to the retained AST and re-ground once.
+                    return self.cold_update(&atoms, &symbols, true);
                 }
-                None => {
+                let effect = match g.assert_batch(&atoms, &symbols) {
+                    Ok(effect) => effect,
+                    Err(e) => {
+                        // The grounder is poisoned: some consequence of a
+                        // partially applied batch may be missing. Restore
+                        // a consistent session by re-grounding cold from
+                        // the retained AST, which does not contain the
+                        // failed batch; the original error still
+                        // surfaces.
+                        self.recover_from_poison();
+                        return Err(e.into());
+                    }
+                };
+                if effect.fresh {
+                    self.dirty.extend(effect.changed);
+                    self.note_mutation();
+                    self.stats.delta_rounds += 1;
+                }
+                // Mirror into the retained AST: a later cold fallback
+                // re-grounds from it and must see these facts.
+                let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                for atom in &atoms {
+                    apply_fact_to_ast(ast, atom, &symbols, true);
+                }
+            }
+            None => {
+                for atom in &atoms {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
-                    let atom = intern_ast_atom(ground, &rule.head, &parsed.symbols);
+                    let id = intern_ast_atom(ground, atom, &symbols);
                     let already = ground
-                        .rules_with_head(atom)
+                        .rules_with_head(id)
                         .iter()
                         .any(|&r| ground.rule(r).is_fact());
                     if !already {
-                        ground.push_rule(atom, vec![], vec![]);
-                        self.dirty.push(atom);
-                        self.snapshot = None;
+                        ground.push_rule(id, vec![], vec![]);
+                        self.dirty.push(id);
+                        self.note_mutation();
                     }
                 }
             }
@@ -325,54 +406,56 @@ impl Session {
     }
 
     /// Retract ground facts previously stated in the program or asserted.
-    /// Unknown facts are ignored. The grounding is patched in place.
+    /// Unknown facts are ignored. The grounding is patched in place; only
+    /// a batch that actually shrinks the active domain falls back to a
+    /// (single) cold re-ground.
     pub fn retract_facts(&mut self, facts: &str) -> Result<(), Error> {
-        let parsed = afp_datalog::parse_program(facts)?;
-        for rule in &parsed.rules {
-            if !rule.is_fact() || !rule.head.is_ground() {
-                return Err(Error::NotAFact(afp_datalog::ast::display_rule(
-                    rule,
-                    &parsed.symbols,
-                )));
-            }
-        }
-        for rule in &parsed.rules {
-            self.stats.retracts += 1;
-            match &mut self.grounder {
-                Some(g) => {
-                    if g.uses_active_domain() {
-                        // Retraction can shrink the active domain, and
-                        // instances whose only positive subgoal was a
-                        // stripped `$dom` guard would wrongly survive a
-                        // warm retract. Fall back to cold.
-                        self.cold_update(&rule.head, &parsed.symbols, false)?;
-                        continue;
-                    }
-                    let effect = g.retract_fact(&rule.head, &parsed.symbols)?;
-                    if effect.fresh {
-                        self.dirty.extend(effect.changed);
-                        self.snapshot = None;
-                    }
-                    // Mirror into the retained AST: a later cold fallback
-                    // re-grounds from it and must not resurrect this fact.
-                    let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
-                    apply_fact_to_ast(ast, &rule.head, &parsed.symbols, false);
+        let (atoms, symbols) = parse_fact_batch(facts)?;
+        self.stats.retracts += atoms.len() as u64;
+        match &mut self.grounder {
+            Some(g) => {
+                if g.is_poisoned() {
+                    return self.cold_update(&atoms, &symbols, false);
                 }
-                None => {
+                match g.retract_batch(&atoms, &symbols) {
+                    RetractOutcome::Applied(effect) => {
+                        if effect.fresh {
+                            self.dirty.extend(effect.changed);
+                            self.note_mutation();
+                        }
+                        // Mirror into the retained AST: a later cold
+                        // fallback re-grounds from it and must not
+                        // resurrect these facts.
+                        let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                        for atom in &atoms {
+                            apply_fact_to_ast(ast, atom, &symbols, false);
+                        }
+                    }
+                    RetractOutcome::DomainShrunk => {
+                        // Instances whose only positive subgoal was a
+                        // stripped `$dom` guard would wrongly survive a
+                        // warm retract. Apply every edit to the retained
+                        // AST and re-ground once.
+                        return self.cold_update(&atoms, &symbols, false);
+                    }
+                }
+            }
+            None => {
+                for atom in &atoms {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
-                    let Some(atom) = find_ast_atom(ground, &rule.head, &parsed.symbols) else {
+                    let Some(id) = find_ast_atom(ground, atom, &symbols) else {
                         continue;
                     };
                     let Some(&rid) = ground
-                        .rules_with_head(atom)
+                        .rules_with_head(id)
                         .iter()
                         .find(|&&r| ground.rule(r).is_fact())
                     else {
                         continue;
                     };
                     ground.remove_rule(rid);
-                    self.dirty.push(atom);
-                    self.snapshot = None;
+                    self.dirty.push(id);
+                    self.note_mutation();
                 }
             }
         }
@@ -386,9 +469,18 @@ impl Session {
 
     /// Solve under an explicit semantics, sharing the session's grounding.
     pub fn solve_with(&mut self, semantics: Semantics) -> Result<Model, Error> {
+        if self.grounder.as_ref().is_some_and(|g| g.is_poisoned()) {
+            // A previous batch errored mid-delta; the current grounding
+            // may be missing consequences. Re-ground cold before solving.
+            self.recover_from_poison_checked()?;
+        }
         self.stats.solves += 1;
         let record_trace = self.config.record_trace;
-        let warm_seed = self.take_warm_seed(&semantics);
+        // The affected cone of the pending deltas — what both warm paths
+        // need — computed before the program is borrowed for solving.
+        let warm_wfs =
+            matches!(semantics, Semantics::WellFounded { .. }) && self.config.relevance.is_empty();
+        let affected = warm_wfs.then(|| self.affected_cone());
         let ground = self.snapshot();
         let restricted = self.restrict_for_relevance(&ground)?;
         let solve_on: &GroundProgram = restricted.as_ref().unwrap_or(&ground);
@@ -397,8 +489,47 @@ impl Session {
         let mut stable: Vec<AtomSet> = Vec::new();
         let mut complete = true;
         let assignment = match semantics {
+            // Trace recording needs the global alternating sequence, so
+            // `SccStratified` falls back to the global path there.
+            Semantics::WellFounded {
+                strategy: WfStrategy::SccStratified,
+            } if !record_trace => {
+                let cond = match (&restricted, self.scc_cond.take()) {
+                    (None, Some(cond)) => cond,
+                    _ => Condensation::of(solve_on),
+                };
+                let previous = match (&restricted, &self.last_model, &affected) {
+                    (None, Some(model), Some(aff)) => Some((model, aff)),
+                    _ => None,
+                };
+                let result = afp_semantics::modular_wfs_update(solve_on, &cond, previous);
+                self.stats.scc_solves += 1;
+                self.stats.last_components = result.components;
+                self.stats.last_components_evaluated = result.evaluated;
+                self.stats.last_components_reused = result.reused;
+                self.stats.last_seed_size = result.reused_atoms;
+                if result.reused > 0 {
+                    self.stats.warm_solves += 1;
+                }
+                if restricted.is_none() {
+                    self.scc_cond = Some(cond);
+                    self.last_model = Some(result.model.clone());
+                    self.dirty.clear();
+                }
+                result.model
+            }
             Semantics::WellFounded { strategy } => {
-                let seed = warm_seed.unwrap_or_else(|| solve_on.empty_set());
+                let chain = match strategy {
+                    WfStrategy::Global(chain) => chain,
+                    WfStrategy::SccStratified => Strategy::default(),
+                };
+                let seed = match (&self.last_model, &affected, &restricted) {
+                    (Some(old), Some(aff), None) => AtomSet::from_iter(
+                        solve_on.atom_count(),
+                        old.neg.iter().filter(|&a| !aff.contains(a)),
+                    ),
+                    _ => solve_on.empty_set(),
+                };
                 if !seed.is_empty() {
                     self.stats.warm_solves += 1;
                 }
@@ -406,14 +537,14 @@ impl Session {
                 let result = alternating_fixpoint_from(
                     solve_on,
                     &AfpOptions {
-                        strategy,
+                        strategy: chain,
                         record_trace,
                     },
                     &seed,
                 );
                 trace = result.trace;
                 if restricted.is_none() {
-                    self.warm = Some(result.negative_fixpoint);
+                    self.last_model = Some(result.model.clone());
                     self.dirty.clear();
                 }
                 result.model
@@ -451,42 +582,70 @@ impl Session {
         })
     }
 
-    /// Apply one fact update by editing the retained source program and
-    /// re-grounding cold — the sound fallback where a warm delta is not
-    /// (see `assert_facts` / `retract_facts`). Atom ids change, so every
-    /// piece of warm state is dropped. The edit and the re-ground commit
-    /// together: on a re-ground error (e.g. a budget) the session keeps
-    /// its previous AST and grounder, so the failed update leaves no
-    /// trace a later fallback could resurrect.
+    /// Apply a batch of fact updates by editing the retained source
+    /// program and re-grounding cold **once** — the sound fallback where
+    /// a warm delta is not (see `assert_facts` / `retract_facts`). Atom
+    /// ids change, so every piece of warm state is dropped. The edits and
+    /// the re-ground commit together: on a re-ground error (e.g. a
+    /// budget) the session keeps its previous AST and grounder, so the
+    /// failed update leaves no trace a later fallback could resurrect.
     fn cold_update(
         &mut self,
-        atom: &afp_datalog::ast::Atom,
-        from: &afp_datalog::SymbolStore,
+        atoms: &[Atom],
+        from: &SymbolStore,
         assert: bool,
     ) -> Result<(), Error> {
         let mut ast = self.ast.clone().expect("grounder sessions retain the AST");
-        apply_fact_to_ast(&mut ast, atom, from, assert);
+        for atom in atoms {
+            apply_fact_to_ast(&mut ast, atom, from, assert);
+        }
         self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
         self.ast = Some(ast);
         self.stats.regrounds += 1;
-        self.warm = None;
-        self.dirty.clear();
-        self.snapshot = None;
+        self.clear_warm_state();
         Ok(())
     }
 
-    /// Compute (and consume) the warm seed for a well-founded solve: the
-    /// previous negative fixpoint minus everything that can reach a dirty
-    /// atom in the dependency graph.
-    fn take_warm_seed(&mut self, semantics: &Semantics) -> Option<AtomSet> {
-        if !matches!(semantics, Semantics::WellFounded { .. }) || !self.config.relevance.is_empty()
-        {
-            return None;
-        }
-        let old = self.warm.as_ref()?;
+    /// Re-ground cold from the retained AST after a mid-delta grounding
+    /// error poisoned the grounder. The AST never contains a failed
+    /// batch (mirroring happens only after the grounder succeeds), so
+    /// this restores exactly the last consistent fact set.
+    fn recover_from_poison(&mut self) {
+        let _ = self.recover_from_poison_checked();
+    }
+
+    fn recover_from_poison_checked(&mut self) -> Result<(), Error> {
+        let ast = self.ast.clone().expect("grounder sessions retain the AST");
+        self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
+        self.stats.regrounds += 1;
+        self.clear_warm_state();
+        Ok(())
+    }
+
+    /// The program mutated in place: models must re-snapshot and the
+    /// condensation must be rebuilt. Warm models stay — the `dirty` set
+    /// records what they may no longer be right about.
+    fn note_mutation(&mut self) {
+        self.snapshot = None;
+        self.scc_cond = None;
+    }
+
+    /// Atom ids changed (cold re-ground): drop every piece of warm state.
+    fn clear_warm_state(&mut self) {
+        self.last_model = None;
+        self.scc_cond = None;
+        self.dirty.clear();
+        self.snapshot = None;
+    }
+
+    /// The forward dependency cone of the pending deltas: the dirty atoms
+    /// closed under "some rule's body mentions it → the rule's head".
+    /// Everything outside provably keeps its truth value (the
+    /// relevance/splitting argument), which is what both warm re-solve
+    /// paths rely on.
+    fn affected_cone(&self) -> AtomSet {
         let prog = self.ground();
         let n = prog.atom_count();
-        // Ancestors of the dirty atoms: anything whose truth could change.
         let mut affected = AtomSet::empty(n);
         let mut queue: Vec<AtomId> = Vec::new();
         for &a in &self.dirty {
@@ -506,12 +665,7 @@ impl Session {
                 }
             }
         }
-        // Old conclusions over unaffected atoms survive (old ids are
-        // stable; the universe may have grown).
-        Some(AtomSet::from_iter(
-            n,
-            old.iter().filter(|&a| !affected.contains(a)),
-        ))
+        affected
     }
 
     fn snapshot(&mut self) -> Arc<GroundProgram> {
@@ -542,6 +696,23 @@ impl Session {
         }
         Ok(Some(afp_core::relevance::restrict_to_query(ground, &seeds)))
     }
+}
+
+/// Parse update text into a batch of ground fact atoms, rejecting
+/// anything that is not a ground fact. All facts are validated before any
+/// is applied, so a rejected batch leaves the session untouched.
+fn parse_fact_batch(facts: &str) -> Result<(Vec<Atom>, SymbolStore), Error> {
+    let parsed = afp_datalog::parse_program(facts)?;
+    for rule in &parsed.rules {
+        if !rule.is_fact() || !rule.head.is_ground() {
+            return Err(Error::NotAFact(afp_datalog::ast::display_rule(
+                rule,
+                &parsed.symbols,
+            )));
+        }
+    }
+    let atoms = parsed.rules.into_iter().map(|r| r.head).collect();
+    Ok((atoms, parsed.symbols))
 }
 
 /// Add or remove a ground fact in a retained source program. Idempotent

@@ -68,7 +68,7 @@ pub mod engine;
 pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
 pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
-pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats};
+pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats, WfStrategy};
 
 use std::fmt;
 
@@ -116,144 +116,52 @@ impl From<afp_datalog::GroundError> for Error {
     }
 }
 
-/// The well-founded solution of a program: the ground instantiation plus
-/// the alternating fixpoint partial model over it.
-///
-/// Returned by the deprecated free functions; new code should use
-/// [`Engine::load`] and the unified [`Model`] instead.
-#[derive(Debug)]
-pub struct Solution {
-    /// The relevant ground instantiation.
-    pub ground: GroundProgram,
-    /// The alternating-fixpoint result (= the well-founded partial model,
-    /// Theorem 7.8).
-    pub result: AfpResult,
-}
-
-impl Solution {
-    /// Three-valued truth of `pred(args…)`. Atoms that were never
-    /// materialized during grounding are false (they have no derivation).
-    pub fn truth(&self, pred: &str, args: &[&str]) -> Truth {
-        match self.ground.find_atom_by_name(pred, args) {
-            Some(id) => self.result.model.truth(id.0),
-            None => Truth::False,
-        }
-    }
-
-    /// All true atoms, rendered and sorted.
-    pub fn true_atoms(&self) -> Vec<String> {
-        self.ground.set_to_names(&self.result.model.pos)
-    }
-
-    /// All false atoms (within the materialized base), rendered and sorted.
-    pub fn false_atoms(&self) -> Vec<String> {
-        self.ground.set_to_names(&self.result.model.neg)
-    }
-
-    /// All undefined atoms, rendered and sorted.
-    pub fn undefined_atoms(&self) -> Vec<String> {
-        self.ground.set_to_names(&self.result.undefined())
-    }
-
-    /// Is the well-founded model total? (If so it is also the unique
-    /// stable model — Section 5.)
-    pub fn is_total(&self) -> bool {
-        self.result.is_total
-    }
-}
-
-/// Parse, ground, and compute the well-founded partial model via the
-/// alternating fixpoint.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Engine::default().load(src)?.solve() — sessions reuse the \
-            grounding across queries and fact updates"
-)]
-pub fn well_founded(src: &str) -> Result<Solution, Error> {
-    #[allow(deprecated)]
-    well_founded_with(src, &GroundOptions::default(), &AfpOptions::default())
-}
-
-/// [`well_founded`] with explicit grounding and fixpoint options.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Engine::builder().ground_options(…).build().load(src)?.solve()"
-)]
-pub fn well_founded_with(
-    src: &str,
-    ground_options: &GroundOptions,
-    afp_options: &AfpOptions,
-) -> Result<Solution, Error> {
-    let program = afp_datalog::parse_program(src)?;
-    let ground = afp_datalog::ground_with(&program, ground_options)?;
-    let result = afp_core::alternating_fixpoint_with(&ground, afp_options);
-    Ok(Solution { ground, result })
-}
-
-/// Parse, ground, and enumerate stable models (sets of true atoms,
-/// rendered). Exponential in the worst case.
-#[deprecated(
-    since = "0.1.0",
-    note = "use Engine::new(Semantics::Stable { .. }).load(src)?.solve() and \
-            Model::stable_models()"
-)]
-pub fn stable_models(src: &str) -> Result<Vec<Vec<String>>, Error> {
-    let program = afp_datalog::parse_program(src)?;
-    let ground = afp_datalog::ground(&program)?;
-    let models = afp_semantics::stable_models(&ground);
-    Ok(models.iter().map(|m| ground.set_to_names(m)).collect())
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
     fn pipeline_end_to_end() {
-        let sol = well_founded("p :- not q. q :- not p. r.").unwrap();
-        assert_eq!(sol.truth("r", &[]), Truth::True);
-        assert_eq!(sol.truth("p", &[]), Truth::Undefined);
-        assert_eq!(sol.truth("missing", &[]), Truth::False);
-        assert!(!sol.is_total());
-        assert_eq!(sol.true_atoms(), vec!["r"]);
-        assert_eq!(sol.undefined_atoms(), vec!["p", "q"]);
+        let model = Engine::default()
+            .solve("p :- not q. q :- not p. r.")
+            .unwrap();
+        assert_eq!(model.truth("r", &[]), Truth::True);
+        assert_eq!(model.truth("p", &[]), Truth::Undefined);
+        assert_eq!(model.truth("missing", &[]), Truth::False);
+        assert!(!model.is_total());
+        assert_eq!(model.true_atoms().collect::<Vec<_>>(), vec!["r"]);
+        let mut undefined: Vec<String> = model.undefined_atoms().collect();
+        undefined.sort();
+        assert_eq!(undefined, vec!["p", "q"]);
     }
 
     #[test]
     fn parse_errors_surface() {
-        assert!(matches!(well_founded("p :- "), Err(Error::Parse(_))));
+        assert!(matches!(
+            Engine::default().solve("p :- "),
+            Err(Error::Parse(_))
+        ));
     }
 
     #[test]
     fn ground_errors_surface() {
         assert!(matches!(
-            well_founded("p(X) :- not q(X). q(a)."),
+            Engine::default().solve("p(X) :- not q(X). q(a)."),
             Err(Error::Ground(_))
         ));
         // …and the active-domain policy fixes it.
-        let sol = well_founded_with(
-            "p(X) :- not q(X). q(a). r(b).",
-            &GroundOptions {
-                safety: SafetyPolicy::ActiveDomain,
-                ..Default::default()
-            },
-            &AfpOptions::default(),
-        )
-        .unwrap();
-        assert_eq!(sol.truth("p", &["b"]), Truth::True);
-        assert_eq!(sol.truth("p", &["a"]), Truth::False);
-    }
-
-    #[test]
-    fn stable_models_facade() {
-        let models = stable_models("p :- not q. q :- not p.").unwrap();
-        assert_eq!(models.len(), 2);
+        let model = Engine::builder()
+            .safety(SafetyPolicy::ActiveDomain)
+            .build()
+            .solve("p(X) :- not q(X). q(a). r(b).")
+            .unwrap();
+        assert_eq!(model.truth("p", &["b"]), Truth::True);
+        assert_eq!(model.truth("p", &["a"]), Truth::False);
     }
 
     #[test]
     fn error_display() {
-        let e = well_founded("p :- ").unwrap_err();
+        let e = Engine::default().solve("p :- ").unwrap_err();
         assert!(e.to_string().contains("parse error"));
         assert!(Error::NotLocallyStratified
             .to_string()
@@ -261,17 +169,5 @@ mod tests {
         assert!(Error::NotAFact("p :- q.".into())
             .to_string()
             .contains("not a ground fact"));
-    }
-
-    #[test]
-    fn deprecated_wrappers_agree_with_the_engine() {
-        let src = "p :- not q. q :- not p. r.";
-        let legacy = well_founded(src).unwrap();
-        let model = Engine::default().solve(src).unwrap();
-        assert_eq!(model.truth("r", &[]), legacy.truth("r", &[]));
-        assert_eq!(model.truth("p", &[]), legacy.truth("p", &[]));
-        let mut new_true: Vec<String> = model.true_atoms().collect();
-        new_true.sort();
-        assert_eq!(new_true, legacy.true_atoms());
     }
 }

@@ -1,7 +1,7 @@
 //! The unified `Engine` / `Session` facade: every semantics of the paper
 //! through one entry point, one `Model` type, and warm session reuse.
 
-use afp::{Engine, Error, Semantics, SessionStats, Strategy, Truth};
+use afp::{Engine, Error, Semantics, SessionStats, Strategy, Truth, WfStrategy};
 
 const WIN_MOVE: &str = "
     wins(X) :- move(X, Y), not wins(Y).
@@ -19,23 +19,28 @@ fn all_five_semantics_through_one_engine() {
     let engine = Engine::default();
     let mut session = engine.load(WIN_MOVE).unwrap();
 
-    // Well-founded: Figure 4(c) — total despite the cycle.
+    // Well-founded: Figure 4(c) — total despite the cycle. The default
+    // strategy is SCC-stratified evaluation.
     let wfs = session
         .solve_with(Semantics::WellFounded {
-            strategy: Strategy::default(),
+            strategy: WfStrategy::SccStratified,
         })
         .unwrap();
     assert_eq!(wfs.truth("wins", &["b"]), Truth::True);
     assert_eq!(wfs.truth("wins", &["a"]), Truth::False);
     assert!(wfs.is_total());
+    assert!(session.stats().scc_solves >= 1);
 
-    // Both evaluation strategies agree.
-    let incr = session
-        .solve_with(Semantics::WellFounded {
-            strategy: Strategy::IncrementalUnder,
-        })
-        .unwrap();
-    assert_eq!(incr.partial_model(), wfs.partial_model());
+    // Every evaluation strategy agrees.
+    for strategy in [
+        WfStrategy::Global(Strategy::Naive),
+        WfStrategy::Global(Strategy::IncrementalUnder),
+    ] {
+        let global = session
+            .solve_with(Semantics::WellFounded { strategy })
+            .unwrap();
+        assert_eq!(global.partial_model(), wfs.partial_model());
+    }
 
     // Stable: total WFS ⇒ unique stable model with the same positives.
     let stable = session.solve_with(ALL_STABLE).unwrap();

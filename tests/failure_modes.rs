@@ -1,12 +1,16 @@
 //! Failure injection: every malformed input and resource exhaustion path
 //! surfaces as a typed error, never a panic or a wrong answer.
-//!
-//! Exercises the deprecated free-function facade on purpose: the wrappers
-//! must keep their error contract until they are removed.
-#![allow(deprecated)]
 
 use afp::datalog::{GroundError, GroundOptions, ParseError, SafetyPolicy};
-use afp::{well_founded, well_founded_with, Error};
+use afp::{Engine, Error};
+
+fn solve(src: &str) -> Result<afp::Model, Error> {
+    Engine::default().solve(src)
+}
+
+fn solve_with(src: &str, options: GroundOptions) -> Result<afp::Model, Error> {
+    Engine::builder().ground_options(options).build().solve(src)
+}
 
 #[test]
 fn parse_failures_are_typed() {
@@ -20,7 +24,7 @@ fn parse_failures_are_typed() {
         ("p ? q.", "UnexpectedChar"),
         ("/* no close", "UnexpectedEof"),
     ] {
-        match well_founded(src) {
+        match solve(src) {
             Err(Error::Parse(e)) => {
                 let tag = format!("{e:?}");
                 assert!(
@@ -35,7 +39,7 @@ fn parse_failures_are_typed() {
 
 #[test]
 fn unsafe_rules_name_the_variable() {
-    match well_founded("p(X, Y) :- q(X). q(a).") {
+    match solve("p(X, Y) :- q(X). q(a).") {
         Err(Error::Ground(GroundError::UnsafeRule { variable, .. })) => {
             assert_eq!(variable, "Y");
         }
@@ -45,13 +49,12 @@ fn unsafe_rules_name_the_variable() {
 
 #[test]
 fn atom_budget_stops_function_symbol_divergence() {
-    let result = well_founded_with(
+    let result = solve_with(
         "n(z). n(s(X)) :- n(X).",
-        &GroundOptions {
+        GroundOptions {
             max_envelope_tuples: 500,
             ..Default::default()
         },
-        &Default::default(),
     );
     assert!(matches!(
         result,
@@ -63,13 +66,12 @@ fn atom_budget_stops_function_symbol_divergence() {
 
 #[test]
 fn empty_domain_for_active_domain_policy() {
-    let result = well_founded_with(
+    let result = solve_with(
         "p(X) :- not q(X).",
-        &GroundOptions {
+        GroundOptions {
             safety: SafetyPolicy::ActiveDomain,
             ..Default::default()
         },
-        &Default::default(),
     );
     assert!(matches!(
         result,
@@ -84,13 +86,12 @@ fn rule_budget_enforced() {
     for i in 0..20 {
         src.push_str(&format!("d(c{i}).\n"));
     }
-    let result = well_founded_with(
+    let result = solve_with(
         &src,
-        &GroundOptions {
+        GroundOptions {
             max_ground_rules: 100,
             ..Default::default()
         },
-        &Default::default(),
     );
     assert!(matches!(
         result,
@@ -102,23 +103,23 @@ fn rule_budget_enforced() {
 
 #[test]
 fn empty_program_is_fine() {
-    let sol = well_founded("").unwrap();
-    assert!(sol.is_total());
-    assert!(sol.true_atoms().is_empty());
+    let model = solve("").unwrap();
+    assert!(model.is_total());
+    assert_eq!(model.true_atoms().count(), 0);
 }
 
 #[test]
 fn comments_only_program_is_fine() {
-    let sol = well_founded("% nothing here\n// or here\n/* or here */").unwrap();
-    assert!(sol.is_total());
+    let model = solve("% nothing here\n// or here\n/* or here */").unwrap();
+    assert!(model.is_total());
 }
 
 #[test]
 fn queries_for_unknown_atoms_are_false_not_errors() {
-    let sol = well_founded("p(a).").unwrap();
-    assert_eq!(sol.truth("p", &["b"]), afp::Truth::False);
-    assert_eq!(sol.truth("zzz", &[]), afp::Truth::False);
-    assert_eq!(sol.truth("p", &["a", "b"]), afp::Truth::False); // wrong arity
+    let model = solve("p(a).").unwrap();
+    assert_eq!(model.truth("p", &["b"]), afp::Truth::False);
+    assert_eq!(model.truth("zzz", &[]), afp::Truth::False);
+    assert_eq!(model.truth("p", &["a", "b"]), afp::Truth::False); // wrong arity
 }
 
 #[test]
@@ -140,7 +141,7 @@ fn deep_function_nesting_is_bounded_not_crashing() {
     for _ in 0..40 {
         term = format!("f({term})");
     }
-    let sol = well_founded(&format!("deep({term}).")).unwrap();
-    assert!(sol.is_total());
-    assert_eq!(sol.true_atoms().len(), 1);
+    let model = solve(&format!("deep({term}).")).unwrap();
+    assert!(model.is_total());
+    assert_eq!(model.true_atoms().count(), 1);
 }
