@@ -1,0 +1,50 @@
+//! Warm rule deltas versus a cold reload: the acceptance bench for
+//! `Session::assert_rules` / `retract_rules`. Before this API existed,
+//! any rule change forced a fresh `Engine::load` of the whole program —
+//! re-parse, envelope fixpoint, instantiation joins, condensation, full
+//! solve. The warm path grounds only the new rule's instances against
+//! the retained envelope and re-solves only the forward cone of its
+//! heads, copying every other component's truth values.
+//!
+//! Workload: toggle `q(K) :- a(K).` in and out of a
+//! `hard_knot_chain_src(k)` session, one rule delta + warm re-solve per
+//! iteration (asserts and retracts alternate, keeping the session
+//! steady-state), versus reloading the extended program from text — one
+//! program change per iteration on both sides.
+
+use afp::Engine;
+use afp_bench::gen::hard_knot_chain_src;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rule_deltas(c: &mut Criterion) {
+    let engine = Engine::default();
+    let rule = "q(K) :- a(K).";
+    for k in [64usize, 256] {
+        let src = hard_knot_chain_src(k);
+        let with_rule = format!("{src}{rule}\n");
+        let mut group = c.benchmark_group(format!("rule_deltas/knot_chain_{k}"));
+        group.bench_with_input(BenchmarkId::new("cold_reload", k), &with_rule, |b, src| {
+            // What a rule change cost before: a fresh load of the
+            // extended program, from text.
+            b.iter(|| engine.solve(src).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("warm_assert", k), |b| {
+            let mut session = engine.load(&src).unwrap();
+            session.solve().unwrap();
+            let mut present = false;
+            b.iter(|| {
+                if present {
+                    session.retract_rules(rule).unwrap();
+                } else {
+                    session.assert_rules(rule).unwrap();
+                }
+                present = !present;
+                session.solve().unwrap()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, rule_deltas);
+criterion_main!(benches);

@@ -267,6 +267,23 @@ pub fn import_atom(to: &mut SymbolStore, atom: &Atom, from: &SymbolStore) -> Ato
     )
 }
 
+/// Translate a whole rule between symbol stores — [`import_atom`] applied
+/// to the head and every body atom, preserving literal order and polarity.
+/// Used by the incremental grounder to bring asserted/retracted rules into
+/// its own symbol space before compiling or matching them.
+pub fn import_rule(to: &mut SymbolStore, rule: &Rule, from: &SymbolStore) -> Rule {
+    Rule::new(
+        import_atom(to, &rule.head, from),
+        rule.body
+            .iter()
+            .map(|l| Literal {
+                atom: import_atom(to, &l.atom, from),
+                positive: l.positive,
+            })
+            .collect(),
+    )
+}
+
 /// Render a term.
 pub fn display_term(t: &Term, store: &SymbolStore) -> String {
     match t {

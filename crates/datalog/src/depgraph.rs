@@ -348,6 +348,13 @@ fn tarjan_csr(n: usize, offsets: &[u32], targets: &[u32], mut emit: impl FnMut(&
 /// substrate of the in-place component-wise well-founded evaluation
 /// (`afp-semantics::modular`) and of per-component warm re-solves in the
 /// engine's sessions.
+///
+/// Component ids are **not** stable across program mutations (Tarjan
+/// renumbers freely), so sessions rebuild the condensation lazily after
+/// any fact or rule delta. Atom ids *are* stable across in-place
+/// mutations, which is why per-component memoization keyed by atom id
+/// survives the rebuild: a rebuilt component whose atoms all lie outside
+/// the delta's forward cone can copy its previous truth values verbatim.
 #[derive(Debug, Clone)]
 pub struct Condensation {
     /// Atom index → component id.

@@ -44,7 +44,7 @@ pub use bitset::AtomSet;
 pub use depgraph::Condensation;
 pub use error::{GroundError, ParseError};
 pub use ground::{ground, ground_with, GroundOptions, SafetyPolicy};
-pub use incremental::{DeltaEffect, IncrementalGrounder, RetractOutcome};
+pub use incremental::{DeltaEffect, IncrementalGrounder, RetractOutcome, RuleAssertOutcome};
 pub use parser::parse_program;
 pub use program::{parse_ground, GroundProgram, GroundProgramBuilder, GroundRule, RuleId};
 pub use symbol::{Symbol, SymbolStore};

@@ -40,10 +40,18 @@
 //! a differential property test and by the engine's differential CI
 //! test). [`modular_wfs_update`] additionally supports **per-component
 //! warm re-solves**: given the previous model and the set of atoms whose
-//! truth may have changed (the forward dependency cone of a fact delta),
-//! components disjoint from the cone copy their stored truth values
-//! verbatim instead of being re-derived — the engine's `Session` uses
-//! this to make update-heavy workloads pay only for the cone they touch.
+//! truth may have changed (the forward dependency cone of a fact *or
+//! rule* delta — for a rule delta, the cone of the heads whose rule sets
+//! changed), components disjoint from the cone copy their stored truth
+//! values verbatim instead of being re-derived — the engine's `Session`
+//! uses this to make update-heavy workloads pay only for the cone they
+//! touch. The reuse check is **by atom id**, not component id: the
+//! condensation is rebuilt after every mutation (Tarjan ids are not
+//! stable), but atom ids are stable across in-place mutations, so a
+//! rebuilt condensation still reuses every component outside the cone.
+//! Atoms interned after the previous solve (heads and bodies a new rule
+//! brought into the program) fail the `a < old_n` universe check and are
+//! always evaluated.
 
 use afp_core::interp::{PartialModel, Truth};
 use afp_datalog::atoms::AtomId;
@@ -531,6 +539,41 @@ mod tests {
         assert_eq!(r.model, alternating_fixpoint(&g).model);
         assert!(r.reused >= 2);
         assert!(r.evaluated >= 1, "the new {{c, d}} knot is evaluated");
+    }
+
+    #[test]
+    fn rule_delta_cone_invalidation_reuses_outside_components() {
+        // Simulate what the engine does for a *rule* assert: the program
+        // gains a rule (and possibly atoms), the condensation is rebuilt,
+        // and `affected` holds the forward cone of the new rule's head.
+        // Components outside the cone must be copied even though every
+        // component id changed.
+        let old = parse_ground("k1 :- not k2. k2 :- not k1. a. b :- a, not c.");
+        let prev = modular_wfs(&old).model;
+
+        // Same program + `c :- a.` (changes c's rule set, hence b's and
+        // c's truth) + a brand-new knot. Atom ids of the old atoms are
+        // stable by construction of the parse order.
+        let g = parse_ground(
+            "k1 :- not k2. k2 :- not k1. a. b :- a, not c. c :- a.
+             n1 :- not n2. n2 :- not n1.",
+        );
+        let cond = Condensation::of(&g);
+        let mut affected = g.empty_set();
+        for name in ["c", "b"] {
+            affected.insert(g.find_atom_by_name(name, &[]).unwrap().0);
+        }
+        let r = modular_wfs_update(&g, &cond, Some((&prev, &affected)));
+        assert_eq!(r.model, alternating_fixpoint(&g).model);
+        let c = g.find_atom_by_name("c", &[]).unwrap().0;
+        let b = g.find_atom_by_name("b", &[]).unwrap().0;
+        assert!(r.model.pos.contains(c), "the new rule derives c");
+        assert!(r.model.neg.contains(b), "b flips: not c now fails");
+        assert!(r.reused >= 2, "{{k1,k2}} and a are outside the cone");
+        assert!(
+            r.evaluated >= 3,
+            "the cone and the brand-new {{n1,n2}} knot are evaluated"
+        );
     }
 
     #[test]

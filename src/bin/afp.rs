@@ -10,9 +10,16 @@
 //!   -a, --active-domain   range-restrict unsafe rules to the active domain
 //!   -n, --max-models <N>  cap stable-model enumeration
 //!   -j, --json            machine-readable output on stdout
+//!       --assert <TEXT>   apply rules/facts to the loaded session (repeatable)
+//!       --retract <TEXT>  remove rules/facts from the session (repeatable)
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
+//!
+//! `--assert` / `--retract` apply **after** the program is loaded, in
+//! command-line order, through the session's incremental rule/fact delta
+//! machinery — the grounding is patched in place, not rebuilt, exactly as
+//! a long-running embedder of [`afp::Session`] would do it.
 //!
 //! Exit codes: 0 ok; 1 no stable model (with `-s stable`) or query false;
 //! 2 usage / parse / grounding error.
@@ -21,8 +28,8 @@ use afp::{Engine, Error, Model, Semantics, Truth};
 use std::io::Read;
 use std::process::ExitCode;
 
-const USAGE_HINT: &str =
-    "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] [-n N] [-j] [--ground] [FILE]";
+const USAGE_HINT: &str = "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] \
+     [-n N] [-j] [--assert TEXT] [--retract TEXT] [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -32,6 +39,8 @@ struct Options {
     max_models: usize,
     json: bool,
     ground_only: bool,
+    /// Session updates in command-line order: `(assert?, program text)`.
+    updates: Vec<(bool, String)>,
     file: Option<String>,
 }
 
@@ -49,6 +58,7 @@ fn parse_args() -> Options {
         max_models: usize::MAX,
         json: false,
         ground_only: false,
+        updates: Vec::new(),
         file: None,
     };
     let mut args = std::env::args().skip(1);
@@ -67,6 +77,14 @@ fn parse_args() -> Options {
                 options.max_models = n.parse().unwrap_or_else(|_| usage());
             }
             "-j" | "--json" => options.json = true,
+            "--assert" => {
+                let text = args.next().unwrap_or_else(|| usage());
+                options.updates.push((true, text));
+            }
+            "--retract" => {
+                let text = args.next().unwrap_or_else(|| usage());
+                options.updates.push((false, text));
+            }
             "--ground" => options.ground_only = true,
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),
@@ -150,6 +168,16 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return report_error(&e),
     };
+    for (assert, text) in &options.updates {
+        let result = if *assert {
+            session.assert_rules(text)
+        } else {
+            session.retract_rules(text)
+        };
+        if let Err(e) = result {
+            return report_error(&e);
+        }
+    }
     if options.ground_only {
         print!("{}", session.ground());
         return ExitCode::SUCCESS;

@@ -44,10 +44,15 @@
 //! ([`afp_datalog::IncrementalGrounder`]) alive: `assert_facts` /
 //! `retract_facts` extend the existing ground program — with **one**
 //! envelope delta and one focused re-join pass per batch of facts, not
-//! one per fact — instead of starting from text. Re-solves are warm in
-//! both strategies, via the relevance/splitting argument (atoms that
-//! cannot reach any changed atom in the dependency graph keep their
-//! truth values):
+//! one per fact — instead of starting from text, and `assert_rules` /
+//! `retract_rules` do the same for **rules**: a new rule is compiled and
+//! joined once over the retained envelope, a retracted rule drops
+//! exactly its ground instances, and only a delta the warm machinery
+//! cannot express soundly (a real active-domain shrink, the bootstrap of
+//! the domain machinery itself) falls back to a single cold re-ground of
+//! the mirrored source program. Re-solves are warm in both strategies,
+//! via the relevance/splitting argument (atoms that cannot reach any
+//! changed atom in the dependency graph keep their truth values):
 //!
 //! * per-SCC (the default): components disjoint from the changed cone
 //!   **copy their stored truth values verbatim** from the previous
@@ -62,12 +67,15 @@
 use afp_core::afp::{alternating_fixpoint_from, AfpOptions, AfpTrace};
 use afp_core::interp::{PartialModel, Truth};
 use afp_core::Strategy;
-use afp_datalog::ast::{Atom, Program};
+use afp_datalog::ast::{Atom, Program, Rule};
 use afp_datalog::atoms::AtomId;
 use afp_datalog::bitset::AtomSet;
 use afp_datalog::depgraph::Condensation;
-use afp_datalog::program::GroundProgram;
-use afp_datalog::{GroundOptions, IncrementalGrounder, RetractOutcome, SafetyPolicy, SymbolStore};
+use afp_datalog::program::{GroundProgram, GroundRule};
+use afp_datalog::{
+    GroundOptions, IncrementalGrounder, RetractOutcome, RuleAssertOutcome, SafetyPolicy,
+    SymbolStore,
+};
 use std::sync::Arc;
 
 use crate::Error;
@@ -144,6 +152,8 @@ pub struct EngineBuilder {
     ground: GroundOptions,
     record_trace: bool,
     relevance: Vec<String>,
+    /// Search-node cap for stable-model enumeration (`None` = unlimited).
+    stable_search_nodes: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -179,6 +189,16 @@ impl EngineBuilder {
     /// Record the alternating sequence (Table I) on well-founded solves.
     pub fn trace(mut self, record: bool) -> Self {
         self.record_trace = record;
+        self
+    }
+
+    /// Cap the number of search nodes a stable-model enumeration may
+    /// expand, mirroring the grounding budgets: when the cap trips, the
+    /// solve **succeeds** with the (sound) models found so far and
+    /// [`Model::is_complete`] reports `false` — enumeration truncation is
+    /// an answer-quality signal, not an error. Unlimited by default.
+    pub fn stable_search_budget(mut self, nodes: usize) -> Self {
+        self.stable_search_nodes = Some(nodes);
         self
     }
 
@@ -289,6 +309,16 @@ pub struct SessionStats {
     pub asserts: u64,
     /// Facts retracted.
     pub retracts: u64,
+    /// Rules asserted through [`Session::assert_rules`] (facts passed to
+    /// that API count here, not under `asserts`).
+    pub rule_asserts: u64,
+    /// Rules retracted through [`Session::retract_rules`].
+    pub rule_retracts: u64,
+    /// Condensations built since load. Warm re-solves reuse the cached
+    /// condensation, so this stays at the number of mutations the session
+    /// actually solved across — relevance-restricted solves build their
+    /// own (restricted) condensation without evicting the cache.
+    pub condensation_builds: u64,
     /// Well-founded solves taken by the SCC-stratified path.
     pub scc_solves: u64,
     /// Components in the condensation at the last SCC-stratified solve.
@@ -370,7 +400,7 @@ impl Session {
                         // the retained AST, which does not contain the
                         // failed batch; the original error still
                         // surfaces.
-                        self.recover_from_poison();
+                        self.recover_if_poisoned();
                         return Err(e.into());
                     }
                 };
@@ -462,6 +492,175 @@ impl Session {
         Ok(())
     }
 
+    /// Assert a batch of **rules**, written as source text (facts are
+    /// allowed and take the fact path). The existing grounding is
+    /// extended in place: each new rule is compiled and joined once over
+    /// the retained envelope, the whole batch runs **one** envelope-delta
+    /// round, pruned negative literals whose atoms the new rules derive
+    /// are resurrected, and only the new/changed heads' forward
+    /// dependency cone is re-solved on the next warm solve. Falls back to
+    /// at most one cold re-ground where a warm delta would be unsound
+    /// (first unsafe rule of a previously-safe active-domain program, or
+    /// a grounder that already lost precision).
+    pub fn assert_rules(&mut self, rules: &str) -> Result<(), Error> {
+        let parsed = afp_datalog::parse_program(rules)?;
+        if parsed.rules.is_empty() {
+            return Ok(());
+        }
+        self.stats.rule_asserts += parsed.rules.len() as u64;
+        match &mut self.grounder {
+            Some(g) => {
+                if !g.supports_incremental() {
+                    return self.cold_rule_update(&parsed.rules, &parsed.symbols, true);
+                }
+                match g.assert_rules(&parsed.rules, &parsed.symbols) {
+                    Ok(RuleAssertOutcome::Applied(effect)) => {
+                        if effect.fresh {
+                            self.dirty.extend(effect.changed);
+                            self.note_mutation();
+                            self.stats.delta_rounds += 1;
+                        }
+                        // Mirror into the retained AST: a later cold
+                        // fallback re-grounds from it and must see these
+                        // rules.
+                        let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                        for rule in &parsed.rules {
+                            apply_rule_to_ast(ast, rule, &parsed.symbols, true);
+                        }
+                    }
+                    Ok(RuleAssertOutcome::NeedsCold) => {
+                        return self.cold_rule_update(&parsed.rules, &parsed.symbols, true);
+                    }
+                    Err(e) => {
+                        self.recover_if_poisoned();
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => return self.apply_ground_rules(&parsed, true),
+        }
+        Ok(())
+    }
+
+    /// Retract a batch of rules previously stated in the program or
+    /// asserted (facts allowed). Rules are matched **structurally**
+    /// against their source form — same literal order, same variable
+    /// names; unknown rules are ignored. Exactly the rules' ground
+    /// instances are dropped in place; only a batch that actually shrinks
+    /// the active domain (its facts and rule constants jointly hold some
+    /// term's last references) falls back to a single cold re-ground.
+    pub fn retract_rules(&mut self, rules: &str) -> Result<(), Error> {
+        let parsed = afp_datalog::parse_program(rules)?;
+        if parsed.rules.is_empty() {
+            return Ok(());
+        }
+        self.stats.rule_retracts += parsed.rules.len() as u64;
+        match &mut self.grounder {
+            Some(g) => {
+                if g.is_poisoned() {
+                    return self.cold_rule_update(&parsed.rules, &parsed.symbols, false);
+                }
+                match g.retract_rules(&parsed.rules, &parsed.symbols) {
+                    RetractOutcome::Applied(effect) => {
+                        if effect.fresh {
+                            self.dirty.extend(effect.changed);
+                            self.note_mutation();
+                        }
+                        let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
+                        for rule in &parsed.rules {
+                            apply_rule_to_ast(ast, rule, &parsed.symbols, false);
+                        }
+                    }
+                    RetractOutcome::DomainShrunk => {
+                        return self.cold_rule_update(&parsed.rules, &parsed.symbols, false);
+                    }
+                }
+            }
+            None => return self.apply_ground_rules(&parsed, false),
+        }
+        Ok(())
+    }
+
+    /// Rule deltas on a grounder-less session ([`Engine::load_ground`]):
+    /// exact for ground rules, rejected otherwise.
+    fn apply_ground_rules(&mut self, parsed: &Program, assert: bool) -> Result<(), Error> {
+        for rule in &parsed.rules {
+            if !rule.head.is_ground() || rule.body.iter().any(|l| !l.atom.is_ground()) {
+                return Err(Error::NotGroundRule(afp_datalog::ast::display_rule(
+                    rule,
+                    &parsed.symbols,
+                )));
+            }
+        }
+        for rule in &parsed.rules {
+            let ground = self.fixed.as_mut().expect("fixed or grounder");
+            let head = intern_ast_atom(ground, &rule.head, &parsed.symbols);
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for lit in &rule.body {
+                let id = intern_ast_atom(ground, &lit.atom, &parsed.symbols);
+                if lit.positive {
+                    pos.push(id);
+                } else {
+                    neg.push(id);
+                }
+            }
+            let candidate = GroundRule::new(head, pos.clone(), neg.clone());
+            let existing = ground
+                .rules_with_head(head)
+                .iter()
+                .find(|&&r| *ground.rule(r) == candidate)
+                .copied();
+            match (assert, existing) {
+                (true, None) => {
+                    ground.push_rule(head, pos, neg);
+                    self.dirty.push(head);
+                    self.note_mutation();
+                }
+                (false, Some(rid)) => {
+                    ground.remove_rule(rid);
+                    self.dirty.push(head);
+                    self.note_mutation();
+                }
+                _ => {} // idempotent no-op
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a batch of rule updates by editing the retained source
+    /// program and re-grounding cold **once** — the sound fallback where
+    /// a warm rule delta is not. Commit-on-success, like
+    /// [`Session::cold_update`].
+    fn cold_rule_update(
+        &mut self,
+        rules: &[Rule],
+        from: &SymbolStore,
+        assert: bool,
+    ) -> Result<(), Error> {
+        self.cold_reground(|ast| {
+            for rule in rules {
+                apply_rule_to_ast(ast, rule, from, assert);
+            }
+        })
+    }
+
+    /// The shared cold-fallback protocol: clone the retained AST, let
+    /// `apply_edits` rewrite it, re-ground once, and commit AST +
+    /// grounder together. On a re-ground error (e.g. a budget) the
+    /// session keeps its previous AST and grounder, so the failed update
+    /// leaves no trace a later fallback could resurrect. Atom ids change
+    /// on success, so every piece of warm state is dropped.
+    fn cold_reground(&mut self, apply_edits: impl FnOnce(&mut Program)) -> Result<(), Error> {
+        let mut ast = self.ast.clone().expect("grounder sessions retain the AST");
+        apply_edits(&mut ast);
+        self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
+        self.ast = Some(ast);
+        self.stats.regrounds += 1;
+        self.clear_warm_state();
+        Ok(())
+    }
+
     /// Solve under the session's default semantics.
     pub fn solve(&mut self) -> Result<Model, Error> {
         self.solve_with(self.config.semantics)
@@ -469,20 +668,41 @@ impl Session {
 
     /// Solve under an explicit semantics, sharing the session's grounding.
     pub fn solve_with(&mut self, semantics: Semantics) -> Result<Model, Error> {
+        let relevance = self.config.relevance.clone();
+        self.solve_inner(semantics, &relevance)
+    }
+
+    /// Solve under the session's default semantics, restricted to the
+    /// dependency cone of these ground query atoms (written as text, e.g.
+    /// `"wins(a)"`) — a per-solve version of [`EngineBuilder::relevance`].
+    /// Atoms outside the cone have no rules in the restricted program and
+    /// report `False`; only query truth values within the cone are
+    /// meaningful. The solve is never warm-seeded, and it neither uses
+    /// nor evicts the session's cached condensation and memoized model —
+    /// a later unrestricted solve picks them up where it left them.
+    pub fn solve_restricted<I, S>(&mut self, queries: I) -> Result<Model, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let queries: Vec<String> = queries.into_iter().map(Into::into).collect();
+        self.solve_inner(self.config.semantics, &queries)
+    }
+
+    fn solve_inner(&mut self, semantics: Semantics, relevance: &[String]) -> Result<Model, Error> {
         if self.grounder.as_ref().is_some_and(|g| g.is_poisoned()) {
             // A previous batch errored mid-delta; the current grounding
             // may be missing consequences. Re-ground cold before solving.
-            self.recover_from_poison_checked()?;
+            self.recover_from_poison()?;
         }
         self.stats.solves += 1;
         let record_trace = self.config.record_trace;
         // The affected cone of the pending deltas — what both warm paths
         // need — computed before the program is borrowed for solving.
-        let warm_wfs =
-            matches!(semantics, Semantics::WellFounded { .. }) && self.config.relevance.is_empty();
+        let warm_wfs = matches!(semantics, Semantics::WellFounded { .. }) && relevance.is_empty();
         let affected = warm_wfs.then(|| self.affected_cone());
         let ground = self.snapshot();
-        let restricted = self.restrict_for_relevance(&ground)?;
+        let restricted = self.restrict_for_relevance(relevance, &ground)?;
         let solve_on: &GroundProgram = restricted.as_ref().unwrap_or(&ground);
 
         let mut trace: Option<AfpTrace> = None;
@@ -494,9 +714,23 @@ impl Session {
             Semantics::WellFounded {
                 strategy: WfStrategy::SccStratified,
             } if !record_trace => {
-                let cond = match (&restricted, self.scc_cond.take()) {
-                    (None, Some(cond)) => cond,
-                    _ => Condensation::of(solve_on),
+                let cond = if restricted.is_none() {
+                    // Reuse the cached condensation of the full program
+                    // when the program has not mutated since it was built.
+                    match self.scc_cond.take() {
+                        Some(cond) => cond,
+                        None => {
+                            self.stats.condensation_builds += 1;
+                            Condensation::of(solve_on)
+                        }
+                    }
+                } else {
+                    // A restricted solve condenses the *restricted*
+                    // program; the session cache describes the full one
+                    // and must survive untouched for the next
+                    // unrestricted solve.
+                    self.stats.condensation_builds += 1;
+                    Condensation::of(solve_on)
                 };
                 let previous = match (&restricted, &self.last_model, &affected) {
                     (None, Some(model), Some(aff)) => Some((model, aff)),
@@ -554,7 +788,7 @@ impl Session {
                     solve_on,
                     &afp_semantics::EnumerateOptions {
                         max_models,
-                        max_nodes: usize::MAX,
+                        max_nodes: self.config.stable_search_nodes.unwrap_or(usize::MAX),
                     },
                 );
                 complete = result.complete;
@@ -584,42 +818,65 @@ impl Session {
 
     /// Apply a batch of fact updates by editing the retained source
     /// program and re-grounding cold **once** — the sound fallback where
-    /// a warm delta is not (see `assert_facts` / `retract_facts`). Atom
-    /// ids change, so every piece of warm state is dropped. The edits and
-    /// the re-ground commit together: on a re-ground error (e.g. a
-    /// budget) the session keeps its previous AST and grounder, so the
-    /// failed update leaves no trace a later fallback could resurrect.
+    /// a warm delta is not (see `assert_facts` / `retract_facts`).
+    /// Commit-on-success; see [`Session::cold_reground`].
     fn cold_update(
         &mut self,
         atoms: &[Atom],
         from: &SymbolStore,
         assert: bool,
     ) -> Result<(), Error> {
-        let mut ast = self.ast.clone().expect("grounder sessions retain the AST");
-        for atom in atoms {
-            apply_fact_to_ast(&mut ast, atom, from, assert);
-        }
-        self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
-        self.ast = Some(ast);
-        self.stats.regrounds += 1;
-        self.clear_warm_state();
-        Ok(())
+        self.cold_reground(|ast| {
+            for atom in atoms {
+                apply_fact_to_ast(ast, atom, from, assert);
+            }
+        })
     }
 
     /// Re-ground cold from the retained AST after a mid-delta grounding
     /// error poisoned the grounder. The AST never contains a failed
-    /// batch (mirroring happens only after the grounder succeeds), so
-    /// this restores exactly the last consistent fact set.
-    fn recover_from_poison(&mut self) {
-        let _ = self.recover_from_poison_checked();
-    }
-
-    fn recover_from_poison_checked(&mut self) -> Result<(), Error> {
+    /// batch (mirroring happens only after the grounder succeeds), so a
+    /// successful recovery restores exactly the last consistent program
+    /// state. On failure the poisoned grounder is kept **as is** — its
+    /// `is_poisoned` flag stays set, so every later solve re-attempts
+    /// recovery (and surfaces the error) before trusting the grounding;
+    /// no path hands a half-extended program to a fixpoint computation.
+    fn recover_from_poison(&mut self) -> Result<(), Error> {
         let ast = self.ast.clone().expect("grounder sessions retain the AST");
         self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
         self.stats.regrounds += 1;
         self.clear_warm_state();
         Ok(())
+    }
+
+    /// Recovery entry point for the update error paths, where the
+    /// *original* batch error is about to surface and a recovery failure
+    /// must not mask it. Explicitly drops the recovery error: the
+    /// grounder then stays poisoned and [`Session::solve_with`] (which
+    /// checks the flag first) re-attempts recovery — surfacing the
+    /// grounding error instead of solving over a half-extended program.
+    fn recover_if_poisoned(&mut self) {
+        if self.grounder.as_ref().is_some_and(|g| g.is_poisoned())
+            && self.recover_from_poison().is_err()
+        {
+            debug_assert!(
+                self.grounder.as_ref().is_some_and(|g| g.is_poisoned()),
+                "a failed recovery must leave the poison flag set"
+            );
+        }
+    }
+
+    /// Test-only fault injection: poison the live grounder and replace
+    /// the session's grounding budgets, so the recovery re-ground can be
+    /// driven into errors that are unreachable through the public API
+    /// (the retained AST always re-grounds within the budgets that
+    /// admitted it — see the double-fault regression test).
+    #[doc(hidden)]
+    pub fn inject_grounder_fault_for_testing(&mut self, options: GroundOptions) {
+        self.config.ground = options;
+        if let Some(g) = self.grounder.as_mut() {
+            g.poison_for_testing();
+        }
     }
 
     /// The program mutated in place: models must re-snapshot and the
@@ -675,19 +932,21 @@ impl Session {
         Arc::clone(self.snapshot.as_ref().expect("just set"))
     }
 
-    /// Apply the engine's relevance restriction, if configured. Queries
-    /// that fail to parse are an error; queries naming atoms the grounder
-    /// never materialized resolve to nothing (such atoms are false in
-    /// every semantics, and the empty cone answers exactly that).
+    /// Apply a relevance restriction (the engine's configured one or a
+    /// [`Session::solve_restricted`] query set). Queries that fail to
+    /// parse are an error; queries naming atoms the grounder never
+    /// materialized resolve to nothing (such atoms are false in every
+    /// semantics, and the empty cone answers exactly that).
     fn restrict_for_relevance(
         &self,
+        queries: &[String],
         ground: &GroundProgram,
     ) -> Result<Option<GroundProgram>, Error> {
-        if self.config.relevance.is_empty() {
+        if queries.is_empty() {
             return Ok(None);
         }
         let mut seeds: Vec<AtomId> = Vec::new();
-        for query in &self.config.relevance {
+        for query in queries {
             let mut tmp = Program::new();
             let atom = afp_datalog::parser::parse_atom_into(query, &mut tmp)?;
             if let Some(id) = find_ast_atom(ground, &atom, &tmp.symbols) {
@@ -732,6 +991,26 @@ fn apply_fact_to_ast(
         }
     } else {
         ast.rules.retain(|r| !(r.is_fact() && r.head == imported));
+    }
+}
+
+/// Add or remove a rule in a retained source program. Idempotent in both
+/// directions (rules are matched structurally); used by the warm rule
+/// delta paths to keep the AST in lockstep with the grounder and by the
+/// cold fallback itself.
+fn apply_rule_to_ast(
+    ast: &mut Program,
+    rule: &Rule,
+    from: &afp_datalog::SymbolStore,
+    assert: bool,
+) {
+    let imported = afp_datalog::ast::import_rule(&mut ast.symbols, rule, from);
+    if assert {
+        if !ast.rules.contains(&imported) {
+            ast.push(imported);
+        }
+    } else {
+        ast.rules.retain(|r| *r != imported);
     }
 }
 

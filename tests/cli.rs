@@ -217,3 +217,52 @@ fn bad_queries_exit_2_with_usage_hint() {
         assert!(stderr.contains("usage:"), "query {query:?}: {stderr}");
     }
 }
+
+#[test]
+fn assert_and_retract_apply_in_order() {
+    // The asserted rule derives q(a); the later retract removes the fact
+    // feeding it, so the final model has q(a) false again.
+    let (stdout, _, code) = run_afp(
+        &["--assert", "q(X) :- e(X).", "-q", "q(a)"],
+        "p(X) :- e(X). e(a).",
+    );
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("True"));
+
+    let (stdout, _, code) = run_afp(
+        &[
+            "--assert",
+            "q(X) :- e(X).",
+            "--retract",
+            "e(a).",
+            "-q",
+            "q(a)",
+        ],
+        "p(X) :- e(X). e(a).",
+    );
+    assert_eq!(code, Some(1), "q(a) is false once e(a) is retracted");
+    assert!(stdout.contains("False"));
+
+    // Retracting a rule stated in the program works too.
+    let (stdout, _, code) = run_afp(
+        &["--retract", "p(X) :- e(X).", "-q", "p(a)"],
+        "p(X) :- e(X). e(a).",
+    );
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("False"));
+}
+
+#[test]
+fn bad_updates_exit_2() {
+    // An unsafe asserted rule surfaces the grounding error (exit 2).
+    let (_, stderr, code) = run_afp(&["--assert", "r(X) :- not e(X)."], "p(X) :- e(X). e(a).");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unsafe"), "{stderr}");
+    // A parse error in the update text too.
+    let (_, _, code) = run_afp(&["--assert", "p :- "], "a.");
+    assert_eq!(code, Some(2));
+    // Missing operand is a usage error.
+    let (_, stderr, code) = run_afp(&["--assert"], "a.");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+}
