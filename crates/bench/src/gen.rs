@@ -444,7 +444,7 @@ mod tests {
         let a = random_ground_program(20, 40, 0.4, 9);
         let b = random_ground_program(20, 40, 0.4, 9);
         assert_eq!(a.rule_count(), b.rule_count());
-        for (x, y) in a.rules().iter().zip(b.rules()) {
+        for (x, y) in a.rules().zip(b.rules()) {
             assert_eq!(x, y);
         }
     }

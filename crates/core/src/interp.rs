@@ -123,7 +123,7 @@ impl PartialModel {
 
     /// Is this a partial model of the program (every rule satisfied)?
     pub fn is_partial_model(&self, prog: &GroundProgram) -> bool {
-        prog.rules().iter().all(|r| self.satisfies_rule(r))
+        prog.rules().all(|r| self.satisfies_rule(r))
     }
 
     /// Render as sorted literal strings (`p`, `not q`, …).
@@ -179,7 +179,7 @@ mod tests {
         let p = g.find_atom_by_name("p", &[]).unwrap();
         let q = g.find_atom_by_name("q", &[]).unwrap();
         let r = g.find_atom_by_name("r", &[]).unwrap();
-        let rule = &g.rules()[0];
+        let rule = g.rule(0);
         let u = g.atom_count();
 
         // Head true ⇒ satisfied regardless of body.

@@ -251,19 +251,34 @@ impl Program {
 /// stores that start as clones diverge as soon as either side interns a
 /// new name, so any atom crossing between them goes through this.
 pub fn import_atom(to: &mut SymbolStore, atom: &Atom, from: &SymbolStore) -> Atom {
-    fn import_term(t: &Term, from: &SymbolStore, to: &mut SymbolStore) -> Term {
+    import_atom_with(&mut |name| to.intern(name), atom, from)
+}
+
+/// [`import_atom`] generalized over the interner: callers with
+/// copy-on-write symbol storage (`GroundProgram::import_atom`) pass a
+/// read-first closure so that importing already-known names never forces
+/// a copy of a shared store.
+pub fn import_atom_with(
+    intern: &mut impl FnMut(&str) -> Symbol,
+    atom: &Atom,
+    from: &SymbolStore,
+) -> Atom {
+    fn import_term(t: &Term, from: &SymbolStore, intern: &mut impl FnMut(&str) -> Symbol) -> Term {
         match t {
-            Term::Const(c) => Term::Const(to.intern(from.name(*c))),
+            Term::Const(c) => Term::Const(intern(from.name(*c))),
             Term::App(f, args) => Term::App(
-                to.intern(from.name(*f)),
-                args.iter().map(|a| import_term(a, from, to)).collect(),
+                intern(from.name(*f)),
+                args.iter().map(|a| import_term(a, from, intern)).collect(),
             ),
-            Term::Var(v) => Term::Var(to.intern(from.name(*v))),
+            Term::Var(v) => Term::Var(intern(from.name(*v))),
         }
     }
     Atom::new(
-        to.intern(from.name(atom.pred)),
-        atom.args.iter().map(|t| import_term(t, from, to)).collect(),
+        intern(from.name(atom.pred)),
+        atom.args
+            .iter()
+            .map(|t| import_term(t, from, intern))
+            .collect(),
     )
 }
 
@@ -272,12 +287,22 @@ pub fn import_atom(to: &mut SymbolStore, atom: &Atom, from: &SymbolStore) -> Ato
 /// Used by the incremental grounder to bring asserted/retracted rules into
 /// its own symbol space before compiling or matching them.
 pub fn import_rule(to: &mut SymbolStore, rule: &Rule, from: &SymbolStore) -> Rule {
+    import_rule_with(&mut |name| to.intern(name), rule, from)
+}
+
+/// [`import_rule`] generalized over the interner, like
+/// [`import_atom_with`].
+pub fn import_rule_with(
+    intern: &mut impl FnMut(&str) -> Symbol,
+    rule: &Rule,
+    from: &SymbolStore,
+) -> Rule {
     Rule::new(
-        import_atom(to, &rule.head, from),
+        import_atom_with(intern, &rule.head, from),
         rule.body
             .iter()
             .map(|l| Literal {
-                atom: import_atom(to, &l.atom, from),
+                atom: import_atom_with(intern, &l.atom, from),
                 positive: l.positive,
             })
             .collect(),

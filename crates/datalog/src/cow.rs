@@ -1,0 +1,257 @@
+//! Copy-on-write segmented storage for ground-program state.
+//!
+//! [`CowVec`] is the structural backbone of cheap [`crate::program::GroundProgram`]
+//! snapshots: a vector split into fixed-size segments, each behind its own
+//! [`Arc`], with the segment directory behind one more `Arc`. Cloning is
+//! two reference-count bumps regardless of length; mutating element `i`
+//! copies **only** the segment holding `i` (and the pointer directory),
+//! via [`Arc::make_mut`], and only when that segment is actually shared
+//! with a live snapshot. A mutate → snapshot → mutate loop therefore pays
+//! `O(segment)` per touched location instead of `O(collection)` per
+//! cycle, which is what turns `Session::snapshot` from a deep clone into
+//! a pointer copy.
+//!
+//! The invariants are those of a plain `Vec` chunked greedily: every
+//! segment is full ([`SEG_LEN`] elements) except possibly the last, and
+//! the last is non-empty unless the vector is.
+
+use std::sync::Arc;
+
+/// Log₂ of the segment length.
+const SEG_SHIFT: usize = 10;
+/// Elements per segment. The trade-off: larger segments amortize the
+/// per-segment `Arc` overhead on reads, smaller segments bound the copy a
+/// single mutation can trigger.
+pub const SEG_LEN: usize = 1 << SEG_SHIFT;
+const SEG_MASK: usize = SEG_LEN - 1;
+
+/// A segmented vector with `Arc`-shared segments and copy-on-write
+/// mutation. See the module docs for the sharing model.
+#[derive(Clone)]
+pub struct CowVec<T> {
+    segs: Arc<Vec<Arc<Vec<T>>>>,
+    len: usize,
+}
+
+impl<T> Default for CowVec<T> {
+    fn default() -> Self {
+        CowVec {
+            segs: Arc::new(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Clone> CowVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chunk an existing `Vec` into segments (consumes it; no sharing with
+    /// anything yet).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let len = v.len();
+        let mut segs = Vec::with_capacity(len.div_ceil(SEG_LEN));
+        let mut iter = v.into_iter();
+        loop {
+            let seg: Vec<T> = iter.by_ref().take(SEG_LEN).collect();
+            if seg.is_empty() {
+                break;
+            }
+            segs.push(Arc::new(seg));
+        }
+        CowVec {
+            segs: Arc::new(segs),
+            len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared access to element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`, like slice indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        &self.segs[i >> SEG_SHIFT][i & SEG_MASK]
+    }
+
+    /// Mutable access to element `i`, copying the segment holding it (and
+    /// the segment directory) first if shared with a clone.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let segs = Arc::make_mut(&mut self.segs);
+        let seg = Arc::make_mut(&mut segs[i >> SEG_SHIFT]);
+        &mut seg[i & SEG_MASK]
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: T) {
+        let segs = Arc::make_mut(&mut self.segs);
+        if self.len == segs.len() << SEG_SHIFT {
+            segs.push(Arc::new(Vec::with_capacity(SEG_LEN)));
+        }
+        let last = segs.last_mut().expect("segment just ensured");
+        Arc::make_mut(last).push(value);
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let segs = Arc::make_mut(&mut self.segs);
+        let last = Arc::make_mut(segs.last_mut().expect("non-empty"));
+        let value = last.pop().expect("last segment non-empty");
+        if last.is_empty() {
+            segs.pop();
+        }
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Remove element `i` by moving the **last** element into its place
+    /// (like `Vec::swap_remove`); returns the removed element.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn swap_remove(&mut self, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let last = self.pop().expect("non-empty");
+        if i == self.len {
+            last // removed element *was* the last
+        } else {
+            std::mem::replace(self.get_mut(i), last)
+        }
+    }
+
+    /// Grow to at least `n` elements, filling with `fill()`.
+    pub fn grow_with(&mut self, n: usize, mut fill: impl FnMut() -> T) {
+        while self.len < n {
+            self.push(fill());
+        }
+    }
+
+    /// Iterate over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.segs.iter().flat_map(|s| s.iter())
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> std::fmt::Debug for CowVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: usize) -> CowVec<usize> {
+        CowVec::from_vec((0..n).collect())
+    }
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let mut v = CowVec::new();
+        for i in 0..(3 * SEG_LEN + 7) {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 3 * SEG_LEN + 7);
+        assert_eq!(*v.get(0), 0);
+        assert_eq!(*v.get(SEG_LEN), SEG_LEN);
+        assert_eq!(*v.get(v.len() - 1), v.len() - 1);
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..v.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_mutation_is_isolated() {
+        let mut v = filled(2 * SEG_LEN + 5);
+        let snapshot = v.clone();
+        *v.get_mut(3) = 999;
+        v.push(12345);
+        assert_eq!(*snapshot.get(3), 3, "snapshot unaffected by get_mut");
+        assert_eq!(
+            snapshot.len(),
+            2 * SEG_LEN + 5,
+            "snapshot unaffected by push"
+        );
+        assert_eq!(*v.get(3), 999);
+        assert_eq!(*v.get(v.len() - 1), 12345);
+    }
+
+    #[test]
+    fn untouched_segments_stay_shared_after_mutation() {
+        let mut v = filled(3 * SEG_LEN);
+        let snapshot = v.clone();
+        *v.get_mut(0) = 7; // touches segment 0 only
+        assert!(
+            !Arc::ptr_eq(&v.segs[0], &snapshot.segs[0]),
+            "mutated segment was copied"
+        );
+        for s in 1..3 {
+            assert!(
+                Arc::ptr_eq(&v.segs[s], &snapshot.segs[s]),
+                "segment {s} untouched, must remain shared"
+            );
+        }
+    }
+
+    #[test]
+    fn unshared_mutation_does_not_copy() {
+        let mut v = filled(SEG_LEN);
+        let seg_before = Arc::as_ptr(&v.segs[0]);
+        *v.get_mut(5) = 42;
+        assert_eq!(
+            Arc::as_ptr(&v.segs[0]),
+            seg_before,
+            "no snapshot alive: mutation must happen in place"
+        );
+    }
+
+    #[test]
+    fn swap_remove_semantics_match_vec() {
+        for n in [1usize, 2, 5, SEG_LEN, SEG_LEN + 1, 2 * SEG_LEN + 3] {
+            for i in [0usize, n / 2, n - 1] {
+                let mut reference: Vec<usize> = (0..n).collect();
+                let mut v = filled(n);
+                assert_eq!(v.swap_remove(i), reference.swap_remove(i));
+                assert_eq!(v.iter().copied().collect::<Vec<_>>(), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn pop_across_segment_boundary() {
+        let mut v = filled(SEG_LEN + 1);
+        assert_eq!(v.pop(), Some(SEG_LEN));
+        assert_eq!(v.pop(), Some(SEG_LEN - 1));
+        assert_eq!(v.len(), SEG_LEN - 1);
+        v.push(77);
+        assert_eq!(*v.get(SEG_LEN - 1), 77);
+    }
+
+    #[test]
+    fn grow_with_fills() {
+        let mut v: CowVec<Vec<u32>> = CowVec::new();
+        v.grow_with(SEG_LEN + 2, Vec::new);
+        assert_eq!(v.len(), SEG_LEN + 2);
+        assert!(v.get(SEG_LEN + 1).is_empty());
+    }
+}

@@ -430,7 +430,7 @@ impl Condensation {
         }
         let mut cursor = rule_offsets.clone();
         let mut rules = vec![0 as RuleId; prog.rule_count()];
-        for (rid, r) in prog.rules().iter().enumerate() {
+        for (rid, r) in prog.rules().enumerate() {
             let c = &mut cursor[comp_of[r.head.index()] as usize];
             rules[*c as usize] = rid as RuleId;
             *c += 1;

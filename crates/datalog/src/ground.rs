@@ -159,20 +159,6 @@ pub(crate) fn collect_rule_consts(rule: &Rule, base: &mut HerbrandBase, out: &mu
     }
 }
 
-/// Copy a term from one base into another (id spaces differ).
-pub(crate) fn reintern_term(t: ConstId, from: &HerbrandBase, to: &mut HerbrandBase) -> ConstId {
-    match from.term(t).clone() {
-        crate::atoms::GroundTerm::Const(c) => to.intern_const(c),
-        crate::atoms::GroundTerm::App(f, args) => {
-            let new_args: Vec<ConstId> = args.iter().map(|&a| reintern_term(a, from, to)).collect();
-            to.intern_term(crate::atoms::GroundTerm::App(
-                f,
-                new_args.into_boxed_slice(),
-            ))
-        }
-    }
-}
-
 /// Compute only the positive envelope of a program (exposed for the
 /// benchmarks and for diagnostics).
 pub fn positive_envelope(
@@ -236,7 +222,6 @@ mod tests {
         assert_eq!(g.rule_count(), 6);
         let dropped = g
             .rules()
-            .iter()
             .find(|r| !r.pos.is_empty() && r.neg.is_empty())
             .expect("the wins(b) :- move(b,c) instance lost its negative literal");
         assert_eq!(g.atom_name(dropped.head), "wins(b)");

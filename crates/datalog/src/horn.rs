@@ -51,7 +51,7 @@ impl<'p> HornEngine<'p> {
             derived: prog.empty_set(),
             queue: Vec::new(),
         };
-        for (i, r) in prog.rules().iter().enumerate() {
+        for (i, r) in prog.rules().enumerate() {
             engine.pos_remaining.push(r.pos.len() as u32);
             engine.neg_remaining.push(r.neg.len() as u32);
             if r.pos.is_empty() && r.neg.is_empty() {

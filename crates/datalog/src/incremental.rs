@@ -69,8 +69,8 @@ use crate::atoms::{AtomId, ConstId, HerbrandBase};
 use crate::error::GroundError;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::ground::{
-    collect_rule_consts, collect_subterms, intern_ground_term, reintern_term, unsafe_variables,
-    GroundOptions, SafetyPolicy,
+    collect_rule_consts, collect_subterms, intern_ground_term, unsafe_variables, GroundOptions,
+    SafetyPolicy,
 };
 use crate::program::{GroundProgram, GroundProgramBuilder, RuleId};
 use crate::relation::{Database, Relation, Tuple};
@@ -397,7 +397,9 @@ impl IncrementalGrounder {
     /// program's but the two diverge as soon as either side interns new
     /// names, so assert/retract go through this translation.
     pub fn import_atom(&mut self, atom: &Atom, from: &crate::symbol::SymbolStore) -> Atom {
-        crate::ast::import_atom(self.prog.symbols_mut(), atom, from)
+        // Read-first: known names never force a copy of a symbol store
+        // shared with a live program snapshot.
+        self.prog.import_atom(atom, from)
     }
 
     /// Add one ground EDB fact — [`IncrementalGrounder::assert_batch`]
@@ -689,7 +691,8 @@ impl IncrementalGrounder {
     ///
     /// [`SymbolStore`]: crate::symbol::SymbolStore
     pub fn import_rule(&mut self, rule: &Rule, from: &crate::symbol::SymbolStore) -> Rule {
-        crate::ast::import_rule(self.prog.symbols_mut(), rule, from)
+        // Read-first, like `import_atom`.
+        self.prog.import_rule(rule, from)
     }
 
     /// Add a batch of rules (facts allowed — they take the EDB-fact
@@ -1143,10 +1146,10 @@ impl IncrementalGrounder {
         if let Some(&id) = self.atom_ids.get(&key) {
             return id;
         }
-        let new_args: Vec<ConstId> = args
-            .iter()
-            .map(|&a| reintern_term(a, &self.base, self.prog.base_mut()))
-            .collect();
+        // Read-first reintern: terms already present in the final base
+        // never force a copy of a base shared with a live snapshot.
+        let (prog, base) = (&mut self.prog, &self.base);
+        let new_args: Vec<ConstId> = args.iter().map(|&a| prog.reintern_term(a, base)).collect();
         let id = self.prog.intern_atom_ids(pred, &new_args);
         self.atom_ids.insert(key, id);
         id

@@ -8,7 +8,8 @@
 //!   Prolog-flavoured surface syntax;
 //! * [`atoms`] / [`bitset`] — the interned Herbrand base and dense
 //!   interpretations;
-//! * [`program`] — ground programs `P_H` with occurrence indices;
+//! * [`program`] — ground programs `P_H` with occurrence indices, stored
+//!   copy-on-write ([`cow`]) so snapshots are reference-count bumps;
 //! * [`horn`] — the linear-time Horn closure behind the eventual
 //!   consequence operator `S_P` (Definition 4.2);
 //! * [`relation`] / [`seminaive`] — an indexed relational engine with
@@ -26,6 +27,7 @@
 pub mod ast;
 pub mod atoms;
 pub mod bitset;
+pub mod cow;
 pub mod depgraph;
 pub mod error;
 pub mod fx;

@@ -6,12 +6,32 @@
 //! instantiation with atoms interned to dense [`AtomId`]s and three
 //! occurrence indices (by head, by positive-body, by negative-body) so that
 //! every fixpoint operator runs in time linear in the program size.
+//!
+//! ## Copy-on-write snapshots
+//!
+//! All storage is segmented behind [`Arc`]s ([`crate::cow::CowVec`] for
+//! the rules and occurrence indices, whole-structure `Arc`s for the
+//! Herbrand base and symbol store): **cloning a `GroundProgram` is a
+//! handful of reference-count bumps**, however large the program. A clone
+//! is an immutable snapshot — mutating either side afterwards copies only
+//! the segments actually touched (`Arc::make_mut`), so a mutate →
+//! snapshot → solve loop pays `O(delta)` per cycle, not `O(program)`.
+//! [`GroundProgram::deep_clone`] forces a full copy when genuine
+//! structural independence is wanted. The interning entry points
+//! ([`GroundProgram::intern_symbol`], [`GroundProgram::intern_const`],
+//! [`GroundProgram::intern_term`], [`GroundProgram::intern_atom_ids`],
+//! [`GroundProgram::import_atom`] / [`GroundProgram::import_rule`]) are
+//! read-first: re-interning something already present never copies a
+//! shared base, which keeps steady-state update loops allocation-free on
+//! the shared segments.
 
 use crate::ast::{Program, Term};
-use crate::atoms::{AtomId, HerbrandBase};
+use crate::atoms::{AtomId, ConstId, GroundTerm, HerbrandBase};
 use crate::bitset::AtomSet;
+use crate::cow::CowVec;
 use crate::symbol::{Symbol, SymbolStore};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a rule within a [`GroundProgram`].
 pub type RuleId = u32;
@@ -53,25 +73,30 @@ impl GroundRule {
 
 /// An instantiated program together with its interned Herbrand base and
 /// occurrence indices.
+///
+/// `Clone` is a copy-on-write snapshot (reference-count bumps only); see
+/// the module docs. Use [`GroundProgram::deep_clone`] for a structurally
+/// independent copy.
 #[derive(Clone)]
 pub struct GroundProgram {
-    rules: Vec<GroundRule>,
-    base: HerbrandBase,
-    symbols: SymbolStore,
-    head_index: Vec<Vec<RuleId>>,
-    pos_index: Vec<Vec<RuleId>>,
-    neg_index: Vec<Vec<RuleId>>,
+    rules: CowVec<GroundRule>,
+    base: Arc<HerbrandBase>,
+    symbols: Arc<SymbolStore>,
+    head_index: CowVec<Vec<RuleId>>,
+    pos_index: CowVec<Vec<RuleId>>,
+    neg_index: CowVec<Vec<RuleId>>,
 }
 
 impl GroundProgram {
-    /// The rules.
-    pub fn rules(&self) -> &[GroundRule] {
-        &self.rules
+    /// The rules, in id order.
+    pub fn rules(&self) -> impl Iterator<Item = &GroundRule> {
+        self.rules.iter()
     }
 
     /// A rule by id.
+    #[inline]
     pub fn rule(&self, id: RuleId) -> &GroundRule {
-        &self.rules[id as usize]
+        self.rules.get(id as usize)
     }
 
     /// Number of rules.
@@ -96,18 +121,21 @@ impl GroundProgram {
     }
 
     /// Rules whose head is `atom`.
+    #[inline]
     pub fn rules_with_head(&self, atom: AtomId) -> &[RuleId] {
-        &self.head_index[atom.index()]
+        self.head_index.get(atom.index())
     }
 
     /// Rules with `atom` in their positive body.
+    #[inline]
     pub fn rules_with_pos(&self, atom: AtomId) -> &[RuleId] {
-        &self.pos_index[atom.index()]
+        self.pos_index.get(atom.index())
     }
 
     /// Rules with `atom` in their negative body.
+    #[inline]
     pub fn rules_with_neg(&self, atom: AtomId) -> &[RuleId] {
-        &self.neg_index[atom.index()]
+        self.neg_index.get(atom.index())
     }
 
     /// An empty atom set sized for this program's Herbrand base.
@@ -160,29 +188,112 @@ impl GroundProgram {
     /// Intern a ground atom (over term ids of **this program's base**) and
     /// grow the occurrence indices to cover it. New atoms start with no
     /// rules — false in every semantics — until rules are pushed.
-    pub fn intern_atom_ids(&mut self, pred: Symbol, args: &[crate::atoms::ConstId]) -> AtomId {
-        let id = self.base.intern_atom(pred, args);
-        let n = self.base.atom_count();
-        if self.head_index.len() < n {
-            self.head_index.resize_with(n, Vec::new);
-            self.pos_index.resize_with(n, Vec::new);
-            self.neg_index.resize_with(n, Vec::new);
+    /// Read-first: an already-interned atom is resolved without touching
+    /// (and so without copying) a shared base.
+    pub fn intern_atom_ids(&mut self, pred: Symbol, args: &[ConstId]) -> AtomId {
+        if let Some(id) = self.base.find_atom(pred, args) {
+            return id;
         }
+        let id = Arc::make_mut(&mut self.base).intern_atom(pred, args);
+        let n = self.base.atom_count();
+        self.head_index.grow_with(n, Vec::new);
+        self.pos_index.grow_with(n, Vec::new);
+        self.neg_index.grow_with(n, Vec::new);
         id
+    }
+
+    /// Intern a symbol name, read-first (a known name never copies a
+    /// shared symbol store).
+    pub fn intern_symbol(&mut self, name: &str) -> Symbol {
+        match self.symbols.get(name) {
+            Some(sym) => sym,
+            None => Arc::make_mut(&mut self.symbols).intern(name),
+        }
+    }
+
+    /// Intern a constant term, read-first.
+    pub fn intern_const(&mut self, sym: Symbol) -> ConstId {
+        self.intern_term(GroundTerm::Const(sym))
+    }
+
+    /// Intern a ground term (over this program's symbols and term ids),
+    /// read-first.
+    pub fn intern_term(&mut self, term: GroundTerm) -> ConstId {
+        match self.base.find_term(&term) {
+            Some(id) => id,
+            None => Arc::make_mut(&mut self.base).intern_term(term),
+        }
+    }
+
+    /// Copy a term interned in another base (over the **same** symbol
+    /// space) into this program's base, read-first. Replaces the old
+    /// free-function `reintern_term` pattern on the warm update paths,
+    /// where the term almost always exists already and a shared base must
+    /// not be copied just to look it up.
+    pub fn reintern_term(&mut self, t: ConstId, from: &HerbrandBase) -> ConstId {
+        match from.term(t).clone() {
+            GroundTerm::Const(c) => self.intern_const(c),
+            GroundTerm::App(f, args) => {
+                let new_args: Vec<ConstId> =
+                    args.iter().map(|&a| self.reintern_term(a, from)).collect();
+                self.intern_term(GroundTerm::App(f, new_args.into_boxed_slice()))
+            }
+        }
+    }
+
+    /// Translate an AST atom from another symbol store into this
+    /// program's, read-first (see [`crate::ast::import_atom`]).
+    pub fn import_atom(&mut self, atom: &crate::ast::Atom, from: &SymbolStore) -> crate::ast::Atom {
+        crate::ast::import_atom_with(&mut |name| self.intern_symbol(name), atom, from)
+    }
+
+    /// Translate an AST rule from another symbol store into this
+    /// program's, read-first (see [`crate::ast::import_rule`]).
+    pub fn import_rule(&mut self, rule: &crate::ast::Rule, from: &SymbolStore) -> crate::ast::Rule {
+        crate::ast::import_rule_with(&mut |name| self.intern_symbol(name), rule, from)
     }
 
     /// Mutable access to the Herbrand base, for interning ground **terms**
     /// before [`GroundProgram::intern_atom_ids`]. Callers must not intern
     /// atoms through this handle directly — atom growth has to go through
     /// `intern_atom_ids` so the occurrence indices stay sized to the base.
+    /// **Forces copy-on-write** when the base is shared with a snapshot,
+    /// even if nothing ends up mutated; prefer the read-first interning
+    /// methods above on warm paths.
     pub fn base_mut(&mut self) -> &mut HerbrandBase {
-        &mut self.base
+        Arc::make_mut(&mut self.base)
     }
 
     /// Mutable access to the symbol store (to intern predicate or constant
-    /// names arriving after initial grounding).
+    /// names arriving after initial grounding). **Forces copy-on-write**
+    /// when shared; prefer [`GroundProgram::intern_symbol`] on warm paths.
     pub fn symbols_mut(&mut self) -> &mut SymbolStore {
-        &mut self.symbols
+        Arc::make_mut(&mut self.symbols)
+    }
+
+    /// Do `self` and `other` still share their Herbrand base storage?
+    /// True between a program and its snapshot until one of them interns
+    /// a genuinely new symbol/term/atom — the observable guarantee of the
+    /// copy-on-write layout, asserted by tests and relied on by
+    /// [`GroundProgram::restrict_heads`].
+    pub fn shares_base_with(&self, other: &GroundProgram) -> bool {
+        Arc::ptr_eq(&self.base, &other.base) && Arc::ptr_eq(&self.symbols, &other.symbols)
+    }
+
+    /// A structurally independent copy: every segment is cloned eagerly,
+    /// exactly what `Clone` used to do before the copy-on-write layout.
+    /// Useful when a snapshot must not keep segment `Arc`s alive (archival
+    /// of many versions of a mutating program), and as the baseline the
+    /// `serve_throughput` bench compares CoW snapshots against.
+    pub fn deep_clone(&self) -> GroundProgram {
+        GroundProgram {
+            rules: CowVec::from_vec(self.rules.iter().cloned().collect()),
+            base: Arc::new((*self.base).clone()),
+            symbols: Arc::new((*self.symbols).clone()),
+            head_index: CowVec::from_vec(self.head_index.iter().cloned().collect()),
+            pos_index: CowVec::from_vec(self.pos_index.iter().cloned().collect()),
+            neg_index: CowVec::from_vec(self.neg_index.iter().cloned().collect()),
+        }
     }
 
     /// Append a rule, maintaining the occurrence indices. Body lists are
@@ -190,12 +301,12 @@ impl GroundProgram {
     pub fn push_rule(&mut self, head: AtomId, pos: Vec<AtomId>, neg: Vec<AtomId>) -> RuleId {
         let rule = GroundRule::new(head, pos, neg);
         let id = self.rules.len() as RuleId;
-        self.head_index[rule.head.index()].push(id);
+        self.head_index.get_mut(rule.head.index()).push(id);
         for &p in rule.pos.iter() {
-            self.pos_index[p.index()].push(id);
+            self.pos_index.get_mut(p.index()).push(id);
         }
         for &q in rule.neg.iter() {
-            self.neg_index[q.index()].push(id);
+            self.neg_index.get_mut(q.index()).push(id);
         }
         self.rules.push(rule);
         id
@@ -206,14 +317,14 @@ impl GroundProgram {
     /// incremental grounder to resurrect negative literals it had pruned
     /// while their atom was outside the positive envelope.
     pub fn add_neg_literal(&mut self, rule: RuleId, atom: AtomId) {
-        let r = &mut self.rules[rule as usize];
+        let r = self.rules.get_mut(rule as usize);
         match r.neg.binary_search(&atom) {
             Ok(_) => {}
             Err(ix) => {
                 let mut neg = r.neg.to_vec();
                 neg.insert(ix, atom);
                 r.neg = neg.into_boxed_slice();
-                self.neg_index[atom.index()].push(rule);
+                self.neg_index.get_mut(atom.index()).push(rule);
             }
         }
     }
@@ -222,17 +333,17 @@ impl GroundProgram {
     /// `id` (the returned value names the rule that moved, if any). All
     /// occurrence indices are patched; other rule ids are unchanged.
     pub fn remove_rule(&mut self, id: RuleId) -> Option<RuleId> {
-        let unlink = |index: &mut Vec<Vec<RuleId>>, atom: AtomId, rid: RuleId| {
-            let v = &mut index[atom.index()];
+        let unlink = |index: &mut CowVec<Vec<RuleId>>, atom: AtomId, rid: RuleId| {
+            let v = index.get_mut(atom.index());
             let pos = v.iter().position(|&r| r == rid).expect("indexed rule");
             v.swap_remove(pos);
         };
-        let relink = |index: &mut Vec<Vec<RuleId>>, atom: AtomId, from: RuleId, to: RuleId| {
-            let v = &mut index[atom.index()];
+        let relink = |index: &mut CowVec<Vec<RuleId>>, atom: AtomId, from: RuleId, to: RuleId| {
+            let v = index.get_mut(atom.index());
             let pos = v.iter().position(|&r| r == from).expect("indexed rule");
             v[pos] = to;
         };
-        let gone = self.rules[id as usize].clone();
+        let gone = self.rules.get(id as usize).clone();
         unlink(&mut self.head_index, gone.head, id);
         for &p in gone.pos.iter() {
             unlink(&mut self.pos_index, p, id);
@@ -245,7 +356,7 @@ impl GroundProgram {
         if last == id {
             return None;
         }
-        let moved = self.rules[id as usize].clone();
+        let moved = self.rules.get(id as usize).clone();
         relink(&mut self.head_index, moved.head, last, id);
         for &p in moved.pos.iter() {
             relink(&mut self.pos_index, p, last, id);
@@ -260,7 +371,9 @@ impl GroundProgram {
     /// but keeping only the rules whose head is in `keep`. Atoms outside
     /// `keep` lose all their rules and become false in every semantics —
     /// which is exactly what query-directed relevance restriction wants
-    /// (see `afp-core::relevance`).
+    /// (see `afp-core::relevance`). The base and symbol store are shared
+    /// with `self` (`Arc` clones), so restriction costs only the kept
+    /// rules and their indices.
     pub fn restrict_heads(&self, keep: &crate::bitset::AtomSet) -> GroundProgram {
         let rules: Vec<GroundRule> = self
             .rules
@@ -283,12 +396,12 @@ impl GroundProgram {
             }
         }
         GroundProgram {
-            rules,
-            base: self.base.clone(),
-            symbols: self.symbols.clone(),
-            head_index,
-            pos_index,
-            neg_index,
+            rules: CowVec::from_vec(rules),
+            base: Arc::clone(&self.base),
+            symbols: Arc::clone(&self.symbols),
+            head_index: CowVec::from_vec(head_index),
+            pos_index: CowVec::from_vec(pos_index),
+            neg_index: CowVec::from_vec(neg_index),
         }
     }
 }
@@ -304,7 +417,7 @@ impl fmt::Debug for GroundProgram {
 
 impl fmt::Display for GroundProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.rules {
+        for r in self.rules.iter() {
             write!(f, "{}", self.atom_name(r.head))?;
             if !r.is_fact() {
                 write!(f, " :- ")?;
@@ -422,12 +535,12 @@ impl GroundProgramBuilder {
             }
         }
         GroundProgram {
-            rules: self.rules,
-            base: self.base,
-            symbols: self.symbols,
-            head_index,
-            pos_index,
-            neg_index,
+            rules: CowVec::from_vec(self.rules),
+            base: Arc::new(self.base),
+            symbols: Arc::new(self.symbols),
+            head_index: CowVec::from_vec(head_index),
+            pos_index: CowVec::from_vec(pos_index),
+            neg_index: CowVec::from_vec(neg_index),
         }
     }
 }
@@ -569,6 +682,89 @@ mod tests {
         let text = g.to_string();
         assert!(text.contains("p :- q, not r."));
         assert!(text.contains("q."));
+    }
+
+    #[test]
+    fn clone_is_a_snapshot_mutation_is_isolated() {
+        let mut g = parse_ground("p :- q, not r. q. r :- not s.");
+        let snapshot = g.clone();
+        assert!(g.shares_base_with(&snapshot), "clone shares all storage");
+
+        // Mutate the original: push a new fact rule for an existing atom.
+        let s = g.find_atom_by_name("s", &[]).unwrap();
+        g.push_rule(s, vec![], vec![]);
+        assert_eq!(g.rule_count(), 4);
+        assert_eq!(snapshot.rule_count(), 3, "snapshot sees the old rules");
+        assert!(snapshot.rules_with_head(s).is_empty());
+        assert_eq!(g.rules_with_head(s).len(), 1);
+        assert!(
+            g.shares_base_with(&snapshot),
+            "no new atoms: the Herbrand base stays shared"
+        );
+
+        // Interning a genuinely new atom un-shares the base only then.
+        let sym = g.intern_symbol("brand_new");
+        g.intern_atom_ids(sym, &[]);
+        assert!(!g.shares_base_with(&snapshot));
+        assert!(snapshot.find_atom_by_name("brand_new", &[]).is_none());
+    }
+
+    #[test]
+    fn read_first_interning_never_unshares() {
+        let mut g = parse_ground("e(a, b). p :- e(a, b).");
+        let snapshot = g.clone();
+        // Everything below re-interns existing material only.
+        let sym_e = g.intern_symbol("e");
+        let sym_a = g.intern_symbol("a");
+        let sym_b = g.intern_symbol("b");
+        let a = g.intern_const(sym_a);
+        let b = g.intern_const(sym_b);
+        assert_eq!(
+            g.intern_atom_ids(sym_e, &[a, b]),
+            g.base().find_atom(sym_e, &[a, b]).unwrap()
+        );
+        assert!(
+            g.shares_base_with(&snapshot),
+            "re-interning known symbols/terms/atoms must not copy shared storage"
+        );
+    }
+
+    #[test]
+    fn remove_rule_after_snapshot_keeps_snapshot_indices_intact() {
+        let mut g = parse_ground("p :- q, not r. q. r :- not s.");
+        let snapshot = g.clone();
+        let q = g.find_atom_by_name("q", &[]).unwrap();
+        let fact = *g
+            .rules_with_head(q)
+            .iter()
+            .find(|&&r| g.rule(r).is_fact())
+            .unwrap();
+        g.remove_rule(fact);
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(snapshot.rule_count(), 3);
+        let snap_fact = snapshot.rules_with_head(q);
+        assert_eq!(snap_fact.len(), 1);
+        assert!(snapshot.rule(snap_fact[0]).is_fact());
+    }
+
+    #[test]
+    fn deep_clone_is_structurally_independent() {
+        let g = parse_ground("p :- q, not r. q.");
+        let deep = g.deep_clone();
+        assert!(!g.shares_base_with(&deep));
+        assert_eq!(deep.rule_count(), g.rule_count());
+        assert_eq!(deep.atom_count(), g.atom_count());
+        assert_eq!(deep.to_string(), g.to_string());
+    }
+
+    #[test]
+    fn restrict_heads_shares_the_base() {
+        let g = parse_ground("p :- q. q. r :- not p.");
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        let keep = AtomSet::from_iter(g.atom_count(), [p.0]);
+        let restricted = g.restrict_heads(&keep);
+        assert!(restricted.shares_base_with(&g));
+        assert_eq!(restricted.rule_count(), 1);
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl<'p> Explainer<'p> {
         let mut enabled: Vec<bool> = Vec::with_capacity(prog.rule_count());
         let mut queue: std::collections::VecDeque<AtomId> = std::collections::VecDeque::new();
         let mut next_rank = 0usize;
-        for (i, r) in prog.rules().iter().enumerate() {
+        for (i, r) in prog.rules().enumerate() {
             pos_remaining.push(r.pos.len() as u32);
             let ok = r.neg.iter().all(|&q| model.neg.contains(q.0));
             enabled.push(ok);

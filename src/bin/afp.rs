@@ -12,6 +12,8 @@
 //!   -j, --json            machine-readable output on stdout
 //!       --assert <TEXT>   apply rules/facts to the loaded session (repeatable)
 //!       --retract <TEXT>  remove rules/facts from the session (repeatable)
+//!       --stats           print session (and serve-mode service) counters as JSON
+//!       --serve           serve FILE: read update/query commands from stdin
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
@@ -21,15 +23,34 @@
 //! machinery — the grounding is patched in place, not rebuilt, exactly as
 //! a long-running embedder of [`afp::Session`] would do it.
 //!
+//! `--serve` runs the program behind [`afp::Service`]: the model is
+//! solved once and published as version 0, then stdin is read as one
+//! command per line against the live service —
+//!
+//! ```text
+//! query ATOM        truth of ATOM in the current version
+//! at VERSION ATOM   truth of ATOM in a cached earlier version
+//! assert TEXT       submit rules/facts; prints the published version
+//! retract TEXT      remove rules/facts; prints the published version
+//! model             print the current version's full model
+//! version           print the current version number
+//! stats             print service + session counters as JSON
+//! quit              exit (EOF works too)
+//! ```
+//!
+//! Command errors are reported inline (`error: …` or `{"error": …}`) and
+//! the server keeps running — the published model chain is never left in
+//! a half-applied state.
+//!
 //! Exit codes: 0 ok; 1 no stable model (with `-s stable`) or query false;
 //! 2 usage / parse / grounding error.
 
-use afp::{Engine, Error, Model, Semantics, Truth};
-use std::io::Read;
+use afp::{Engine, Error, Model, Semantics, SessionStats, Truth};
+use std::io::{BufRead, Read};
 use std::process::ExitCode;
 
 const USAGE_HINT: &str = "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] \
-     [-n N] [-j] [--assert TEXT] [--retract TEXT] [--ground] [FILE]";
+     [-n N] [-j] [--assert TEXT] [--retract TEXT] [--stats] [--serve] [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -39,6 +60,8 @@ struct Options {
     max_models: usize,
     json: bool,
     ground_only: bool,
+    stats: bool,
+    serve: bool,
     /// Session updates in command-line order: `(assert?, program text)`.
     updates: Vec<(bool, String)>,
     file: Option<String>,
@@ -58,6 +81,8 @@ fn parse_args() -> Options {
         max_models: usize::MAX,
         json: false,
         ground_only: false,
+        stats: false,
+        serve: false,
         updates: Vec::new(),
         file: None,
     };
@@ -86,6 +111,8 @@ fn parse_args() -> Options {
                 options.updates.push((false, text));
             }
             "--ground" => options.ground_only = true,
+            "--stats" => options.stats = true,
+            "--serve" => options.serve = true,
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),
             _ => {
@@ -164,6 +191,10 @@ fn main() -> ExitCode {
         .trace(options.trace)
         .build();
 
+    if options.serve {
+        return run_serve(&engine, &src, &options);
+    }
+
     let mut session = match engine.load(&src) {
         Ok(s) => s,
         Err(e) => return report_error(&e),
@@ -201,7 +232,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some((pred, args)) = &query {
+    let code = if let Some((pred, args)) = &query {
         let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
         let truth = model.truth(pred, &arg_refs);
         if options.json {
@@ -221,17 +252,25 @@ fn main() -> ExitCode {
             Semantics::Stable { .. } => model.stable_models().is_empty(),
             _ => false,
         };
-        return if failed {
+        if failed {
             ExitCode::from(1)
         } else {
             ExitCode::SUCCESS
-        };
+        }
+    } else {
+        print_result(&model, semantics, &options)
+    };
+    if options.stats {
+        print_stats(session.stats(), None, options.json);
     }
+    code
+}
 
+fn print_result(model: &Model, semantics: Semantics, options: &Options) -> ExitCode {
     match semantics {
         Semantics::Stable { .. } => {
             if options.json {
-                print_stable_json(&model);
+                print_stable_json(model);
             } else {
                 for (i, m) in model.stable_models().iter().enumerate() {
                     println!("% stable model {}", i + 1);
@@ -251,7 +290,7 @@ fn main() -> ExitCode {
         }
         Semantics::Inflationary => {
             if options.json {
-                print_assignment_json(&model);
+                print_assignment_json(model);
             } else {
                 for name in sorted(model.true_atoms()) {
                     println!("{name}.");
@@ -261,15 +300,194 @@ fn main() -> ExitCode {
         }
         other => {
             if options.json {
-                print_assignment_json(&model);
+                print_assignment_json(model);
             } else {
-                print_partial(&model);
+                print_partial(model);
                 if matches!(other, Semantics::WellFounded { .. }) {
                     println!("% total: {}", model.is_total());
                 }
             }
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// Serve mode: publish the program behind [`afp::Service`] and process
+/// one command per stdin line against the live service. Command failures
+/// are reported inline and the loop continues — a serving process must
+/// not die because one update was malformed.
+fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
+    let service = match engine.serve(src) {
+        Ok(s) => s,
+        Err(e) => return report_error(&e),
+    };
+    // --assert/--retract seed the service before commands are read.
+    for (assert, text) in &options.updates {
+        let result = if *assert {
+            service.assert_rules(text)
+        } else {
+            service.retract_rules(text)
+        };
+        if let Err(e) = result {
+            return report_error(&e);
+        }
+    }
+    let report = |msg: &str| {
+        if options.json {
+            println!("{{\"error\":{}}}", json_str(msg));
+        } else {
+            println!("error: {msg}");
+        }
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (command, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match command {
+            "quit" | "exit" => break,
+            "version" => {
+                if options.json {
+                    println!("{{\"version\":{}}}", service.version());
+                } else {
+                    println!("{}", service.version());
+                }
+            }
+            "stats" => print_stats(&service.session_stats(), Some(&service.stats()), true),
+            "model" => {
+                let snapshot = service.snapshot();
+                if options.json {
+                    print_assignment_json(snapshot.model());
+                } else {
+                    println!("% version {}", snapshot.version());
+                    print_partial(snapshot.model());
+                }
+            }
+            "query" => match parse_query(rest) {
+                Ok((pred, args)) => {
+                    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                    let snapshot = service.snapshot();
+                    let truth = snapshot.truth(&pred, &refs);
+                    if options.json {
+                        println!(
+                            "{{\"version\":{},\"query\":{},\"truth\":{}}}",
+                            snapshot.version(),
+                            json_str(rest),
+                            json_str(truth_name(truth))
+                        );
+                    } else {
+                        println!("{truth:?}");
+                    }
+                }
+                Err(msg) => report(&format!("bad query: {msg}")),
+            },
+            "at" => {
+                let (version, atom) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                match (version.parse::<u64>(), parse_query(atom)) {
+                    (Ok(version), Ok((pred, args))) => match service.at_version(version) {
+                        Some(snapshot) => {
+                            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                            let truth = snapshot.truth(&pred, &refs);
+                            if options.json {
+                                println!(
+                                    "{{\"version\":{version},\"query\":{},\"truth\":{}}}",
+                                    json_str(atom),
+                                    json_str(truth_name(truth))
+                                );
+                            } else {
+                                println!("{truth:?}");
+                            }
+                        }
+                        None => report(&format!("version {version} not cached")),
+                    },
+                    (Err(_), _) => report("usage: at VERSION ATOM"),
+                    (_, Err(msg)) => report(&format!("bad query: {msg}")),
+                }
+            }
+            "assert" | "retract" => {
+                let result = if command == "assert" {
+                    service.assert_rules(rest)
+                } else {
+                    service.retract_rules(rest)
+                };
+                match result {
+                    Ok(version) => {
+                        if options.json {
+                            println!("{{\"ok\":true,\"version\":{version}}}");
+                        } else {
+                            println!("ok {version}");
+                        }
+                    }
+                    Err(e) => report(&e.to_string()),
+                }
+            }
+            other => report(&format!(
+                "unknown command {other:?} (query/at/assert/retract/model/version/stats/quit)"
+            )),
+        }
+    }
+    // `--stats` reports the final counters at exit, like one-shot mode
+    // (the interactive `stats` command reports them mid-session).
+    if options.stats {
+        print_stats(
+            &service.session_stats(),
+            Some(&service.stats()),
+            options.json,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Print session (and, in serve mode, service) counters as one JSON
+/// object. Plain (non-`--json`) one-shot output prefixes it as a `%`
+/// comment so downstream fact parsers stay happy.
+fn print_stats(session: &SessionStats, service: Option<&afp::ServiceStats>, as_json: bool) {
+    let mut body = format!(
+        "\"stats\":{{\"solves\":{},\"warm_solves\":{},\"snapshot_clones\":{},\
+         \"snapshot_reuses\":{},\"regrounds\":{},\"asserts\":{},\"retracts\":{},\
+         \"rule_asserts\":{},\"rule_retracts\":{},\"delta_rounds\":{},\
+         \"condensation_builds\":{},\"scc_solves\":{},\"last_components\":{},\
+         \"last_components_evaluated\":{},\"last_components_reused\":{},\
+         \"last_seed_size\":{}}}",
+        session.solves,
+        session.warm_solves,
+        session.snapshot_clones,
+        session.snapshot_reuses,
+        session.regrounds,
+        session.asserts,
+        session.retracts,
+        session.rule_asserts,
+        session.rule_retracts,
+        session.delta_rounds,
+        session.condensation_builds,
+        session.scc_solves,
+        session.last_components,
+        session.last_components_evaluated,
+        session.last_components_reused,
+        session.last_seed_size,
+    );
+    if let Some(s) = service {
+        body.push_str(&format!(
+            ",\"service\":{{\"version\":{},\"submissions\":{},\"write_cycles\":{},\
+             \"coalesced\":{},\"rejected\":{},\"pins\":{},\"cache_hits\":{},\
+             \"cache_misses\":{}}}",
+            s.version,
+            s.submissions,
+            s.write_cycles,
+            s.coalesced,
+            s.rejected,
+            s.pins,
+            s.cache_hits,
+            s.cache_misses,
+        ));
+    }
+    if as_json {
+        println!("{{{body}}}");
+    } else {
+        println!("% stats {{{body}}}");
     }
 }
 

@@ -283,6 +283,14 @@ impl Engine {
     pub fn solve(&self, src: &str) -> Result<Model, Error> {
         self.load(src)?.solve()
     }
+
+    /// Load `src` and wrap the session in a concurrent serving layer:
+    /// version 0 is solved and published immediately, then any number of
+    /// reader threads pin immutable snapshots while writers submit
+    /// coalesced deltas. See [`crate::service::Service`].
+    pub fn serve(&self, src: &str) -> Result<crate::service::Service, Error> {
+        crate::service::Service::new(self.load(src)?)
+    }
 }
 
 /// Reuse counters for a [`Session`] — how much work warm re-solves and
@@ -331,6 +339,15 @@ pub struct SessionStats {
     /// Envelope delta rounds run by the grounder — one per *batch* of
     /// asserted facts, however many facts the batch carries.
     pub delta_rounds: u64,
+    /// Times the session materialized a fresh program snapshot + model —
+    /// i.e. the program had actually mutated since the last solve. With
+    /// the copy-on-write [`GroundProgram`] storage each of these is a
+    /// pointer-copy of the program plus one solve, not a deep clone.
+    pub snapshot_clones: u64,
+    /// Solves served **entirely** from the memoized snapshot + model of
+    /// the previous solve (pure pointer copies — zero deep clones, zero
+    /// fixpoint work). The read-path counterpart of `snapshot_clones`.
+    pub snapshot_reuses: u64,
 }
 
 /// A loaded program: interned symbols, ground rules, and (for programs
@@ -346,11 +363,15 @@ pub struct Session {
     snapshot: Option<Arc<GroundProgram>>,
     /// Atoms whose rules changed since the last well-founded solve.
     dirty: Vec<AtomId>,
-    /// Full model of the last well-founded solve. The SCC-stratified
-    /// strategy copies unaffected components from it; the global strategy
-    /// seeds its under-chain from its negative half (`AfpResult` sets
-    /// `negative_fixpoint == model.neg`, so nothing else needs storing).
-    last_model: Option<PartialModel>,
+    /// Full model of the last well-founded solve, shared (`Arc`) with the
+    /// [`Model`]s handed out for that program version — retention is a
+    /// pointer copy, not a bitset clone. The SCC-stratified strategy
+    /// copies unaffected components from it; the global strategy seeds
+    /// its under-chain from its negative half (`AfpResult` sets
+    /// `negative_fixpoint == model.neg`, so nothing else needs storing);
+    /// and a re-solve with **no** pending deltas returns it outright
+    /// (`SessionStats::snapshot_reuses`).
+    last_model: Option<Arc<PartialModel>>,
     /// Condensation of the current ground program; invalidated whenever
     /// the program mutates, rebuilt (linear time) on the next SCC solve.
     scc_cond: Option<Condensation>,
@@ -697,9 +718,29 @@ impl Session {
         }
         self.stats.solves += 1;
         let record_trace = self.config.record_trace;
+        let warm_wfs = matches!(semantics, Semantics::WellFounded { .. }) && relevance.is_empty();
+        // Memoized read path: a well-founded re-solve with no pending
+        // deltas returns the previous snapshot and model as pure pointer
+        // copies — zero deep clones, zero fixpoint work. (`snapshot` is
+        // cleared by every mutation, so its presence certifies that
+        // `last_model` still describes the current program; trace
+        // recording recomputes, because the memo keeps no trace.)
+        if warm_wfs && !record_trace && self.dirty.is_empty() {
+            if let (Some(snap), Some(model)) = (&self.snapshot, &self.last_model) {
+                self.stats.snapshot_reuses += 1;
+                self.stats.warm_solves += 1;
+                return Ok(Model {
+                    ground: Arc::clone(snap),
+                    semantics,
+                    assignment: Arc::clone(model),
+                    stable: Vec::new(),
+                    complete: true,
+                    trace: None,
+                });
+            }
+        }
         // The affected cone of the pending deltas — what both warm paths
         // need — computed before the program is borrowed for solving.
-        let warm_wfs = matches!(semantics, Semantics::WellFounded { .. }) && relevance.is_empty();
         let affected = warm_wfs.then(|| self.affected_cone());
         let ground = self.snapshot();
         let restricted = self.restrict_for_relevance(relevance, &ground)?;
@@ -733,7 +774,7 @@ impl Session {
                     Condensation::of(solve_on)
                 };
                 let previous = match (&restricted, &self.last_model, &affected) {
-                    (None, Some(model), Some(aff)) => Some((model, aff)),
+                    (None, Some(model), Some(aff)) => Some((model.as_ref(), aff)),
                     _ => None,
                 };
                 let result = afp_semantics::modular_wfs_update(solve_on, &cond, previous);
@@ -745,12 +786,15 @@ impl Session {
                 if result.reused > 0 {
                     self.stats.warm_solves += 1;
                 }
+                let model = Arc::new(result.model);
                 if restricted.is_none() {
                     self.scc_cond = Some(cond);
-                    self.last_model = Some(result.model.clone());
+                    // Retention is a pointer copy: the session and the
+                    // returned `Model` share one allocation.
+                    self.last_model = Some(Arc::clone(&model));
                     self.dirty.clear();
                 }
-                result.model
+                model
             }
             Semantics::WellFounded { strategy } => {
                 let chain = match strategy {
@@ -777,11 +821,12 @@ impl Session {
                     &seed,
                 );
                 trace = result.trace;
+                let model = Arc::new(result.model);
                 if restricted.is_none() {
-                    self.last_model = Some(result.model.clone());
+                    self.last_model = Some(Arc::clone(&model));
                     self.dirty.clear();
                 }
-                result.model
+                model
             }
             Semantics::Stable { max_models } => {
                 let result = afp_semantics::enumerate_stable(
@@ -793,17 +838,20 @@ impl Session {
                 );
                 complete = result.complete;
                 stable = result.models;
-                afp_semantics::cautious_consequences(&stable, solve_on.atom_count())
+                Arc::new(afp_semantics::cautious_consequences(
+                    &stable,
+                    solve_on.atom_count(),
+                ))
             }
-            Semantics::Fitting => afp_semantics::fitting_model(solve_on).model,
+            Semantics::Fitting => Arc::new(afp_semantics::fitting_model(solve_on).model),
             Semantics::Perfect => match afp_semantics::perfect_model(solve_on) {
-                Some(r) => r.model,
+                Some(r) => Arc::new(r.model),
                 None => return Err(Error::NotLocallyStratified),
             },
             Semantics::Inflationary => {
                 let r = afp_semantics::inflationary_fixpoint(solve_on);
                 let neg = r.model.complement();
-                PartialModel::new(r.model, neg)
+                Arc::new(PartialModel::new(r.model, neg))
             }
         };
         Ok(Model {
@@ -927,7 +975,12 @@ impl Session {
 
     fn snapshot(&mut self) -> Arc<GroundProgram> {
         if self.snapshot.is_none() {
+            // `GroundProgram` storage is copy-on-write: this clone is a
+            // handful of reference-count bumps however large the program,
+            // and later session mutations copy only the segments they
+            // touch — models keep an immutable view for free.
             self.snapshot = Some(Arc::new(self.ground().clone()));
+            self.stats.snapshot_clones += 1;
         }
         Arc::clone(self.snapshot.as_ref().expect("just set"))
     }
@@ -945,22 +998,58 @@ impl Session {
         if queries.is_empty() {
             return Ok(None);
         }
-        let mut seeds: Vec<AtomId> = Vec::new();
-        for query in queries {
-            let mut tmp = Program::new();
-            let atom = afp_datalog::parser::parse_atom_into(query, &mut tmp)?;
-            if let Some(id) = find_ast_atom(ground, &atom, &tmp.symbols) {
-                seeds.push(id);
-            }
-        }
+        let seeds = relevance_seeds(queries, ground)?;
         Ok(Some(afp_core::relevance::restrict_to_query(ground, &seeds)))
     }
+}
+
+/// Parse query atoms (text) and resolve them against a ground program.
+/// Queries naming atoms the grounder never materialized resolve to
+/// nothing — such atoms are false in every semantics, and the empty cone
+/// answers exactly that.
+fn relevance_seeds(queries: &[String], ground: &GroundProgram) -> Result<Vec<AtomId>, Error> {
+    let mut seeds: Vec<AtomId> = Vec::new();
+    for query in queries {
+        let mut tmp = Program::new();
+        let atom = afp_datalog::parser::parse_atom_into(query, &mut tmp)?;
+        if let Some(id) = find_ast_atom(ground, &atom, &tmp.symbols) {
+            seeds.push(id);
+        }
+    }
+    Ok(seeds)
+}
+
+/// Solve the well-founded model of `ground` restricted to the dependency
+/// cone of `queries` — the session-free, read-side counterpart of
+/// [`Session::solve_restricted`], used by [`crate::service::ModelSnapshot`]
+/// to answer relevance-restricted subqueries against a pinned immutable
+/// snapshot from any reader thread. Atoms outside the cone have no rules
+/// in the restricted program and report `False`; only query truth values
+/// within the cone are meaningful.
+pub(crate) fn restricted_wfs_model(
+    ground: &GroundProgram,
+    queries: &[String],
+) -> Result<Model, Error> {
+    let seeds = relevance_seeds(queries, ground)?;
+    let restricted = afp_core::relevance::restrict_to_query(ground, &seeds);
+    let cond = Condensation::of(&restricted);
+    let result = afp_semantics::modular_wfs_with(&restricted, &cond);
+    Ok(Model {
+        ground: Arc::new(restricted),
+        semantics: Semantics::WellFounded {
+            strategy: WfStrategy::SccStratified,
+        },
+        assignment: Arc::new(result.model),
+        stable: Vec::new(),
+        complete: true,
+        trace: None,
+    })
 }
 
 /// Parse update text into a batch of ground fact atoms, rejecting
 /// anything that is not a ground fact. All facts are validated before any
 /// is applied, so a rejected batch leaves the session untouched.
-fn parse_fact_batch(facts: &str) -> Result<(Vec<Atom>, SymbolStore), Error> {
+pub(crate) fn parse_fact_batch(facts: &str) -> Result<(Vec<Atom>, SymbolStore), Error> {
     let parsed = afp_datalog::parse_program(facts)?;
     for rule in &parsed.rules {
         if !rule.is_fact() || !rule.head.is_ground() {
@@ -1096,12 +1185,14 @@ fn find_ast_atom(
 /// the ground atoms, plus semantics-specific extras (stable model list,
 /// alternating-sequence trace). All five [`Semantics`] produce this type.
 pub struct Model {
-    ground: Arc<GroundProgram>,
-    semantics: Semantics,
-    assignment: PartialModel,
-    stable: Vec<AtomSet>,
-    complete: bool,
-    trace: Option<AfpTrace>,
+    pub(crate) ground: Arc<GroundProgram>,
+    pub(crate) semantics: Semantics,
+    /// Shared with the session's memo (and, through `afp::service`, with
+    /// every pinned snapshot of this program version).
+    pub(crate) assignment: Arc<PartialModel>,
+    pub(crate) stable: Vec<AtomSet>,
+    pub(crate) complete: bool,
+    pub(crate) trace: Option<AfpTrace>,
 }
 
 impl Model {

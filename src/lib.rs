@@ -64,11 +64,13 @@ pub use afp_fol as fol;
 pub use afp_semantics as semantics;
 
 pub mod engine;
+pub mod service;
 
 pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
 pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
 pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats, WfStrategy};
+pub use service::{AppliedDelta, DeltaKind, ModelSnapshot, Service, ServiceOptions, ServiceStats};
 
 use std::fmt;
 
@@ -89,6 +91,10 @@ pub enum Error {
     /// non-ground rule on a session without grounder state
     /// ([`Engine::load_ground`] keeps no envelope to instantiate over).
     NotGroundRule(String),
+    /// A [`Service`] write cycle's leader thread panicked before this
+    /// queued delta could be applied. The delta was **not** applied and
+    /// no version containing it was published; resubmitting is safe.
+    WriterAborted,
 }
 
 impl fmt::Display for Error {
@@ -107,6 +113,13 @@ impl fmt::Display for Error {
                     f,
                     "not a ground rule: {rule} (sessions loaded from a ground \
                      program accept only ground rule deltas)"
+                )
+            }
+            Error::WriterAborted => {
+                write!(
+                    f,
+                    "service writer aborted before applying this delta (not applied; \
+                     resubmitting is safe)"
                 )
             }
         }

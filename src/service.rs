@@ -1,0 +1,854 @@
+//! Concurrent model serving: one writer, any number of lock-free readers.
+//!
+//! The economics of the well-founded semantics invert the usual
+//! read/write balance: computing the model is the expensive step
+//! (quadratic in general — Lonc & Truszczyński), while *reading* it is a
+//! bitset probe. A serving deployment therefore wants the
+//! compile-once/query-many regime: pay the alternating fixpoint once per
+//! **program version**, then answer arbitrarily many queries from
+//! immutable, cheaply shared snapshots of that version.
+//!
+//! [`Service`] packages that regime around the engine's existing seams:
+//!
+//! * the single **writer** is the owned [`Session`] — all of PR 2/3's
+//!   warm machinery (batched envelope deltas, per-SCC memoized re-solves)
+//!   applies to every published version;
+//! * each published version is a [`ModelSnapshot`]: an epoch-stamped
+//!   `Arc<Model>` over the session's copy-on-write `GroundProgram`
+//!   snapshot. **Reads take no lock**: pinning the current version is one
+//!   `RwLock` read acquisition to bump an `Arc`, and every query against
+//!   a pinned snapshot thereafter is plain shared-memory access to
+//!   immutable data — truth probes, iteration, even whole
+//!   relevance-restricted subqueries ([`ModelSnapshot::subquery`]) run on
+//!   reader threads without touching the writer;
+//! * concurrent delta submissions **coalesce**: while one write cycle is
+//!   in flight, every delta submitted behind it queues up and is applied
+//!   as a single batched warm update in the next cycle (adjacent
+//!   same-kind deltas merge into one batch call, i.e. one envelope-delta
+//!   round, riding `assert_batch`/`assert_rules`). Under write
+//!   contention the solve cost is paid per *cycle*, not per submission —
+//!   [`ServiceStats::write_cycles`] vs [`ServiceStats::submissions`]
+//!   shows the ratio;
+//! * a small version-keyed cache ([`Service::at_version`]) serves repeat
+//!   requests for recent versions as pointer copies, and a bounded
+//!   changelog ([`Service::changelog`]) records which deltas produced
+//!   which version — the audit trail the differential tests replay.
+//!
+//! ## Consistency model
+//!
+//! Writes are serialized (single writer session) and versions are
+//! published atomically in submission order: a snapshot of version `v`
+//! is exactly the cold model of the base program plus every successful
+//! delta with version `≤ v` — bit-identical, which is what
+//! `tests/service.rs` checks under thread interleavings. Readers are
+//! wait-free with respect to the writer once pinned; they never observe
+//! a half-applied batch, because a version is published only after its
+//! whole cycle solved. A delta that fails to **apply** (parse error,
+//! unsafe rule, grounding budget) is reported to its own submitter and
+//! leaves the published chain untouched — a failed merged run is retried
+//! delta by delta, so one bad submission never takes down its
+//! cycle-mates, and the session's own fallback/recovery machinery keeps
+//! the writer state consistent. A delta that applies but whose cycle's
+//! **solve** fails (e.g. [`crate::Semantics::Perfect`] on a program the
+//! delta made non-stratified) is reported as failed too, but it *is* in
+//! the writer: the next version that does solve includes it, and the
+//! changelog attributes it to that version, keeping reconstruction
+//! exact.
+//!
+//! ```
+//! use afp::{Engine, Truth};
+//!
+//! let service = Engine::default()
+//!     .serve("wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).")
+//!     .unwrap();
+//! let pinned = service.snapshot(); // version 0, immutable
+//! assert_eq!(pinned.truth("wins", &["b"]), Truth::True);
+//!
+//! // Writer publishes version 1; the pinned snapshot is unaffected.
+//! let v = service.assert_facts("move(c, d).").unwrap();
+//! assert_eq!(v, 1);
+//! assert_eq!(service.snapshot().truth("wins", &["c"]), Truth::True);
+//! assert_eq!(pinned.truth("wins", &["c"]), Truth::False); // still version 0
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+
+use crate::engine::restricted_wfs_model;
+use crate::{Error, Model, Session, SessionStats, Truth};
+
+/// Lock a mutex, recovering the data on poison: the service's shared
+/// state is kept consistent by construction (publishing happens after a
+/// cycle completes), so a reader or writer that panicked mid-cycle must
+/// not wedge every other thread.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What kind of program delta a submission carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Ground facts to add ([`Session::assert_facts`]).
+    AssertFacts,
+    /// Ground facts to remove ([`Session::retract_facts`]).
+    RetractFacts,
+    /// Rules (facts allowed) to add ([`Session::assert_rules`]).
+    AssertRules,
+    /// Rules to remove ([`Session::retract_rules`]).
+    RetractRules,
+}
+
+impl DeltaKind {
+    /// Kebab-case name, as the CLI serve protocol spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeltaKind::AssertFacts => "assert-facts",
+            DeltaKind::RetractFacts => "retract-facts",
+            DeltaKind::AssertRules => "assert-rules",
+            DeltaKind::RetractRules => "retract-rules",
+        }
+    }
+}
+
+/// A delta that made it into a published version — one entry of
+/// [`Service::changelog`].
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The version whose snapshot first includes this delta.
+    pub version: u64,
+    /// What was applied.
+    pub kind: DeltaKind,
+    /// The submitted program text.
+    pub text: String,
+}
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// How many recent versions [`Service::at_version`] retains. Older
+    /// versions fall out of the cache (their pinned snapshots stay valid
+    /// — eviction only drops the service's own reference).
+    pub cache_capacity: usize,
+    /// How many [`AppliedDelta`]s the changelog retains.
+    pub changelog_capacity: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            cache_capacity: 8,
+            changelog_capacity: 1024,
+        }
+    }
+}
+
+/// Cumulative counters for a [`Service`]; snapshot them with
+/// [`Service::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Latest published version.
+    pub version: u64,
+    /// Deltas submitted (successful or not).
+    pub submissions: u64,
+    /// Write cycles run — batched warm update + solve + publish. Under
+    /// write contention this stays below `submissions`: queued deltas
+    /// share a cycle.
+    pub write_cycles: u64,
+    /// Submissions that shared their write cycle with at least one other
+    /// submission (the coalescing win; `0` under purely sequential
+    /// writers).
+    pub coalesced: u64,
+    /// Submissions whose delta failed (parse/safety/grounding error); the
+    /// published chain skips them.
+    pub rejected: u64,
+    /// Snapshots pinned through [`Service::snapshot`].
+    pub pins: u64,
+    /// [`Service::at_version`] hits served from the version cache.
+    pub cache_hits: u64,
+    /// [`Service::at_version`] requests for versions outside the cache.
+    pub cache_misses: u64,
+}
+
+/// A pinned, immutable view of one published program version. Cloning is
+/// two pointer copies; all queries are lock-free reads of shared
+/// immutable data, safe from any number of threads.
+#[derive(Clone)]
+pub struct ModelSnapshot {
+    version: u64,
+    model: Arc<Model>,
+}
+
+impl ModelSnapshot {
+    /// The version this snapshot pins (0 = the initially loaded program;
+    /// each published write cycle increments it).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The full three-valued model of this version.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Three-valued truth of `pred(args…)` in this version — the hot
+    /// read path; a hash probe plus a bitset test.
+    pub fn truth(&self, pred: &str, args: &[&str]) -> Truth {
+        self.model.truth(pred, args)
+    }
+
+    /// Solve a **relevance-restricted subquery** against this pinned
+    /// version: the well-founded model of the dependency cone of
+    /// `queries` (ground atoms as text, e.g. `"wins(a)"`), computed
+    /// entirely on the calling thread over the snapshot's immutable
+    /// ground program — no writer involvement, no lock. Atoms outside
+    /// the cone report `False`; only query truth values within the cone
+    /// are meaningful. Useful when a reader wants fresh bounded-effort
+    /// reasoning (e.g. explanation extraction over a cone) without
+    /// waiting for, or disturbing, the writer.
+    pub fn subquery<I, S>(&self, queries: I) -> Result<Model, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let queries: Vec<String> = queries.into_iter().map(Into::into).collect();
+        restricted_wfs_model(self.model.ground(), &queries)
+    }
+}
+
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("version", &self.version)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+/// One queued submission: the delta plus the slot its submitter blocks
+/// on until the cycle that applies it publishes (or fails).
+struct Pending {
+    kind: DeltaKind,
+    text: String,
+    slot: Arc<Slot>,
+}
+
+impl Drop for Pending {
+    /// Panic safety: a `Pending` dropped before its slot was filled means
+    /// the leader unwound mid-cycle (a bug in a delta path, surfaced as a
+    /// panic). Fail the submission instead of leaving its submitter
+    /// blocked on the condvar forever.
+    fn drop(&mut self) {
+        let mut guard = lock(&self.slot.result);
+        if guard.is_none() {
+            *guard = Some(Err(Error::WriterAborted));
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// Completion slot for one submission.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Result<u64, Error>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, outcome: Result<u64, Error>) {
+        *lock(&self.result) = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<u64, Error> {
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The submission queue and the leader flag: the first submitter to find
+/// `writer_active == false` becomes the cycle leader and drains the
+/// queue (its own delta included) until empty; everyone else just
+/// enqueues and waits on their slot.
+#[derive(Default)]
+struct WriteQueue {
+    pending: Vec<Pending>,
+    writer_active: bool,
+}
+
+/// The writer session plus the deltas applied to it that no published
+/// version carries yet. Normally `unpublished` drains into the changelog
+/// at the very next publish; it stays non-empty only across cycles whose
+/// *solve* failed (e.g. `Semantics::Perfect` on a program a delta made
+/// non-stratified) — those deltas are in the session, so the next version
+/// that does solve must attribute them.
+struct Writer {
+    session: Session,
+    unpublished: Vec<(DeltaKind, String)>,
+}
+
+struct Shared {
+    queue: Mutex<WriteQueue>,
+    /// The single writer. Held only by the cycle leader, and never while
+    /// `queue` is locked (submitters must be able to enqueue during a
+    /// running cycle — that is what coalescing is).
+    writer: Mutex<Writer>,
+    /// The published head. Readers take the read side for one `Arc`
+    /// bump; only a publishing cycle takes the write side, briefly.
+    head: RwLock<ModelSnapshot>,
+    /// Mirror of `head.version` readable without any lock.
+    version: AtomicU64,
+    cache: Mutex<VecDeque<ModelSnapshot>>,
+    changelog: Mutex<VecDeque<AppliedDelta>>,
+    options: ServiceOptions,
+    submissions: AtomicU64,
+    write_cycles: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    pins: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A concurrent serving layer over one writer [`Session`]. Cheap to
+/// clone (shared handle); clones refer to the same service. See the
+/// module docs for the full model.
+#[derive(Clone)]
+pub struct Service {
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Wrap a loaded session, solve it once, and publish version 0.
+    pub fn new(session: Session) -> Result<Service, Error> {
+        Service::with_options(session, ServiceOptions::default())
+    }
+
+    /// [`Service::new`] with explicit cache/changelog bounds.
+    pub fn with_options(mut session: Session, options: ServiceOptions) -> Result<Service, Error> {
+        let model = session.solve()?;
+        let head = ModelSnapshot {
+            version: 0,
+            model: Arc::new(model),
+        };
+        let mut cache = VecDeque::with_capacity(options.cache_capacity.min(64));
+        if options.cache_capacity > 0 {
+            cache.push_back(head.clone());
+        }
+        Ok(Service {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(WriteQueue::default()),
+                writer: Mutex::new(Writer {
+                    session,
+                    unpublished: Vec::new(),
+                }),
+                head: RwLock::new(head),
+                version: AtomicU64::new(0),
+                cache: Mutex::new(cache),
+                changelog: Mutex::new(VecDeque::new()),
+                options,
+                submissions: AtomicU64::new(0),
+                write_cycles: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                pins: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Pin the current version. One `RwLock` read acquisition; every
+    /// query against the returned snapshot is lock-free.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        self.shared.pins.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .head
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The latest published version, without pinning anything.
+    pub fn version(&self) -> u64 {
+        self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// Pin a specific recent version from the version cache — pointer
+    /// copies for anything still cached ("repeat versions for free"),
+    /// `None` once it has been evicted.
+    pub fn at_version(&self, version: u64) -> Option<ModelSnapshot> {
+        let cache = lock(&self.shared.cache);
+        match cache.iter().find(|s| s.version == version) {
+            Some(snapshot) => {
+                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some(snapshot.clone())
+            }
+            None => {
+                self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The deltas behind each published version, oldest first (bounded
+    /// by [`ServiceOptions::changelog_capacity`]). Version `v`'s
+    /// snapshot is the base program plus every entry with
+    /// `version <= v`.
+    pub fn changelog(&self) -> Vec<AppliedDelta> {
+        lock(&self.shared.changelog).iter().cloned().collect()
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared;
+        ServiceStats {
+            version: s.version.load(Ordering::Acquire),
+            submissions: s.submissions.load(Ordering::Relaxed),
+            write_cycles: s.write_cycles.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            pins: s.pins.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The writer session's own reuse counters (briefly locks the
+    /// writer; don't call on a hot read path).
+    pub fn session_stats(&self) -> SessionStats {
+        *lock(&self.shared.writer).session.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Assert ground facts; blocks until the write cycle that includes
+    /// them publishes, and returns that version.
+    pub fn assert_facts(&self, facts: &str) -> Result<u64, Error> {
+        self.submit(DeltaKind::AssertFacts, facts)
+    }
+
+    /// Retract ground facts; see [`Service::assert_facts`].
+    pub fn retract_facts(&self, facts: &str) -> Result<u64, Error> {
+        self.submit(DeltaKind::RetractFacts, facts)
+    }
+
+    /// Assert rules (facts allowed); see [`Service::assert_facts`].
+    pub fn assert_rules(&self, rules: &str) -> Result<u64, Error> {
+        self.submit(DeltaKind::AssertRules, rules)
+    }
+
+    /// Retract rules; see [`Service::assert_facts`].
+    pub fn retract_rules(&self, rules: &str) -> Result<u64, Error> {
+        self.submit(DeltaKind::RetractRules, rules)
+    }
+
+    /// Queue one delta and drive (or wait for) the write cycle that
+    /// applies it. The first submitter to find no cycle in flight
+    /// becomes the leader and drains the queue until empty — including
+    /// deltas that arrive *while* it is applying earlier ones, which is
+    /// exactly the coalescing: those share one batched warm update and
+    /// one solve.
+    fn submit(&self, kind: DeltaKind, text: &str) -> Result<u64, Error> {
+        self.shared.submissions.fetch_add(1, Ordering::Relaxed);
+        // Reject malformed text before it can poison a shared batch:
+        // parse errors (and non-fact rules on the fact paths) are the
+        // submitter's own, never its cycle-mates'.
+        if let Err(e) = validate(kind, text) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let slot = Arc::new(Slot::default());
+        let leader = {
+            let mut queue = lock(&self.shared.queue);
+            queue.pending.push(Pending {
+                kind,
+                text: text.to_string(),
+                slot: Arc::clone(&slot),
+            });
+            if queue.writer_active {
+                false
+            } else {
+                queue.writer_active = true;
+                true
+            }
+        };
+        if leader {
+            self.drain_cycles();
+        }
+        let outcome = slot.wait();
+        if outcome.is_err() {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Leader loop: take everything queued, run one write cycle, repeat
+    /// until the queue drains, then hand the leader role back.
+    ///
+    /// Panic safety: if a cycle unwinds, the guard hands the leader role
+    /// back and fails everything still queued (each dropped [`Pending`]
+    /// completes its slot with [`Error::WriterAborted`]), so no submitter
+    /// is left blocked behind a dead leader. Published versions are
+    /// unaffected — publishing is the last step of a successful cycle.
+    fn drain_cycles(&self) {
+        struct LeaderGuard<'a> {
+            shared: &'a Shared,
+            clean_exit: bool,
+        }
+        impl Drop for LeaderGuard<'_> {
+            fn drop(&mut self) {
+                if !self.clean_exit {
+                    let abandoned = {
+                        let mut queue = lock(&self.shared.queue);
+                        queue.writer_active = false;
+                        std::mem::take(&mut queue.pending)
+                    };
+                    drop(abandoned); // fails each slot via Pending::drop
+                }
+            }
+        }
+        let mut guard = LeaderGuard {
+            shared: &self.shared,
+            clean_exit: false,
+        };
+        loop {
+            let batch = {
+                let mut queue = lock(&self.shared.queue);
+                if queue.pending.is_empty() {
+                    // Atomic with the emptiness check: a submitter that
+                    // enqueues after this sees `writer_active == false`
+                    // and becomes the next leader itself.
+                    queue.writer_active = false;
+                    break;
+                }
+                std::mem::take(&mut queue.pending)
+            };
+            self.run_cycle(batch);
+        }
+        guard.clean_exit = true;
+    }
+
+    /// One write cycle: apply the whole batch to the writer session
+    /// (adjacent same-kind deltas merged into one batched call), solve
+    /// once, publish the new version, and complete every submitter's
+    /// slot.
+    fn run_cycle(&self, batch: Vec<Pending>) {
+        self.shared.write_cycles.fetch_add(1, Ordering::Relaxed);
+        if batch.len() > 1 {
+            self.shared
+                .coalesced
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        let mut writer = lock(&self.shared.writer);
+
+        // Apply, in submission order, merging adjacent same-kind runs
+        // into a single batched call (one envelope-delta round per run).
+        // A failed *merged* call is retried delta by delta, so each
+        // submitter gets its own verdict — one semantically invalid
+        // delta (unsafe rule, budget trip) must not take down its
+        // cycle-mates. Session updates are commit-on-success, so the
+        // failed merged call left no partial state behind.
+        // `outcomes[i]` is `Ok(())` iff delta `i` is in the session now.
+        let mut outcomes: Vec<Result<(), Error>> = Vec::with_capacity(batch.len());
+        let mut start = 0;
+        while start < batch.len() {
+            let kind = batch[start].kind;
+            let mut end = start + 1;
+            while end < batch.len() && batch[end].kind == kind {
+                end += 1;
+            }
+            let run = &batch[start..end];
+            let merged: String = run
+                .iter()
+                .map(|p| p.text.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            match apply_delta(&mut writer.session, kind, &merged) {
+                Ok(()) => outcomes.extend(run.iter().map(|_| Ok(()))),
+                Err(e) if run.len() == 1 => outcomes.push(Err(e)),
+                Err(_) => {
+                    for pending in run {
+                        outcomes.push(apply_delta(&mut writer.session, kind, &pending.text));
+                    }
+                }
+            }
+            start = end;
+        }
+
+        // Every delta in the session but not yet in a published version
+        // is owed a changelog entry by the next version that solves.
+        for (pending, outcome) in batch.iter().zip(&outcomes) {
+            if outcome.is_ok() {
+                writer
+                    .unpublished
+                    .push((pending.kind, pending.text.clone()));
+            }
+        }
+
+        if writer.unpublished.is_empty() {
+            // Nothing changed; no new version. Report each failure.
+            drop(writer);
+            for (pending, outcome) in batch.iter().zip(outcomes) {
+                let err = outcome.expect_err("cycle with no applied delta");
+                pending.slot.fill(Err(err));
+            }
+            return;
+        }
+
+        match writer.session.solve() {
+            Ok(model) => {
+                let version = self.shared.version.load(Ordering::Acquire) + 1;
+                let snapshot = ModelSnapshot {
+                    version,
+                    model: Arc::new(model),
+                };
+                let applied = std::mem::take(&mut writer.unpublished);
+                self.publish(&snapshot, applied);
+                drop(writer);
+                for (pending, outcome) in batch.iter().zip(outcomes) {
+                    pending.slot.fill(outcome.map(|_| version));
+                }
+            }
+            Err(e) => {
+                // The solve failed (no perfect model, a grounding error
+                // surfacing through recovery): no publish. The applied
+                // deltas stay recorded in `unpublished` and will be
+                // attributed to the next version that does solve; their
+                // submitters get the solve error so they know their
+                // version never became visible.
+                drop(writer);
+                for (pending, outcome) in batch.iter().zip(outcomes) {
+                    pending.slot.fill(match outcome {
+                        Ok(()) => Err(e.clone()),
+                        Err(apply_err) => Err(apply_err),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Swing the head to `snapshot` and record it in the cache and
+    /// changelog. Called with the writer lock held — publishing is the
+    /// last step of a cycle, so readers can never pin a version whose
+    /// solve has not finished.
+    fn publish(&self, snapshot: &ModelSnapshot, applied: Vec<(DeltaKind, String)>) {
+        {
+            let mut head = self
+                .shared
+                .head
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *head = snapshot.clone();
+        }
+        self.shared
+            .version
+            .store(snapshot.version, Ordering::Release);
+        if self.shared.options.cache_capacity > 0 {
+            let mut cache = lock(&self.shared.cache);
+            cache.push_back(snapshot.clone());
+            while cache.len() > self.shared.options.cache_capacity {
+                cache.pop_front();
+            }
+        }
+        let mut log = lock(&self.shared.changelog);
+        for (kind, text) in applied {
+            log.push_back(AppliedDelta {
+                version: snapshot.version,
+                kind,
+                text,
+            });
+        }
+        while log.len() > self.shared.options.changelog_capacity {
+            log.pop_front();
+        }
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("version", &self.version())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Route one delta to the matching [`Session`] update entry point.
+fn apply_delta(session: &mut Session, kind: DeltaKind, text: &str) -> Result<(), Error> {
+    match kind {
+        DeltaKind::AssertFacts => session.assert_facts(text),
+        DeltaKind::RetractFacts => session.retract_facts(text),
+        DeltaKind::AssertRules => session.assert_rules(text),
+        DeltaKind::RetractRules => session.retract_rules(text),
+    }
+}
+
+/// Pre-validate a submission so that a *textually* malformed delta fails
+/// fast on the submitting thread, before it can reach a merged batch:
+/// the fact paths run the same batch validation the session applies
+/// ([`crate::engine::parse_fact_batch`]), the rule paths the same parse.
+/// Semantic failures that need the live session (safety, budgets) are
+/// caught in the cycle, where a failed merged run is retried delta by
+/// delta for exact attribution.
+fn validate(kind: DeltaKind, text: &str) -> Result<(), Error> {
+    if matches!(kind, DeltaKind::AssertFacts | DeltaKind::RetractFacts) {
+        crate::engine::parse_fact_batch(text)?;
+    } else {
+        afp_datalog::parse_program(text)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    const WIN_MOVE: &str =
+        "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).";
+
+    #[test]
+    fn abandoned_pending_fails_its_slot_instead_of_blocking() {
+        // The panic-safety protocol: a `Pending` dropped unfilled (leader
+        // unwound mid-cycle) completes its submitter with `WriterAborted`
+        // rather than leaving it on the condvar forever.
+        let slot = Arc::new(Slot::default());
+        let pending = Pending {
+            kind: DeltaKind::AssertFacts,
+            text: "a.".into(),
+            slot: Arc::clone(&slot),
+        };
+        drop(pending);
+        assert!(matches!(slot.wait(), Err(Error::WriterAborted)));
+    }
+
+    #[test]
+    fn versions_advance_and_pins_stay_immutable() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        let v0 = service.snapshot();
+        assert_eq!(v0.version(), 0);
+        assert_eq!(v0.truth("wins", &["b"]), Truth::True);
+
+        let v = service.assert_facts("move(c, d).").unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(service.version(), 1);
+        let v1 = service.snapshot();
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.truth("wins", &["c"]), Truth::True);
+        assert_eq!(v0.truth("wins", &["c"]), Truth::False, "pin unaffected");
+
+        let v = service.retract_facts("move(c, d).").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(service.snapshot().truth("wins", &["c"]), Truth::False);
+    }
+
+    #[test]
+    fn version_cache_serves_recent_versions() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        service.assert_facts("move(c, d).").unwrap();
+        service.assert_facts("move(d, e).").unwrap();
+        let v1 = service.at_version(1).expect("cached");
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.truth("wins", &["c"]), Truth::True);
+        assert_eq!(v1.truth("wins", &["d"]), Truth::False, "v1 predates d→e");
+        assert!(service.at_version(99).is_none());
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn failed_deltas_do_not_publish() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        let err = service.assert_facts("p :- ").unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+        let err = service.assert_facts("p :- q.").unwrap_err();
+        assert!(matches!(err, Error::NotAFact(_)), "rules on the fact path");
+        let err = service.assert_rules("r(X) :- not s(X).").unwrap_err();
+        assert!(matches!(err, Error::Ground(_)), "unsafe rule");
+        assert_eq!(service.version(), 0, "nothing published");
+        assert_eq!(service.stats().rejected, 3);
+        assert_eq!(service.snapshot().truth("wins", &["b"]), Truth::True);
+    }
+
+    #[test]
+    fn rule_deltas_publish_like_fact_deltas() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        let v = service.assert_rules("wins(X) :- bonus(X).").unwrap();
+        assert_eq!(v, 1);
+        let v = service.assert_facts("bonus(c).").unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(service.snapshot().truth("wins", &["c"]), Truth::True);
+        assert_eq!(
+            service.snapshot().truth("wins", &["b"]),
+            Truth::Undefined,
+            "with the escape to c blocked, the a⇄b cycle is undecided"
+        );
+        let v = service.retract_rules("wins(X) :- bonus(X).").unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(service.snapshot().truth("wins", &["b"]), Truth::True);
+        let log = service.changelog();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].kind, DeltaKind::AssertRules);
+        assert_eq!(log[2].version, 3);
+    }
+
+    #[test]
+    fn subquery_runs_read_side() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        let pinned = service.snapshot();
+        let sub = pinned.subquery(["wins(a)"]).unwrap();
+        assert_eq!(sub.truth("wins", &["a"]), Truth::False);
+        assert_eq!(sub.truth("wins", &["b"]), Truth::True, "b is in a's cone");
+        // The writer may move on; the pinned subquery substrate does not.
+        service.assert_facts("move(c, d).").unwrap();
+        let sub = pinned.subquery(["wins(c)"]).unwrap();
+        assert_eq!(sub.truth("wins", &["c"]), Truth::False, "version 0 cone");
+    }
+
+    #[test]
+    fn changelog_reconstructs_each_version() {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        service.assert_facts("move(c, d).").unwrap();
+        service.assert_rules("wins(X) :- bonus(X).").unwrap();
+        service.assert_facts("bonus(e).").unwrap();
+        for version in 0..=3u64 {
+            let mut src = String::from(WIN_MOVE);
+            for entry in service.changelog() {
+                if entry.version <= version {
+                    assert!(matches!(
+                        entry.kind,
+                        DeltaKind::AssertFacts | DeltaKind::AssertRules
+                    ));
+                    src.push('\n');
+                    src.push_str(&entry.text);
+                }
+            }
+            let cold = Engine::default().solve(&src).unwrap();
+            let snap = service.at_version(version).expect("cached");
+            for (pred, args) in [("wins", ["c"]), ("wins", ["d"]), ("wins", ["e"])] {
+                let refs: Vec<&str> = args.to_vec();
+                assert_eq!(
+                    snap.truth(pred, &refs),
+                    cold.truth(pred, &refs),
+                    "{pred}({args:?}) at version {version}"
+                );
+            }
+        }
+    }
+}

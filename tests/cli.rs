@@ -266,3 +266,130 @@ fn bad_updates_exit_2() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("usage:"));
 }
+
+#[test]
+fn stats_flag_prints_json_counters() {
+    // JSON mode: a second JSON line with the session counters.
+    let (stdout, _, code) = run_afp(&["--json", "--stats"], "a. b :- a. c :- not b.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"stats\":{"), "{stdout}");
+    assert!(stdout.contains("\"solves\":1"));
+    assert!(stdout.contains("\"snapshot_clones\":1"));
+    assert!(stdout.contains("\"snapshot_reuses\":0"));
+
+    // Plain mode: the same object behind a `%` comment.
+    let (stdout, _, code) = run_afp(&["--stats"], "a.");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("% stats {"), "{stdout}");
+
+    // Counters reflect --assert updates.
+    let (stdout, _, code) = run_afp(
+        &["--json", "--stats", "--assert", "d."],
+        "a. b :- a. c :- not b.",
+    );
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"rule_asserts\":1"), "{stdout}");
+
+    // And compose with queries (exit-code contract intact).
+    let (stdout, _, code) = run_afp(&["--stats", "-q", "zzz"], "a.");
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("% stats {"));
+}
+
+const SERVE_SRC: &str = "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).";
+
+fn run_serve(args: &[&str], commands: &str) -> (String, String, Option<i32>) {
+    let dir = std::env::temp_dir().join(format!(
+        "afp-serve-test-{}-{}",
+        std::process::id(),
+        commands.len()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("program.afp");
+    std::fs::write(&file, SERVE_SRC).unwrap();
+    let mut full: Vec<&str> = vec!["--serve"];
+    full.extend_from_slice(args);
+    let path = file.to_str().unwrap().to_string();
+    full.push(&path);
+    run_afp(&full, commands)
+}
+
+#[test]
+fn serve_mode_queries_and_updates() {
+    let (stdout, _, code) = run_serve(
+        &[],
+        "query wins(b)\n\
+         assert move(c, d).\n\
+         query wins(c)\n\
+         at 0 wins(c)\n\
+         version\n\
+         retract move(c, d).\n\
+         query wins(c)\n\
+         quit\n",
+    );
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        vec!["True", "ok 1", "True", "False", "1", "ok 2", "False"],
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_mode_json_protocol() {
+    let (stdout, _, code) = run_serve(
+        &["--json"],
+        "query wins(b)\nassert move(c, d).\nstats\nquit\n",
+    );
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("\"version\":0,\"query\":\"wins(b)\",\"truth\":\"true\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("{\"ok\":true,\"version\":1}"));
+    assert!(stdout.contains("\"service\":{\"version\":1,\"submissions\":1,\"write_cycles\":1"));
+}
+
+#[test]
+fn serve_mode_survives_bad_commands() {
+    let (stdout, _, code) = run_serve(
+        &[],
+        "bogus\n\
+         query wins(X)\n\
+         assert r(X) :- not s(X).\n\
+         at 99 wins(a)\n\
+         query wins(b)\n",
+    );
+    // EOF ends the loop; every failure was inline, the server kept going.
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "{stdout}");
+    assert!(lines[0].starts_with("error: unknown command"));
+    assert!(lines[1].starts_with("error: bad query"));
+    assert!(lines[2].starts_with("error: grounding error"), "{stdout}");
+    assert!(lines[3].starts_with("error: version 99 not cached"));
+    assert_eq!(lines[4], "True");
+}
+
+#[test]
+fn serve_mode_model_dump() {
+    let (stdout, _, code) = run_serve(&[], "assert move(c, d).\nmodel\nquit\n");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("% version 1"), "{stdout}");
+    assert!(stdout.contains("wins(c)."));
+}
+
+#[test]
+fn serve_mode_honors_stats_flag_at_exit() {
+    let (stdout, _, code) = run_serve(&["--json", "--stats"], "assert move(c, d).\nquit\n");
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"service\":{\"version\":1"),
+        "{stdout}"
+    );
+}

@@ -441,3 +441,59 @@ fn warm_resolves_match_cold_under_update_sequences() {
     }
     assert_eq!(session.stats().regrounds, 0);
 }
+
+/// Satellite regression (PR 4): a read-only re-solve performs **zero**
+/// deep clones — the returned model and ground snapshot are the same
+/// allocations as the previous solve's (pointer copies), and the stats
+/// counters say the memo served it.
+#[test]
+fn read_only_resolve_is_a_pointer_copy() {
+    let mut session = Engine::default()
+        .load("wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).")
+        .unwrap();
+    let first = session.solve().unwrap();
+    assert_eq!(session.stats().snapshot_clones, 1);
+    assert_eq!(session.stats().snapshot_reuses, 0);
+
+    let second = session.solve().unwrap();
+    assert!(
+        std::ptr::eq(first.partial_model(), second.partial_model()),
+        "re-solve must share the previous model allocation"
+    );
+    assert!(
+        std::ptr::eq(first.ground(), second.ground()),
+        "re-solve must share the previous program snapshot"
+    );
+    assert_eq!(second.truth("wins", &["b"]), Truth::True);
+    assert_eq!(session.stats().snapshot_clones, 1, "no new snapshot");
+    assert_eq!(session.stats().snapshot_reuses, 1);
+
+    // A mutation re-materializes (cheaply, via CoW) …
+    session.assert_facts("move(c, d).").unwrap();
+    let third = session.solve().unwrap();
+    assert!(!std::ptr::eq(second.partial_model(), third.partial_model()));
+    assert_eq!(session.stats().snapshot_clones, 2);
+    assert_eq!(third.truth("wins", &["c"]), Truth::True);
+    // … and the pinned old model still answers for its own version.
+    assert_eq!(second.truth("wins", &["c"]), Truth::False);
+
+    // The memo serves the new version thereafter, under both strategies
+    // (the WFS model is strategy-independent).
+    let fourth = session
+        .solve_with(Semantics::WellFounded {
+            strategy: WfStrategy::Global(Strategy::default()),
+        })
+        .unwrap();
+    assert!(std::ptr::eq(third.partial_model(), fourth.partial_model()));
+    assert_eq!(session.stats().snapshot_reuses, 2);
+
+    // Non-WFS semantics bypass the memo (different model object) without
+    // disturbing it.
+    let fitting = session.solve_with(Semantics::Fitting).unwrap();
+    assert!(!std::ptr::eq(
+        third.partial_model(),
+        fitting.partial_model()
+    ));
+    let fifth = session.solve().unwrap();
+    assert!(std::ptr::eq(third.partial_model(), fifth.partial_model()));
+}
