@@ -1,0 +1,133 @@
+//! Incremental condensation maintenance versus full rebuild — the
+//! acceptance bench for `Condensation::apply_delta`.
+//!
+//! Three groups per chain size `k`:
+//!
+//! * `rebuild` / `repair_toggle` — the **condensation step alone**: one
+//!   `Condensation::of` over the whole ground program, versus one fact
+//!   toggle (remove + re-add the leaf fact rule) with `apply_delta`
+//!   after each mutation. The repair walks the delta's window (a couple
+//!   of atoms on this workload) however long the chain, so the gap
+//!   widens with `k`.
+//! * `warm_toggle` / `warm_toggle_rebuild` — **end to end**: a session's
+//!   retract → solve → assert → solve cycle on the repair path, versus
+//!   the same cycle with a from-scratch `Condensation::of` added per
+//!   solve, emulating the pre-repair warm path (which rebuilt the
+//!   condensation on the first solve after every mutation).
+//!
+//! After the timed loops the bench prints the session's repair window
+//! as a fraction of the program — the delta-boundedness evidence
+//! recorded in `BENCH_cond.json`.
+
+use afp::datalog::depgraph::{Condensation, CondensationDelta, RuleRename};
+use afp::Engine;
+use afp_bench::gen::hard_knot_chain_src;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn condensation_step(c: &mut Criterion) {
+    for k in [64usize, 256, 1024] {
+        let engine = Engine::default();
+        let mut session = engine.load(&hard_knot_chain_src(k)).unwrap();
+        session.solve().unwrap();
+        let mut prog = session.ground().clone();
+        let mut group = c.benchmark_group(format!("cond/step_{k}"));
+
+        group.bench_function(BenchmarkId::new("rebuild", k), |b| {
+            b.iter(|| Condensation::of(&prog))
+        });
+
+        // The 1-fact delta: toggle the leaf fact rule e(k{k-1}) off and
+        // back on, repairing after each mutation.
+        let leaf = prog
+            .find_atom_by_name("e", &[&format!("k{}", k - 1)])
+            .unwrap();
+        let mut cond = Condensation::of(&prog);
+        group.bench_function(BenchmarkId::new("repair_toggle", k), |b| {
+            b.iter(|| {
+                let rid = *prog
+                    .rules_with_head(leaf)
+                    .iter()
+                    .find(|&&r| prog.rule(r).is_fact())
+                    .unwrap();
+                let mut renames: Vec<RuleRename> = Vec::new();
+                prog.remove_rule_logged(rid, &mut renames);
+                cond.apply_delta(
+                    &prog,
+                    &CondensationDelta {
+                        touched: &[leaf],
+                        new_edge_targets: &[],
+                        renames: &renames,
+                    },
+                );
+                prog.push_rule(leaf, vec![], vec![]);
+                cond.apply_delta(
+                    &prog,
+                    &CondensationDelta {
+                        touched: &[leaf],
+                        new_edge_targets: &[],
+                        renames: &[],
+                    },
+                );
+            })
+        });
+        group.finish();
+        assert!(
+            cond.is_consistent_with(&prog),
+            "the repaired condensation stayed exact across the timed loop"
+        );
+    }
+}
+
+fn warm_solve_one_fact_delta(c: &mut Criterion) {
+    for k in [64usize, 256, 1024] {
+        let src = hard_knot_chain_src(k);
+        let fact = format!("e(k{}).", k - 1);
+        let mut group = c.benchmark_group(format!("cond/warm_1fact_{k}"));
+
+        let engine = Engine::default();
+        let mut session = engine.load(&src).unwrap();
+        session.solve().unwrap();
+        group.bench_function(BenchmarkId::new("warm_toggle", k), |b| {
+            b.iter(|| {
+                session.retract_facts(&fact).unwrap();
+                session.solve().unwrap();
+                session.assert_facts(&fact).unwrap();
+                session.solve().unwrap()
+            })
+        });
+        let stats = *session.stats();
+        let atoms = session.ground().atom_count();
+
+        // Pre-repair emulation: the old warm path dropped the memoized
+        // condensation on every mutation and rebuilt it (linear) on the
+        // next solve — add that rebuild back per solve.
+        let mut session2 = engine.load(&src).unwrap();
+        session2.solve().unwrap();
+        group.bench_function(BenchmarkId::new("warm_toggle_rebuild", k), |b| {
+            b.iter(|| {
+                session2.retract_facts(&fact).unwrap();
+                std::hint::black_box(Condensation::of(session2.ground()));
+                session2.solve().unwrap();
+                session2.assert_facts(&fact).unwrap();
+                std::hint::black_box(Condensation::of(session2.ground()));
+                session2.solve().unwrap()
+            })
+        });
+        group.finish();
+
+        assert_eq!(stats.condensation_builds, 1, "repairs, never rebuilds");
+        println!(
+            "cond/warm_1fact_{k}: repair window {} of {} atoms ({:.2}%), \
+             {} repairs, components reused {}/{}",
+            stats.last_repair_atoms,
+            atoms,
+            100.0 * stats.last_repair_atoms as f64 / atoms as f64,
+            stats.condensation_repairs,
+            stats.last_components_reused,
+            stats.last_components,
+        );
+    }
+}
+
+criterion_group!(benches, condensation_step, warm_solve_one_fact_delta);
+criterion_main!(benches);

@@ -18,8 +18,9 @@
 //!   expressiveness theorems (8.6, 8.7).
 
 use crate::ast::Program;
+use crate::atoms::AtomId;
 use crate::fx::FxHashMap;
-use crate::program::RuleId;
+use crate::program::{GroundProgram, RuleId};
 use crate::symbol::Symbol;
 
 /// Polarity label of a dependency arc.
@@ -144,7 +145,7 @@ impl DepGraph {
     /// Strongly connected components in *dependency order*: if any node of
     /// component `A` depends (directly or transitively) on a node of
     /// component `B ≠ A`, then `B` appears before `A` in the result.
-    pub fn sccs(&self) -> Vec<Vec<usize>> {
+    pub fn sccs(&self) -> SccList {
         let adj: Vec<Vec<usize>> = self
             .edges
             .iter()
@@ -161,7 +162,7 @@ impl DepGraph {
         let mut comp_of = vec![usize::MAX; self.len()];
         for (cid, comp) in sccs.iter().enumerate() {
             for &n in comp {
-                comp_of[n] = cid;
+                comp_of[n as usize] = cid;
             }
         }
         // Reject negative arcs within a component.
@@ -177,7 +178,7 @@ impl DepGraph {
         for (cid, comp) in sccs.iter().enumerate() {
             let mut s = 0;
             for &p in comp {
-                for (q, e) in self.successors(p) {
+                for (q, e) in self.successors(p as usize) {
                     let qc = comp_of[q];
                     if qc != cid {
                         let need = comp_stratum[qc] + u32::from(e.negative);
@@ -258,10 +259,46 @@ impl DepGraph {
     }
 }
 
+/// Strongly connected components in a flat CSR layout: one `nodes` array
+/// grouped by component plus an `offsets` fence array, like
+/// [`Condensation`] — two allocations total instead of one `Vec` per
+/// component. Components are stored in reverse topological order of the
+/// condensation (callees before callers), matching what [`tarjan_sccs`]
+/// has always emitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccList {
+    /// Component `i` is `nodes[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Node ids grouped by component.
+    nodes: Vec<u32>,
+}
+
+impl SccList {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the underlying graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nodes of component `i`.
+    pub fn get(&self, i: usize) -> &[u32] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate over the components in emission (dependency) order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
 /// Iterative Tarjan SCC. Components are returned in reverse topological
 /// order of the condensation — i.e. if there is an arc from a node of `A`
 /// to a node of `B` (A depends on B), `B` is emitted before `A`.
-pub fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+pub fn tarjan_sccs(adj: &[Vec<usize>]) -> SccList {
     let n = adj.len();
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0u32);
@@ -270,9 +307,13 @@ pub fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
         targets.extend(succ.iter().map(|&w| w as u32));
         offsets.push(targets.len() as u32);
     }
-    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut out = SccList {
+        offsets: vec![0u32],
+        nodes: Vec::with_capacity(n),
+    };
     tarjan_csr(n, &offsets, &targets, |comp| {
-        out.push(comp.iter().map(|&w| w as usize).collect());
+        out.nodes.extend_from_slice(comp);
+        out.offsets.push(out.nodes.len() as u32);
     });
     out
 }
@@ -349,12 +390,17 @@ fn tarjan_csr(n: usize, offsets: &[u32], targets: &[u32], mut emit: impl FnMut(&
 /// (`afp-semantics::modular`) and of per-component warm re-solves in the
 /// engine's sessions.
 ///
-/// Component ids are **not** stable across program mutations (Tarjan
-/// renumbers freely), so sessions rebuild the condensation lazily after
-/// any fact or rule delta. Atom ids *are* stable across in-place
-/// mutations, which is why per-component memoization keyed by atom id
-/// survives the rebuild: a rebuilt component whose atoms all lie outside
-/// the delta's forward cone can copy its previous truth values verbatim.
+/// The condensation is **maintained incrementally** across in-place
+/// program mutations: [`Condensation::apply_delta`] patches the CSR
+/// structures by re-running Tarjan only over the *window* of components
+/// the delta's dependency edges can possibly restructure, so a warm
+/// re-solve pays `O(|delta cone|)` for its SCC structure, not
+/// `O(|program|)`. Components outside the window keep their ids, atom
+/// slices, and rule slices untouched. Atom ids are stable across
+/// in-place mutations, which is why per-component memoization keyed by
+/// atom id additionally survives even the id renumbering *inside* the
+/// window: a component whose atoms all lie outside the delta's forward
+/// cone can copy its previous truth values verbatim.
 #[derive(Debug, Clone)]
 pub struct Condensation {
     /// Atom index → component id.
@@ -477,6 +523,405 @@ impl Condensation {
     pub fn largest(&self) -> usize {
         self.largest
     }
+
+    /// Patch this condensation after a batch of in-place program
+    /// mutations, instead of rebuilding it from scratch. `prog` is the
+    /// program **after** the mutations; `delta` describes them (see
+    /// [`CondensationDelta`] for the exact contract). Returns counters
+    /// for how much of the graph the repair actually walked.
+    ///
+    /// # Algorithm
+    ///
+    /// Component membership and order can only change inside a bounded
+    /// *window* of the topological order. A removed edge can split only
+    /// the component that contained it (its head is touched). An added
+    /// edge `u → v` can merge components only along a pre-existing
+    /// dependency path `v ⇝ u`, and every component on such a path has an
+    /// id between `comp(u)` and `comp(v)` — ids along old dependency
+    /// edges are non-increasing and both endpoints of every added edge
+    /// are recorded in the delta. So the window `[lo, hi]` spanned by the
+    /// components of all touched heads and new-edge targets contains
+    /// every component whose membership or relative position can change;
+    /// no cycle through a changed edge can leave it. The repair re-runs
+    /// Tarjan over the window's atoms only (plus atoms interned since the
+    /// last repair, which join the window), splices the recomputed
+    /// components back into the id range `[lo, lo + m)`, shifts the
+    /// suffix only when the component count actually changed, and
+    /// regroups rule slices for window components straight from the
+    /// program's head index. Components outside the window keep their
+    /// ids, atom slices, and rule slices (modulo swap-remove rule-id
+    /// renames, which are patched pointwise).
+    pub fn apply_delta(&mut self, prog: &GroundProgram, delta: &CondensationDelta) -> RepairStats {
+        let old_n = self.comp_of.len();
+        let new_n = prog.atom_count();
+        let k_old = self.len();
+
+        // ---- Window of possibly-restructured components -----------------
+        let mut lo = usize::MAX;
+        let mut hi_ex = 0usize; // exclusive upper bound
+        for &a in delta.touched.iter().chain(delta.new_edge_targets.iter()) {
+            if a.index() < old_n {
+                let c = self.comp_of[a.index()] as usize;
+                lo = lo.min(c);
+                hi_ex = hi_ex.max(c + 1);
+            }
+        }
+        if lo == usize::MAX {
+            // No existing component is seeded: new atoms (if any) are
+            // appended as fresh components after everything else.
+            lo = k_old;
+            hi_ex = k_old;
+        }
+        let w = hi_ex - lo;
+
+        // ---- Rename pass ------------------------------------------------
+        // Swap-removed rule ids in slices *outside* the window are patched
+        // pointwise, in chronological order (window slices are regrouped
+        // wholesale below, so stale entries there are simply discarded).
+        for r in delta.renames {
+            if r.head.index() >= old_n {
+                // The moved rule was added in this same batch (its head is
+                // a new atom): it was never indexed here, and the window
+                // regroup below picks up its final id from the program.
+                continue;
+            }
+            let c = self.comp_of[r.head.index()] as usize;
+            if c >= lo && c < hi_ex {
+                continue;
+            }
+            let (s, e) = (
+                self.rule_offsets[c] as usize,
+                self.rule_offsets[c + 1] as usize,
+            );
+            let slice = &mut self.rules[s..e];
+            let pos = slice
+                .iter()
+                .position(|&x| x == r.from)
+                .expect("renamed rule is indexed under its head's component");
+            slice[pos] = r.to;
+        }
+
+        if w == 0 && new_n == old_n {
+            return RepairStats::default(); // renames were the whole delta
+        }
+
+        // ---- Localized Tarjan over the window's atoms -------------------
+        let a_lo = self.atom_offsets[lo] as usize;
+        let a_hi = self.atom_offsets[hi_ex] as usize;
+        let mut window_atoms: Vec<u32> = Vec::with_capacity(a_hi - a_lo + (new_n - old_n));
+        window_atoms.extend_from_slice(&self.atoms[a_lo..a_hi]);
+        window_atoms.extend(old_n as u32..new_n as u32);
+        let nw = window_atoms.len();
+        let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+        for (i, &a) in window_atoms.iter().enumerate() {
+            local.insert(a, i as u32);
+        }
+        let mut offsets: Vec<u32> = Vec::with_capacity(nw + 1);
+        offsets.push(0);
+        let mut targets: Vec<u32> = Vec::new();
+        let mut edges_visited = 0usize;
+        for &a in &window_atoms {
+            for &rid in prog.rules_with_head(AtomId(a)) {
+                let r = prog.rule(rid);
+                for &q in r.pos.iter().chain(r.neg.iter()) {
+                    edges_visited += 1;
+                    if let Some(&lq) = local.get(&q.0) {
+                        targets.push(lq);
+                    } else {
+                        // A dependency that leaves the window can only go
+                        // below it: old edges respect the old order, and
+                        // both endpoints of every added edge are seeds.
+                        debug_assert!(
+                            (self.comp_of[q.index()] as usize) < lo,
+                            "window atoms only depend into or below the window"
+                        );
+                    }
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let mut local_comp = vec![0u32; nw];
+        let mut m = 0u32;
+        tarjan_csr(nw, &offsets, &targets, |comp| {
+            for &x in comp {
+                local_comp[x as usize] = m;
+            }
+            m += 1;
+        });
+        let m = m as usize;
+
+        // Group the window's atoms by new component, ascending atom id
+        // within each component (the invariant `Condensation::of`'s
+        // counting sort establishes globally).
+        let mut new_atom_offsets = vec![0u32; m + 1];
+        for &lc in &local_comp {
+            new_atom_offsets[lc as usize + 1] += 1;
+        }
+        for i in 0..m {
+            new_atom_offsets[i + 1] += new_atom_offsets[i];
+        }
+        let mut sorted = window_atoms.clone();
+        sorted.sort_unstable();
+        let mut cursor = new_atom_offsets.clone();
+        let mut grouped_atoms = vec![0u32; nw];
+        for &a in &sorted {
+            let lc = local_comp[local[&a] as usize] as usize;
+            grouped_atoms[cursor[lc] as usize] = a;
+            cursor[lc] += 1;
+        }
+
+        // Did the window hold a component of the current maximum size?
+        // Only then can the maximum shrink, requiring a full fence
+        // rescan below; otherwise `largest` is monotone under this
+        // repair and a window-local max suffices. Read the old fences
+        // before they are spliced.
+        let window_held_largest = (lo..hi_ex)
+            .any(|c| (self.atom_offsets[c + 1] - self.atom_offsets[c]) as usize == self.largest);
+
+        // ---- Splice: comp_of --------------------------------------------
+        let dcomp = m as i64 - w as i64;
+        self.comp_of.resize(new_n, 0);
+        if dcomp != 0 {
+            // Suffix components shift uniformly; their relative order (and
+            // hence every dependency constraint they participate in) is
+            // preserved.
+            for &a in &self.atoms[a_hi..] {
+                self.comp_of[a as usize] = (self.comp_of[a as usize] as i64 + dcomp) as u32;
+            }
+        }
+        for (i, &a) in window_atoms.iter().enumerate() {
+            self.comp_of[a as usize] = lo as u32 + local_comp[i];
+        }
+
+        // ---- Splice: atom slices ----------------------------------------
+        if m == w && nw == a_hi - a_lo {
+            // Same component count, no new atoms: patch in place.
+            self.atoms[a_lo..a_hi].copy_from_slice(&grouped_atoms);
+            for i in 0..m {
+                self.atom_offsets[lo + 1 + i] = a_lo as u32 + new_atom_offsets[i + 1];
+            }
+        } else {
+            let mut atoms2 = Vec::with_capacity(new_n);
+            atoms2.extend_from_slice(&self.atoms[..a_lo]);
+            atoms2.extend_from_slice(&grouped_atoms);
+            atoms2.extend_from_slice(&self.atoms[a_hi..]);
+            self.atoms = atoms2;
+            let grow = nw as i64 - (a_hi - a_lo) as i64;
+            let mut off2 = Vec::with_capacity((k_old as i64 + dcomp) as usize + 1);
+            off2.extend_from_slice(&self.atom_offsets[..=lo]);
+            off2.extend(new_atom_offsets[1..].iter().map(|&o| a_lo as u32 + o));
+            for &o in &self.atom_offsets[hi_ex + 1..] {
+                off2.push((o as i64 + grow) as u32);
+            }
+            self.atom_offsets = off2;
+        }
+
+        // ---- Splice: rule slices ----------------------------------------
+        // Membership changes are confined to window components (every
+        // added or removed rule's head is touched), so the window's rule
+        // slices are regrouped straight from the program's head index.
+        let r_lo = self.rule_offsets[lo] as usize;
+        let r_hi = self.rule_offsets[hi_ex] as usize;
+        let mut grouped_rules: Vec<RuleId> = Vec::with_capacity(r_hi - r_lo);
+        let mut new_rule_offsets = vec![0u32; m + 1];
+        for c in 0..m {
+            let range = new_atom_offsets[c] as usize..new_atom_offsets[c + 1] as usize;
+            for &a in &grouped_atoms[range] {
+                grouped_rules.extend_from_slice(prog.rules_with_head(AtomId(a)));
+            }
+            new_rule_offsets[c + 1] = grouped_rules.len() as u32;
+        }
+        if m == w && grouped_rules.len() == r_hi - r_lo {
+            self.rules[r_lo..r_hi].copy_from_slice(&grouped_rules);
+            for i in 0..m {
+                self.rule_offsets[lo + 1 + i] = r_lo as u32 + new_rule_offsets[i + 1];
+            }
+        } else {
+            let grow = grouped_rules.len() as i64 - (r_hi - r_lo) as i64;
+            let mut rules2 = Vec::with_capacity((self.rules.len() as i64 + grow) as usize);
+            rules2.extend_from_slice(&self.rules[..r_lo]);
+            rules2.extend_from_slice(&grouped_rules);
+            rules2.extend_from_slice(&self.rules[r_hi..]);
+            self.rules = rules2;
+            let mut off2 = Vec::with_capacity((k_old as i64 + dcomp) as usize + 1);
+            off2.extend_from_slice(&self.rule_offsets[..=lo]);
+            off2.extend(new_rule_offsets[1..].iter().map(|&o| r_lo as u32 + o));
+            for &o in &self.rule_offsets[hi_ex + 1..] {
+                off2.push((o as i64 + grow) as u32);
+            }
+            self.rule_offsets = off2;
+        }
+        debug_assert_eq!(self.rules.len(), prog.rule_count());
+        debug_assert_eq!(self.atoms.len(), new_n);
+
+        // ---- Largest component ------------------------------------------
+        let window_max = (0..m)
+            .map(|c| (new_atom_offsets[c + 1] - new_atom_offsets[c]) as usize)
+            .max()
+            .unwrap_or(0);
+        if window_held_largest {
+            // A split may have shrunk the maximum: rescan the (cheap,
+            // fence-array-only) component sizes.
+            let k_new = self.len();
+            self.largest = (0..k_new)
+                .map(|c| (self.atom_offsets[c + 1] - self.atom_offsets[c]) as usize)
+                .max()
+                .unwrap_or(0);
+        } else {
+            // Components outside the window are untouched, so the
+            // maximum can only grow — by a merge inside the window.
+            self.largest = self.largest.max(window_max);
+        }
+
+        RepairStats {
+            atoms_visited: nw,
+            edges_visited,
+            components_replaced: w,
+            components_recomputed: m,
+        }
+    }
+
+    /// Do `self` and `other` describe the same condensation? The SCC
+    /// *partition* of a graph is unique but component ids are an arbitrary
+    /// topological labeling, so this compares the atom partition and the
+    /// per-component rule **sets** — the notion of identity the
+    /// differential suite holds [`Condensation::apply_delta`] to against
+    /// a from-scratch [`Condensation::of`] (use
+    /// [`Condensation::is_consistent_with`] for the order-validity half).
+    pub fn same_decomposition(&self, other: &Condensation) -> bool {
+        if self.comp_of.len() != other.comp_of.len()
+            || self.len() != other.len()
+            || self.rules.len() != other.rules.len()
+        {
+            return false;
+        }
+        for c in 0..self.len() {
+            let atoms = self.atoms(c);
+            let oc = other.comp_of[atoms[0] as usize] as usize;
+            // Atom slices are ascending on both sides, so slice equality
+            // is set equality; equal counts + disjointness make the
+            // component mapping a bijection.
+            if atoms != other.atoms(oc) {
+                return false;
+            }
+            let mut r1: Vec<RuleId> = self.rules(c).to_vec();
+            let mut r2: Vec<RuleId> = other.rules(oc).to_vec();
+            r1.sort_unstable();
+            r2.sort_unstable();
+            if r1 != r2 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full structural audit against `prog`: sizes, slice/`comp_of`
+    /// agreement, ascending atom slices, every rule indexed exactly once
+    /// under its head's component, **topologically valid** component ids
+    /// (no rule's body reaches a higher component than its head), and a
+    /// correct `largest`. `O(|program|)` — this is the debug-mode check
+    /// behind warm condensation repairs, not a hot-path operation.
+    pub fn is_consistent_with(&self, prog: &GroundProgram) -> bool {
+        let n = prog.atom_count();
+        let k = self.len();
+        if self.comp_of.len() != n
+            || self.atoms.len() != n
+            || self.rules.len() != prog.rule_count()
+            || self.rule_offsets.len() != k + 1
+        {
+            return false;
+        }
+        let mut seen_rule = vec![false; prog.rule_count()];
+        for c in 0..k {
+            let atoms = self.atoms(c);
+            if atoms.is_empty() || !atoms.windows(2).all(|p| p[0] < p[1]) {
+                return false;
+            }
+            if atoms.iter().any(|&a| self.comp_of[a as usize] != c as u32) {
+                return false;
+            }
+            for &rid in self.rules(c) {
+                if seen_rule[rid as usize] || self.comp_of[prog.rule(rid).head.index()] != c as u32
+                {
+                    return false;
+                }
+                seen_rule[rid as usize] = true;
+            }
+        }
+        for r in prog.rules() {
+            let hc = self.comp_of[r.head.index()];
+            if r.pos
+                .iter()
+                .chain(r.neg.iter())
+                .any(|&q| self.comp_of[q.index()] > hc)
+            {
+                return false;
+            }
+        }
+        let largest = (0..k).map(|c| self.atoms(c).len()).max().unwrap_or(0);
+        self.largest == largest
+    }
+}
+
+/// The change a batch of in-place program mutations makes to the atom
+/// dependency graph, as [`Condensation::apply_delta`] needs to see it.
+///
+/// # Contract
+///
+/// The condensation must be current up to (but not including) the batch
+/// — apply deltas after **every** mutation batch, in order. The batch
+/// must satisfy:
+///
+/// * `touched` holds the head atom of every ground rule the batch added,
+///   removed, or patched (a resurrected negative literal patches its
+///   rule);
+/// * `new_edge_targets` holds every body atom of every added rule and
+///   every atom added to an existing rule's body — the targets of
+///   dependency edges that did not necessarily exist before;
+/// * `renames` records every swap-remove rename
+///   ([`GroundProgram::remove_rule`] moving the last rule into the freed
+///   slot) in chronological order, each stamped with the moved rule's
+///   head **at event time**;
+/// * atoms interned since the last delta are exactly
+///   `old_atom_count..prog.atom_count()` (dense append), and each of
+///   them either has its rules' heads in `touched` or appears in
+///   `new_edge_targets` or has no incident dependency edges at all.
+#[derive(Debug, Clone, Copy)]
+pub struct CondensationDelta<'a> {
+    /// Heads whose rule set changed (rules added, removed, or patched).
+    pub touched: &'a [AtomId],
+    /// Body atoms of added rules and added (resurrected) body literals.
+    pub new_edge_targets: &'a [AtomId],
+    /// Swap-remove rule-id renames, in chronological order.
+    pub renames: &'a [RuleRename],
+}
+
+/// A swap-remove rename of a ground rule id: the rule formerly at `from`
+/// now lives at `to`. `head` is that rule's head **at event time** —
+/// recorded eagerly because a later rename in the same batch may move
+/// the slot again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleRename {
+    /// The rule's previous id (the last rule at removal time).
+    pub from: RuleId,
+    /// The slot it moved into.
+    pub to: RuleId,
+    /// The moved rule's head atom.
+    pub head: AtomId,
+}
+
+/// What one [`Condensation::apply_delta`] call actually walked — the
+/// evidence that a repair was delta-bounded rather than a hidden rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Atoms the localized Tarjan visited (the repair window).
+    pub atoms_visited: usize,
+    /// Dependency edges inspected while rebuilding the window adjacency.
+    pub edges_visited: usize,
+    /// Components the window replaced.
+    pub components_replaced: usize,
+    /// Components the localized Tarjan emitted in their place.
+    pub components_recomputed: usize,
 }
 
 #[cfg(test)]
@@ -548,9 +993,13 @@ mod tests {
         let sccs = g.sccs();
         assert_eq!(sccs.len(), 2);
         // {a, b} must come before {c}.
-        let first: Vec<&str> = sccs[0].iter().map(|&n| p.symbols.name(g.pred(n))).collect();
+        let first: Vec<&str> = sccs
+            .get(0)
+            .iter()
+            .map(|&n| p.symbols.name(g.pred(n as usize)))
+            .collect();
         assert!(first.contains(&"a") && first.contains(&"b"));
-        assert_eq!(p.symbols.name(g.pred(sccs[1][0])), "c");
+        assert_eq!(p.symbols.name(g.pred(sccs.get(1)[0] as usize)), "c");
     }
 
     #[test]
@@ -590,12 +1039,12 @@ mod tests {
         let sccs = tarjan_sccs(&adj);
         assert_eq!(sccs.len(), 3);
         let cycle = sccs.iter().find(|c| c.len() == 3).unwrap();
-        let mut sorted = cycle.clone();
+        let mut sorted = cycle.to_vec();
         sorted.sort();
         assert_eq!(sorted, vec![0, 1, 2]);
         // The cycle must precede node 3 (which depends on it).
         let cycle_pos = sccs.iter().position(|c| c.len() == 3).unwrap();
-        let three_pos = sccs.iter().position(|c| c == &vec![3]).unwrap();
+        let three_pos = sccs.iter().position(|c| c == [3]).unwrap();
         assert!(cycle_pos < three_pos);
     }
 
@@ -633,6 +1082,130 @@ mod tests {
         let c = Condensation::of(&g);
         assert!(c.is_empty());
         assert_eq!(c.len(), 0);
+    }
+
+    /// Rebuild from scratch and check the repaired condensation against
+    /// it — the identity notion of the differential suite.
+    fn assert_repaired(c: &Condensation, g: &crate::program::GroundProgram) {
+        let fresh = Condensation::of(g);
+        assert!(c.is_consistent_with(g), "repaired condensation audits");
+        assert!(
+            c.same_decomposition(&fresh),
+            "repair must reproduce the from-scratch decomposition"
+        );
+    }
+
+    #[test]
+    fn apply_delta_fact_toggle_is_partition_stable() {
+        use crate::program::parse_ground;
+        let mut g = parse_ground("p :- not q, e. q :- not p. r :- p. e.");
+        let mut c = Condensation::of(&g);
+        let e = g.find_atom_by_name("e", &[]).unwrap();
+        let fact = *g
+            .rules_with_head(e)
+            .iter()
+            .find(|&&r| g.rule(r).is_fact())
+            .unwrap();
+        // Retract the fact…
+        let mut renames: Vec<RuleRename> = Vec::new();
+        g.remove_rule_logged(fact, &mut renames);
+        let stats = c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[e],
+                new_edge_targets: &[],
+                renames: &renames,
+            },
+        );
+        assert_repaired(&c, &g);
+        assert!(stats.atoms_visited <= 1, "only e's singleton is rewalked");
+        // …and assert it back.
+        g.push_rule(e, vec![], vec![]);
+        c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[e],
+                new_edge_targets: &[],
+                renames: &[],
+            },
+        );
+        assert_repaired(&c, &g);
+    }
+
+    #[test]
+    fn apply_delta_merges_and_splits_components() {
+        use crate::program::parse_ground;
+        // A 3-chain of singletons: c depends on b depends on a.
+        let mut g = parse_ground("a. b :- a. c :- b. z :- not c.");
+        let mut c = Condensation::of(&g);
+        let a = g.find_atom_by_name("a", &[]).unwrap();
+        let b = g.find_atom_by_name("b", &[]).unwrap();
+        let cc = g.find_atom_by_name("c", &[]).unwrap();
+        // Add `a :- c.`: merges {a}, {b}, {c} into one odd-sized knot.
+        let rid = g.push_rule(a, vec![cc], vec![]);
+        let stats = c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[a],
+                new_edge_targets: &[cc],
+                renames: &[],
+            },
+        );
+        assert_repaired(&c, &g);
+        assert_eq!(c.component_of(a.0), c.component_of(cc.0));
+        assert_eq!(stats.components_replaced, 3, "the window is the chain");
+        assert_eq!(stats.components_recomputed, 1, "merged into one knot");
+        assert_eq!(c.largest(), 3);
+        // Remove it again: the knot splits back into three singletons.
+        let mut renames: Vec<RuleRename> = Vec::new();
+        g.remove_rule_logged(rid, &mut renames);
+        c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[a],
+                new_edge_targets: &[],
+                renames: &renames,
+            },
+        );
+        assert_repaired(&c, &g);
+        assert_ne!(c.component_of(a.0), c.component_of(b.0));
+        assert_eq!(c.largest(), 1);
+    }
+
+    #[test]
+    fn apply_delta_handles_new_atoms_and_odd_loops() {
+        use crate::program::parse_ground;
+        let mut g = parse_ground("p :- not q. q :- not p. r :- p.");
+        let mut c = Condensation::of(&g);
+        // Intern a brand-new atom with an odd loop through negation on
+        // itself plus an edge into the old program.
+        let s = g.intern_symbol("s");
+        let sa = g.intern_atom_ids(s, &[]);
+        let p = g.find_atom_by_name("p", &[]).unwrap();
+        g.push_rule(sa, vec![p], vec![sa]);
+        c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[sa],
+                new_edge_targets: &[p, sa],
+                renames: &[],
+            },
+        );
+        assert_repaired(&c, &g);
+        assert!(c.component_of(sa.0) > c.component_of(p.0));
+        // A floating new atom with no rules at all becomes a singleton.
+        let t = g.intern_symbol("t");
+        let ta = g.intern_atom_ids(t, &[]);
+        c.apply_delta(
+            &g,
+            &CondensationDelta {
+                touched: &[],
+                new_edge_targets: &[],
+                renames: &[],
+            },
+        );
+        assert_repaired(&c, &g);
+        assert_eq!(c.atoms(c.component_of(ta.0) as usize), &[ta.0]);
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 use crate::ast::{Atom, Program, Rule};
 use crate::atoms::{AtomId, ConstId, HerbrandBase};
+use crate::depgraph::RuleRename;
 use crate::error::GroundError;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::ground::{
@@ -121,6 +122,17 @@ pub struct DeltaEffect {
     /// Everything *outside* the dependency ancestors of these atoms
     /// provably keeps its truth value (relevance / splitting).
     pub changed: Vec<AtomId>,
+    /// Body atoms of ground rules this call added or patched — the
+    /// targets of dependency edges that did not necessarily exist
+    /// before, which is exactly what
+    /// [`crate::depgraph::Condensation::apply_delta`] needs to bound its
+    /// repair window.
+    pub new_edge_targets: Vec<AtomId>,
+    /// Swap-remove renames of ground rule ids
+    /// ([`crate::program::GroundProgram::remove_rule`] moving the last
+    /// rule into the freed slot), in chronological order — the other
+    /// half of the condensation-repair delta.
+    pub renames: Vec<RuleRename>,
     /// Ground rule instances added by this call.
     pub new_rules: usize,
     /// Negative literals resurrected onto existing instances.
@@ -347,10 +359,11 @@ impl IncrementalGrounder {
             grounder.edb_facts.insert(head);
             grounder.push_rule_checked(head, vec![], vec![])?;
         }
+        let mut initial = DeltaEffect::default(); // discarded: nothing to repair yet
         for ix in 0..grounder.compiled.len() {
             let emissions = grounder.join_rule(ix, None);
             for e in emissions {
-                grounder.admit(ix as u32, e)?;
+                grounder.admit(ix as u32, e, &mut initial)?;
             }
         }
         Ok(grounder)
@@ -506,6 +519,7 @@ impl IncrementalGrounder {
                     for rid in rules {
                         self.prog.add_neg_literal(rid, neg_atom);
                         effect.changed.push(self.prog.rule(rid).head);
+                        effect.new_edge_targets.push(neg_atom);
                         effect.resurrected += 1;
                     }
                 }
@@ -533,7 +547,7 @@ impl IncrementalGrounder {
                     if self.already_emitted(ix as u32, &e.sig) {
                         continue;
                     }
-                    let head = self.admit(ix as u32, e)?;
+                    let head = self.admit(ix as u32, e, &mut effect)?;
                     effect.changed.push(head);
                     effect.new_rules += 1;
                 }
@@ -541,6 +555,8 @@ impl IncrementalGrounder {
         }
         effect.changed.sort_unstable();
         effect.changed.dedup();
+        effect.new_edge_targets.sort_unstable();
+        effect.new_edge_targets.dedup();
         Ok(effect)
     }
 
@@ -583,6 +599,7 @@ impl IncrementalGrounder {
             effect.fresh |= one.fresh;
             effect.atom = one.atom.or(effect.atom);
             effect.changed.extend(one.changed);
+            effect.renames.extend(one.renames);
         }
         effect.changed.sort_unstable();
         effect.changed.dedup();
@@ -647,7 +664,7 @@ impl IncrementalGrounder {
         else {
             return effect; // the fact rule itself is gone — nothing to do
         };
-        if let Some(moved) = self.prog.remove_rule(rid) {
+        if let Some(moved) = self.prog.remove_rule_logged(rid, &mut effect.renames) {
             self.fix_moved_rule(moved, rid);
         }
         if self.need_dom {
@@ -904,6 +921,7 @@ impl IncrementalGrounder {
                     for rid in rules {
                         self.prog.add_neg_literal(rid, neg_atom);
                         effect.changed.push(self.prog.rule(rid).head);
+                        effect.new_edge_targets.push(neg_atom);
                         effect.resurrected += 1;
                     }
                 }
@@ -917,7 +935,7 @@ impl IncrementalGrounder {
                 if self.already_emitted(ix as u32, &e.sig) {
                     continue;
                 }
-                let head = self.admit(ix as u32, e)?;
+                let head = self.admit(ix as u32, e, &mut effect)?;
                 effect.changed.push(head);
                 effect.new_rules += 1;
             }
@@ -941,7 +959,7 @@ impl IncrementalGrounder {
                     if self.already_emitted(ix as u32, &e.sig) {
                         continue;
                     }
-                    let head = self.admit(ix as u32, e)?;
+                    let head = self.admit(ix as u32, e, &mut effect)?;
                     effect.changed.push(head);
                     effect.new_rules += 1;
                 }
@@ -949,6 +967,8 @@ impl IncrementalGrounder {
         }
         effect.changed.sort_unstable();
         effect.changed.dedup();
+        effect.new_edge_targets.sort_unstable();
+        effect.new_edge_targets.dedup();
         Ok(effect)
     }
 
@@ -989,6 +1009,7 @@ impl IncrementalGrounder {
             effect.fresh |= one.fresh;
             effect.atom = one.atom.or(effect.atom);
             effect.changed.extend(one.changed);
+            effect.renames.extend(one.renames);
         }
         // Highest index first: each swap-remove fills the freed slot from
         // the end, which in descending order is never an index still
@@ -1071,7 +1092,7 @@ impl IncrementalGrounder {
             for rules in self.dropped.values_mut() {
                 rules.retain(|&r| r != rid);
             }
-            if let Some(moved) = self.prog.remove_rule(rid) {
+            if let Some(moved) = self.prog.remove_rule_logged(rid, &mut effect.renames) {
                 self.fix_moved_rule(moved, rid);
                 for r in rids.iter_mut() {
                     if *r == moved {
@@ -1242,9 +1263,15 @@ impl IncrementalGrounder {
     }
 
     /// Intern one emission's atoms and append its ground rule, recording
-    /// the binding signature and any pruned negative literals. Returns the
-    /// instance's head atom.
-    fn admit(&mut self, ix: u32, e: Emission) -> Result<AtomId, GroundError> {
+    /// the binding signature, any pruned negative literals, and the new
+    /// instance's dependency-edge targets (into `effect`, for the
+    /// caller's condensation repair). Returns the instance's head atom.
+    fn admit(
+        &mut self,
+        ix: u32,
+        e: Emission,
+        effect: &mut DeltaEffect,
+    ) -> Result<AtomId, GroundError> {
         let head = self.intern_final(self.compiled[ix as usize].head.pred, &e.head);
         let body_preds: Vec<Symbol> = self.compiled[ix as usize]
             .body
@@ -1270,6 +1297,8 @@ impl IncrementalGrounder {
                 }
             }
         }
+        effect.new_edge_targets.extend_from_slice(&pos_ids);
+        effect.new_edge_targets.extend_from_slice(&neg_ids);
         let rid = self.push_rule_checked(head, pos_ids, neg_ids)?;
         for key in pruned {
             self.dropped.entry(key).or_default().push(rid);

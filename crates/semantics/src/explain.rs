@@ -152,7 +152,7 @@ impl<'p> Explainer<'p> {
         let mut pos_comp = vec![0u32; n];
         for (cid, comp) in sccs.iter().enumerate() {
             for &a in comp {
-                pos_comp[a] = cid as u32;
+                pos_comp[a as usize] = cid as u32;
             }
         }
         Some(Explainer {

@@ -45,13 +45,14 @@
 //! changed), components disjoint from the cone copy their stored truth
 //! values verbatim instead of being re-derived — the engine's `Session`
 //! uses this to make update-heavy workloads pay only for the cone they
-//! touch. The reuse check is **by atom id**, not component id: the
-//! condensation is rebuilt after every mutation (Tarjan ids are not
-//! stable), but atom ids are stable across in-place mutations, so a
-//! rebuilt condensation still reuses every component outside the cone.
-//! Atoms interned after the previous solve (heads and bodies a new rule
-//! brought into the program) fail the `a < old_n` universe check and are
-//! always evaluated.
+//! touch. The reuse check is **by atom id**, not component id: a
+//! mutation repairs the condensation in place
+//! (`Condensation::apply_delta` renumbers component ids inside the
+//! delta's window), but atom ids are stable across in-place mutations,
+//! so the repaired condensation still reuses every component outside the
+//! cone. Atoms interned after the previous solve (heads and bodies a new
+//! rule brought into the program) fail the `a < old_n` universe check
+//! and are always evaluated.
 
 use afp_core::interp::{PartialModel, Truth};
 use afp_datalog::atoms::AtomId;

@@ -37,7 +37,7 @@ pub fn local_strata(prog: &GroundProgram) -> Option<Vec<u32>> {
     let mut comp_of = vec![usize::MAX; n];
     for (cid, comp) in sccs.iter().enumerate() {
         for &a in comp {
-            comp_of[a] = cid;
+            comp_of[a as usize] = cid;
         }
     }
     // Negative arc inside a component ⇒ not locally stratified.
@@ -53,7 +53,7 @@ pub fn local_strata(prog: &GroundProgram) -> Option<Vec<u32>> {
     for (cid, comp) in sccs.iter().enumerate() {
         let mut s = 0;
         for &a in comp {
-            for &rid in prog.rules_with_head(afp_datalog::AtomId(a as u32)) {
+            for &rid in prog.rules_with_head(afp_datalog::AtomId(a)) {
                 let r = prog.rule(rid);
                 for &q in r.pos.iter() {
                     let qc = comp_of[q.index()];

@@ -449,7 +449,9 @@ fn print_stats(session: &SessionStats, service: Option<&afp::ServiceStats>, as_j
         "\"stats\":{{\"solves\":{},\"warm_solves\":{},\"snapshot_clones\":{},\
          \"snapshot_reuses\":{},\"regrounds\":{},\"asserts\":{},\"retracts\":{},\
          \"rule_asserts\":{},\"rule_retracts\":{},\"delta_rounds\":{},\
-         \"condensation_builds\":{},\"scc_solves\":{},\"last_components\":{},\
+         \"condensation_builds\":{},\"condensation_repairs\":{},\
+         \"last_repair_atoms\":{},\"last_repair_edges\":{},\
+         \"restricted_cond_hits\":{},\"scc_solves\":{},\"last_components\":{},\
          \"last_components_evaluated\":{},\"last_components_reused\":{},\
          \"last_seed_size\":{}}}",
         session.solves,
@@ -463,6 +465,10 @@ fn print_stats(session: &SessionStats, service: Option<&afp::ServiceStats>, as_j
         session.rule_retracts,
         session.delta_rounds,
         session.condensation_builds,
+        session.condensation_repairs,
+        session.last_repair_atoms,
+        session.last_repair_edges,
+        session.restricted_cond_hits,
         session.scc_solves,
         session.last_components,
         session.last_components_evaluated,

@@ -70,7 +70,7 @@ use afp_core::Strategy;
 use afp_datalog::ast::{Atom, Program, Rule};
 use afp_datalog::atoms::AtomId;
 use afp_datalog::bitset::AtomSet;
-use afp_datalog::depgraph::Condensation;
+use afp_datalog::depgraph::{Condensation, CondensationDelta, RuleRename};
 use afp_datalog::program::{GroundProgram, GroundRule};
 use afp_datalog::{
     GroundOptions, IncrementalGrounder, RetractOutcome, RuleAssertOutcome, SafetyPolicy,
@@ -258,6 +258,7 @@ impl Engine {
             dirty: Vec::new(),
             last_model: None,
             scc_cond: None,
+            restricted_conds: Vec::new(),
             stats: SessionStats::default(),
         })
     }
@@ -275,6 +276,7 @@ impl Engine {
             dirty: Vec::new(),
             last_model: None,
             scc_cond: None,
+            restricted_conds: Vec::new(),
             stats: SessionStats::default(),
         }
     }
@@ -322,11 +324,26 @@ pub struct SessionStats {
     pub rule_asserts: u64,
     /// Rules retracted through [`Session::retract_rules`].
     pub rule_retracts: u64,
-    /// Condensations built since load. Warm re-solves reuse the cached
-    /// condensation, so this stays at the number of mutations the session
-    /// actually solved across — relevance-restricted solves build their
-    /// own (restricted) condensation without evicting the cache.
+    /// Condensations built **from scratch** since load. The memoized
+    /// condensation is *repaired* in place across warm mutations
+    /// (`condensation_repairs`), so this stays at `1` across any warm
+    /// delta script — it counts only the first build, restricted-cone
+    /// cache misses, and rebuilds after a cold re-ground.
     pub condensation_builds: u64,
+    /// In-place condensation repairs ([`Condensation::apply_delta`]):
+    /// one per warm mutation batch that found a memoized condensation to
+    /// patch instead of evicting it.
+    pub condensation_repairs: u64,
+    /// Atoms the last condensation repair actually visited (its
+    /// localized-Tarjan window) — compare against the program's atom
+    /// count to see the repair staying delta-bounded.
+    pub last_repair_atoms: usize,
+    /// Dependency edges the last condensation repair inspected.
+    pub last_repair_edges: usize,
+    /// Relevance-restricted solves that found their restricted
+    /// condensation in the session's per-restriction cache (keyed by the
+    /// resolved query atom set; invalidated by any mutation).
+    pub restricted_cond_hits: u64,
     /// Well-founded solves taken by the SCC-stratified path.
     pub scc_solves: u64,
     /// Components in the condensation at the last SCC-stratified solve.
@@ -372,11 +389,23 @@ pub struct Session {
     /// and a re-solve with **no** pending deltas returns it outright
     /// (`SessionStats::snapshot_reuses`).
     last_model: Option<Arc<PartialModel>>,
-    /// Condensation of the current ground program; invalidated whenever
-    /// the program mutates, rebuilt (linear time) on the next SCC solve.
+    /// Condensation of the current ground program. Built (linear time)
+    /// on the first SCC solve, then **repaired in place** across warm
+    /// mutations ([`Condensation::apply_delta`] over the delta's window)
+    /// — only a cold re-ground, which renumbers atom ids, drops it.
     scc_cond: Option<Condensation>,
+    /// Condensations of relevance-restricted programs
+    /// ([`Session::solve_restricted`]), keyed by the resolved seed atom
+    /// set (sorted, deduplicated — compared by value, so equal keys
+    /// really mean an identical restricted program); cleared on any
+    /// mutation (the restricted cone's rules may change) and bounded to
+    /// a handful of entries.
+    restricted_conds: Vec<(Vec<AtomId>, Condensation)>,
     stats: SessionStats,
 }
+
+/// Entries kept in the per-restriction condensation cache.
+const RESTRICTED_COND_CACHE_CAP: usize = 16;
 
 impl Session {
     /// The current ground program.
@@ -426,8 +455,8 @@ impl Session {
                     }
                 };
                 if effect.fresh {
-                    self.dirty.extend(effect.changed);
-                    self.note_mutation();
+                    self.dirty.extend_from_slice(&effect.changed);
+                    self.note_mutation(&effect.changed, &effect.new_edge_targets, &effect.renames);
                     self.stats.delta_rounds += 1;
                 }
                 // Mirror into the retained AST: a later cold fallback
@@ -438,6 +467,7 @@ impl Session {
                 }
             }
             None => {
+                let mut touched: Vec<AtomId> = Vec::new();
                 for atom in &atoms {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
                     let id = intern_ast_atom(ground, atom, &symbols);
@@ -448,8 +478,11 @@ impl Session {
                     if !already {
                         ground.push_rule(id, vec![], vec![]);
                         self.dirty.push(id);
-                        self.note_mutation();
+                        touched.push(id);
                     }
+                }
+                if !touched.is_empty() {
+                    self.note_mutation(&touched, &[], &[]);
                 }
             }
         }
@@ -471,8 +504,12 @@ impl Session {
                 match g.retract_batch(&atoms, &symbols) {
                     RetractOutcome::Applied(effect) => {
                         if effect.fresh {
-                            self.dirty.extend(effect.changed);
-                            self.note_mutation();
+                            self.dirty.extend_from_slice(&effect.changed);
+                            self.note_mutation(
+                                &effect.changed,
+                                &effect.new_edge_targets,
+                                &effect.renames,
+                            );
                         }
                         // Mirror into the retained AST: a later cold
                         // fallback re-grounds from it and must not
@@ -492,6 +529,8 @@ impl Session {
                 }
             }
             None => {
+                let mut touched: Vec<AtomId> = Vec::new();
+                let mut renames: Vec<RuleRename> = Vec::new();
                 for atom in &atoms {
                     let ground = self.fixed.as_mut().expect("fixed or grounder");
                     let Some(id) = find_ast_atom(ground, atom, &symbols) else {
@@ -504,9 +543,12 @@ impl Session {
                     else {
                         continue;
                     };
-                    ground.remove_rule(rid);
+                    ground.remove_rule_logged(rid, &mut renames);
                     self.dirty.push(id);
-                    self.note_mutation();
+                    touched.push(id);
+                }
+                if !touched.is_empty() {
+                    self.note_mutation(&touched, &[], &renames);
                 }
             }
         }
@@ -537,8 +579,12 @@ impl Session {
                 match g.assert_rules(&parsed.rules, &parsed.symbols) {
                     Ok(RuleAssertOutcome::Applied(effect)) => {
                         if effect.fresh {
-                            self.dirty.extend(effect.changed);
-                            self.note_mutation();
+                            self.dirty.extend_from_slice(&effect.changed);
+                            self.note_mutation(
+                                &effect.changed,
+                                &effect.new_edge_targets,
+                                &effect.renames,
+                            );
                             self.stats.delta_rounds += 1;
                         }
                         // Mirror into the retained AST: a later cold
@@ -584,8 +630,12 @@ impl Session {
                 match g.retract_rules(&parsed.rules, &parsed.symbols) {
                     RetractOutcome::Applied(effect) => {
                         if effect.fresh {
-                            self.dirty.extend(effect.changed);
-                            self.note_mutation();
+                            self.dirty.extend_from_slice(&effect.changed);
+                            self.note_mutation(
+                                &effect.changed,
+                                &effect.new_edge_targets,
+                                &effect.renames,
+                            );
                         }
                         let ast = self.ast.as_mut().expect("grounder sessions retain the AST");
                         for rule in &parsed.rules {
@@ -613,6 +663,9 @@ impl Session {
                 )));
             }
         }
+        let mut touched: Vec<AtomId> = Vec::new();
+        let mut edge_targets: Vec<AtomId> = Vec::new();
+        let mut renames: Vec<RuleRename> = Vec::new();
         for rule in &parsed.rules {
             let ground = self.fixed.as_mut().expect("fixed or grounder");
             let head = intern_ast_atom(ground, &rule.head, &parsed.symbols);
@@ -634,17 +687,22 @@ impl Session {
                 .copied();
             match (assert, existing) {
                 (true, None) => {
+                    edge_targets.extend_from_slice(&pos);
+                    edge_targets.extend_from_slice(&neg);
                     ground.push_rule(head, pos, neg);
                     self.dirty.push(head);
-                    self.note_mutation();
+                    touched.push(head);
                 }
                 (false, Some(rid)) => {
-                    ground.remove_rule(rid);
+                    ground.remove_rule_logged(rid, &mut renames);
                     self.dirty.push(head);
-                    self.note_mutation();
+                    touched.push(head);
                 }
                 _ => {} // idempotent no-op
             }
+        }
+        if !touched.is_empty() {
+            self.note_mutation(&touched, &edge_targets, &renames);
         }
         Ok(())
     }
@@ -701,6 +759,10 @@ impl Session {
     /// meaningful. The solve is never warm-seeded, and it neither uses
     /// nor evicts the session's cached condensation and memoized model —
     /// a later unrestricted solve picks them up where it left them.
+    /// Repeated restricted solves of the **same** query set reuse a
+    /// per-restriction condensation cache
+    /// ([`SessionStats::restricted_cond_hits`]), invalidated by any
+    /// mutation.
     pub fn solve_restricted<I, S>(&mut self, queries: I) -> Result<Model, Error>
     where
         I: IntoIterator<Item = S>,
@@ -744,7 +806,7 @@ impl Session {
         let affected = warm_wfs.then(|| self.affected_cone());
         let ground = self.snapshot();
         let restricted = self.restrict_for_relevance(relevance, &ground)?;
-        let solve_on: &GroundProgram = restricted.as_ref().unwrap_or(&ground);
+        let solve_on: &GroundProgram = restricted.as_ref().map(|(p, _)| p).unwrap_or(&ground);
 
         let mut trace: Option<AfpTrace> = None;
         let mut stable: Vec<AtomSet> = Vec::new();
@@ -755,23 +817,37 @@ impl Session {
             Semantics::WellFounded {
                 strategy: WfStrategy::SccStratified,
             } if !record_trace => {
-                let cond = if restricted.is_none() {
-                    // Reuse the cached condensation of the full program
-                    // when the program has not mutated since it was built.
-                    match self.scc_cond.take() {
-                        Some(cond) => cond,
-                        None => {
-                            self.stats.condensation_builds += 1;
-                            Condensation::of(solve_on)
+                let cond = match &restricted {
+                    None => {
+                        // Reuse the memoized condensation of the full
+                        // program — kept current across mutations by
+                        // in-place repair, so its presence means it
+                        // condenses exactly the program being solved.
+                        match self.scc_cond.take() {
+                            Some(cond) => cond,
+                            None => {
+                                self.stats.condensation_builds += 1;
+                                Condensation::of(solve_on)
+                            }
                         }
                     }
-                } else {
-                    // A restricted solve condenses the *restricted*
-                    // program; the session cache describes the full one
-                    // and must survive untouched for the next
-                    // unrestricted solve.
-                    self.stats.condensation_builds += 1;
-                    Condensation::of(solve_on)
+                    Some((_, key)) => {
+                        // A restricted solve condenses the *restricted*
+                        // program; the session's full-program memo must
+                        // survive untouched, but repeated solves of the
+                        // same restriction hit their own cache (cleared
+                        // on any mutation).
+                        match self.restricted_conds.iter().position(|(k, _)| k == key) {
+                            Some(i) => {
+                                self.stats.restricted_cond_hits += 1;
+                                self.restricted_conds.swap_remove(i).1
+                            }
+                            None => {
+                                self.stats.condensation_builds += 1;
+                                Condensation::of(solve_on)
+                            }
+                        }
+                    }
                 };
                 let previous = match (&restricted, &self.last_model, &affected) {
                     (None, Some(model), Some(aff)) => Some((model.as_ref(), aff)),
@@ -787,12 +863,20 @@ impl Session {
                     self.stats.warm_solves += 1;
                 }
                 let model = Arc::new(result.model);
-                if restricted.is_none() {
-                    self.scc_cond = Some(cond);
-                    // Retention is a pointer copy: the session and the
-                    // returned `Model` share one allocation.
-                    self.last_model = Some(Arc::clone(&model));
-                    self.dirty.clear();
+                match &restricted {
+                    None => {
+                        self.scc_cond = Some(cond);
+                        // Retention is a pointer copy: the session and the
+                        // returned `Model` share one allocation.
+                        self.last_model = Some(Arc::clone(&model));
+                        self.dirty.clear();
+                    }
+                    Some((_, key)) => {
+                        if self.restricted_conds.len() >= RESTRICTED_COND_CACHE_CAP {
+                            self.restricted_conds.remove(0); // oldest entry
+                        }
+                        self.restricted_conds.push((key.clone(), cond));
+                    }
                 }
                 model
             }
@@ -855,7 +939,7 @@ impl Session {
             }
         };
         Ok(Model {
-            ground: restricted.map(Arc::new).unwrap_or(ground),
+            ground: restricted.map(|(p, _)| Arc::new(p)).unwrap_or(ground),
             semantics,
             assignment,
             stable,
@@ -927,18 +1011,58 @@ impl Session {
         }
     }
 
-    /// The program mutated in place: models must re-snapshot and the
-    /// condensation must be rebuilt. Warm models stay — the `dirty` set
-    /// records what they may no longer be right about.
-    fn note_mutation(&mut self) {
+    /// The program mutated in place: models must re-snapshot, the
+    /// per-restriction condensation cache is stale, and the memoized
+    /// condensation is **repaired** from the delta instead of dropped —
+    /// `touched`, `edge_targets`, and `renames` are the
+    /// [`CondensationDelta`] contract (heads whose rule set changed,
+    /// targets of possibly-new dependency edges, swap-remove rule-id
+    /// renames in order). Warm models stay — the `dirty` set records
+    /// what they may no longer be right about.
+    fn note_mutation(
+        &mut self,
+        touched: &[AtomId],
+        edge_targets: &[AtomId],
+        renames: &[RuleRename],
+    ) {
         self.snapshot = None;
-        self.scc_cond = None;
+        self.restricted_conds.clear();
+        if let Some(mut cond) = self.scc_cond.take() {
+            let prog = match &self.grounder {
+                Some(g) => g.program(),
+                None => self.fixed.as_ref().expect("fixed or grounder"),
+            };
+            let repair = cond.apply_delta(
+                prog,
+                &CondensationDelta {
+                    touched,
+                    new_edge_targets: edge_targets,
+                    renames,
+                },
+            );
+            self.stats.condensation_repairs += 1;
+            self.stats.last_repair_atoms = repair.atoms_visited;
+            self.stats.last_repair_edges = repair.edges_visited;
+            // Differential safety net: in debug builds every repair is
+            // checked against a from-scratch build (same partition, same
+            // rule sets, both orders topologically valid).
+            #[cfg(debug_assertions)]
+            {
+                let fresh = Condensation::of(prog);
+                debug_assert!(
+                    cond.same_decomposition(&fresh) && cond.is_consistent_with(prog),
+                    "condensation repair must reproduce the from-scratch decomposition"
+                );
+            }
+            self.scc_cond = Some(cond);
+        }
     }
 
     /// Atom ids changed (cold re-ground): drop every piece of warm state.
     fn clear_warm_state(&mut self) {
         self.last_model = None;
         self.scc_cond = None;
+        self.restricted_conds.clear();
         self.dirty.clear();
         self.snapshot = None;
     }
@@ -989,17 +1113,25 @@ impl Session {
     /// [`Session::solve_restricted`] query set). Queries that fail to
     /// parse are an error; queries naming atoms the grounder never
     /// materialized resolve to nothing (such atoms are false in every
-    /// semantics, and the empty cone answers exactly that).
+    /// semantics, and the empty cone answers exactly that). Alongside the
+    /// restricted program, returns the resolved seed atom set (sorted,
+    /// deduplicated) — the key of the per-restriction condensation cache
+    /// (atom ids are stable between mutations, and any mutation clears
+    /// the cache, so an equal seed set means an identical restricted
+    /// program).
     fn restrict_for_relevance(
         &self,
         queries: &[String],
         ground: &GroundProgram,
-    ) -> Result<Option<GroundProgram>, Error> {
+    ) -> Result<Option<(GroundProgram, Vec<AtomId>)>, Error> {
         if queries.is_empty() {
             return Ok(None);
         }
-        let seeds = relevance_seeds(queries, ground)?;
-        Ok(Some(afp_core::relevance::restrict_to_query(ground, &seeds)))
+        let mut seeds = relevance_seeds(queries, ground)?;
+        seeds.sort_unstable();
+        seeds.dedup();
+        let restricted = afp_core::relevance::restrict_to_query(ground, &seeds);
+        Ok(Some((restricted, seeds)))
     }
 }
 
