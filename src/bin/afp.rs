@@ -14,6 +14,14 @@
 //!       --retract <TEXT>  remove rules/facts from the session (repeatable)
 //!       --stats           print session (and serve-mode service) counters as JSON
 //!       --serve           serve FILE: read update/query commands from stdin
+//!       --listen <ADDR>   also serve the framed protocol over TCP (implies --serve;
+//!                         port 0 picks an ephemeral port, announced on stdout)
+//!       --socket <PATH>   also serve the framed protocol over a unix socket
+//!                         (implies --serve)
+//!       --queue-depth <N> bound the networked write queue (default 64); a full
+//!                         queue rejects submissions with an overloaded error
+//!       --max-conns <N>   connection limit per listener (default 32)
+//!       --submit-timeout-ms <N>  deadline for queued submissions (default: none)
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
@@ -25,32 +33,53 @@
 //!
 //! `--serve` runs the program behind [`afp::Service`]: the model is
 //! solved once and published as version 0, then stdin is read as one
-//! command per line against the live service —
+//! command per line against the live service. The grammar (shared with
+//! the network transport — see [`afp::net::codec`]):
 //!
 //! ```text
-//! query ATOM        truth of ATOM in the current version
-//! at VERSION ATOM   truth of ATOM in a cached earlier version
-//! assert TEXT       submit rules/facts; prints the published version
-//! retract TEXT      remove rules/facts; prints the published version
-//! model             print the current version's full model
-//! version           print the current version number
-//! stats             print service + session counters as JSON
-//! quit              exit (EOF works too)
+//! query ATOM            truth of ATOM in the current version
+//! at VERSION ATOM       truth of ATOM in a cached earlier version
+//! assert TEXT           submit rules/facts; prints the published version
+//! retract TEXT          remove rules/facts; prints the published version
+//! assert-facts TEXT     submit ground facts (fact fast path)
+//! retract-facts TEXT    remove ground facts (fact fast path)
+//! model                 print the current version's full model
+//! version               print the current version number
+//! log [SINCE]           applied deltas with version > SINCE
+//! stats                 print service + session (+ net) counters as JSON
+//! quit                  exit (EOF works too)
 //! ```
 //!
-//! Command errors are reported inline (`error: …` or `{"error": …}`) and
-//! the server keeps running — the published model chain is never left in
-//! a half-applied state.
+//! Command errors are reported inline as structured error lines
+//! (`error: …` or `{"error":{"kind":…,"message":…}}`) and the server
+//! keeps running — the published model chain is never left in a
+//! half-applied state, and serve mode exits nonzero only when the
+//! *transport* (stdin or a listener) fails, never because a command was
+//! malformed.
+//!
+//! With `--listen`/`--socket` the same service is additionally exposed
+//! over length-prefixed TCP / unix-socket framing ([`afp::NetServer`]):
+//! each bound endpoint is announced on stdout first
+//! (`% listening tcp 127.0.0.1:PORT` or its JSON twin), then stdin is
+//! served as usual; EOF or `quit` on stdin shuts the listeners down
+//! (draining queued writes) and exits.
 //!
 //! Exit codes: 0 ok; 1 no stable model (with `-s stable`) or query false;
-//! 2 usage / parse / grounding error.
+//! 2 usage / parse / grounding / transport error.
 
-use afp::{Engine, Error, Model, Semantics, SessionStats, Truth};
+use afp::net::codec::{self, Request, Response, ServeBackend};
+use afp::{
+    AsyncOptions, AsyncService, Engine, Error, Model, NetOptions, NetServer, NetStats, Semantics,
+    SessionStats, Shutdown, Truth,
+};
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE_HINT: &str = "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] \
-     [-n N] [-j] [--assert TEXT] [--retract TEXT] [--stats] [--serve] [--ground] [FILE]";
+     [-n N] [-j] [--assert TEXT] [--retract TEXT] [--stats] [--serve] [--listen ADDR] \
+     [--socket PATH] [--queue-depth N] [--max-conns N] [--submit-timeout-ms N] [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -62,6 +91,11 @@ struct Options {
     ground_only: bool,
     stats: bool,
     serve: bool,
+    listen: Option<String>,
+    socket: Option<String>,
+    queue_depth: usize,
+    max_conns: usize,
+    submit_timeout_ms: Option<u64>,
     /// Session updates in command-line order: `(assert?, program text)`.
     updates: Vec<(bool, String)>,
     file: Option<String>,
@@ -83,6 +117,11 @@ fn parse_args() -> Options {
         ground_only: false,
         stats: false,
         serve: false,
+        listen: None,
+        socket: None,
+        queue_depth: 64,
+        max_conns: 32,
+        submit_timeout_ms: None,
         updates: Vec::new(),
         file: None,
     };
@@ -109,6 +148,26 @@ fn parse_args() -> Options {
             "--retract" => {
                 let text = args.next().unwrap_or_else(|| usage());
                 options.updates.push((false, text));
+            }
+            "--listen" => {
+                options.listen = Some(args.next().unwrap_or_else(|| usage()));
+                options.serve = true;
+            }
+            "--socket" => {
+                options.socket = Some(args.next().unwrap_or_else(|| usage()));
+                options.serve = true;
+            }
+            "--queue-depth" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.queue_depth = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--max-conns" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.max_conns = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--submit-timeout-ms" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.submit_timeout_ms = Some(n.parse().unwrap_or_else(|_| usage()));
             }
             "--ground" => options.ground_only = true,
             "--stats" => options.stats = true,
@@ -172,7 +231,7 @@ fn main() -> ExitCode {
     // queries exit 2 without wasted work.
     let query: Option<(String, Vec<String>)> = match &options.query {
         None => None,
-        Some(text) => match parse_query(text) {
+        Some(text) => match codec::parse_query(text) {
             Ok(q) => Some(q),
             Err(msg) => {
                 eprintln!("afp: bad query: {msg}\n{USAGE_HINT}");
@@ -238,9 +297,9 @@ fn main() -> ExitCode {
         if options.json {
             println!(
                 "{{\"semantics\":{},\"query\":{},\"truth\":{}}}",
-                json_str(model.semantics().name()),
-                json_str(options.query.as_deref().unwrap_or_default()),
-                json_str(truth_name(truth))
+                codec::json_str(model.semantics().name()),
+                codec::json_str(options.query.as_deref().unwrap_or_default()),
+                codec::json_str(codec::truth_name(truth))
             );
         } else {
             println!("{truth:?}");
@@ -261,7 +320,7 @@ fn main() -> ExitCode {
         print_result(&model, semantics, &options)
     };
     if options.stats {
-        print_stats(session.stats(), None, options.json);
+        print_stats(session.stats(), None, None, options.json);
     }
     code
 }
@@ -312,10 +371,12 @@ fn print_result(model: &Model, semantics: Semantics, options: &Options) -> ExitC
     }
 }
 
-/// Serve mode: publish the program behind [`afp::Service`] and process
-/// one command per stdin line against the live service. Command failures
-/// are reported inline and the loop continues — a serving process must
-/// not die because one update was malformed.
+/// Serve mode: publish the program behind [`afp::Service`], optionally
+/// expose it over TCP/unix listeners, and process one command per stdin
+/// line against the live service — through the shared
+/// [`codec`](afp::net::codec), so stdin and the wire speak one grammar
+/// and one error shape. Command failures are reported inline and the
+/// loop continues; only transport failures exit nonzero.
 fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
     let service = match engine.serve(src) {
         Ok(s) => s,
@@ -332,168 +393,174 @@ fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
             return report_error(&e);
         }
     }
-    let report = |msg: &str| {
-        if options.json {
-            println!("{{\"error\":{}}}", json_str(msg));
-        } else {
-            println!("error: {msg}");
+
+    // The networked tier, when any listener is requested: one dedicated
+    // writer thread and bounded queue shared by every endpoint
+    // (including stdin submissions, so backpressure is uniform).
+    let mut tier: Option<Arc<AsyncService>> = None;
+    let mut servers: Vec<NetServer> = Vec::new();
+    if options.listen.is_some() || options.socket.is_some() {
+        let t = Arc::new(AsyncService::new(
+            service.clone(),
+            AsyncOptions {
+                queue_depth: options.queue_depth,
+                submit_deadline: options.submit_timeout_ms.map(Duration::from_millis),
+            },
+        ));
+        let net_options = NetOptions {
+            max_conns: options.max_conns,
+            ..NetOptions::default()
+        };
+        if let Some(addr) = &options.listen {
+            match NetServer::bind_tcp(Arc::clone(&t), addr.as_str(), net_options) {
+                Ok(server) => {
+                    announce("tcp", server.addr(), options.json);
+                    servers.push(server);
+                }
+                Err(e) => {
+                    eprintln!("afp: cannot listen on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
+        if let Some(path) = &options.socket {
+            match NetServer::bind_unix(Arc::clone(&t), path, net_options) {
+                Ok(server) => {
+                    announce("unix", server.addr(), options.json);
+                    servers.push(server);
+                }
+                Err(e) => {
+                    eprintln!("afp: cannot bind socket {path}: {e}");
+                    for server in &servers {
+                        server.shutdown();
+                    }
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        tier = Some(t);
+    }
+
+    // Writes from stdin take the networked queue when it exists, so one
+    // admission-control policy governs every front end.
+    let backend: &dyn ServeBackend = match &tier {
+        Some(t) => t.as_ref(),
+        None => &service,
     };
+    let full_stats = || {
+        codec::stats_json(
+            &service.session_stats(),
+            Some(&service.stats()),
+            tier.as_ref()
+                .map(|t| merged_net_stats(t, &servers))
+                .as_ref(),
+        )
+    };
+
+    let mut transport_failed = false;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("afp: stdin transport failure: {e}");
+                transport_failed = true;
+                break;
+            }
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (command, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        match command {
-            "quit" | "exit" => break,
-            "version" => {
-                if options.json {
-                    println!("{{\"version\":{}}}", service.version());
-                } else {
-                    println!("{}", service.version());
-                }
-            }
-            "stats" => print_stats(&service.session_stats(), Some(&service.stats()), true),
-            "model" => {
-                let snapshot = service.snapshot();
-                if options.json {
-                    print_assignment_json(snapshot.model());
-                } else {
-                    println!("% version {}", snapshot.version());
-                    print_partial(snapshot.model());
-                }
-            }
-            "query" => match parse_query(rest) {
-                Ok((pred, args)) => {
-                    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-                    let snapshot = service.snapshot();
-                    let truth = snapshot.truth(&pred, &refs);
-                    if options.json {
-                        println!(
-                            "{{\"version\":{},\"query\":{},\"truth\":{}}}",
-                            snapshot.version(),
-                            json_str(rest),
-                            json_str(truth_name(truth))
-                        );
-                    } else {
-                        println!("{truth:?}");
-                    }
-                }
-                Err(msg) => report(&format!("bad query: {msg}")),
-            },
-            "at" => {
-                let (version, atom) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
-                match (version.parse::<u64>(), parse_query(atom)) {
-                    (Ok(version), Ok((pred, args))) => match service.at_version(version) {
-                        Some(snapshot) => {
-                            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-                            let truth = snapshot.truth(&pred, &refs);
-                            if options.json {
-                                println!(
-                                    "{{\"version\":{version},\"query\":{},\"truth\":{}}}",
-                                    json_str(atom),
-                                    json_str(truth_name(truth))
-                                );
-                            } else {
-                                println!("{truth:?}");
-                            }
-                        }
-                        None => report(&format!("version {version} not cached")),
-                    },
-                    (Err(_), _) => report("usage: at VERSION ATOM"),
-                    (_, Err(msg)) => report(&format!("bad query: {msg}")),
-                }
-            }
-            "assert" | "retract" => {
-                let result = if command == "assert" {
-                    service.assert_rules(rest)
-                } else {
-                    service.retract_rules(rest)
-                };
-                match result {
-                    Ok(version) => {
-                        if options.json {
-                            println!("{{\"ok\":true,\"version\":{version}}}");
-                        } else {
-                            println!("ok {version}");
-                        }
-                    }
-                    Err(e) => report(&e.to_string()),
-                }
-            }
-            other => report(&format!(
-                "unknown command {other:?} (query/at/assert/retract/model/version/stats/quit)"
-            )),
+        let response = match codec::parse_command(line) {
+            Ok(Request::Quit) => break,
+            // `stats` is answered here, not in `execute`, so the CLI can
+            // fold in connection counters from its listeners.
+            Ok(Request::Stats) => Response::Stats { json: full_stats() },
+            Ok(request) => codec::execute(backend, &request),
+            Err(message) => Response::protocol_error(message),
+        };
+        if options.json {
+            println!("{}", codec::render_json(&response));
+        } else {
+            println!("{}", codec::render_plain(&response));
         }
     }
+
+    // Deterministic teardown: stop accepting, close connections, then
+    // drain the write queue so every accepted submission resolves.
+    for server in &servers {
+        server.shutdown();
+    }
+    if let Some(t) = &tier {
+        t.shutdown(Shutdown::Drain);
+    }
+
     // `--stats` reports the final counters at exit, like one-shot mode
     // (the interactive `stats` command reports them mid-session).
     if options.stats {
         print_stats(
             &service.session_stats(),
             Some(&service.stats()),
+            tier.as_ref()
+                .map(|t| merged_net_stats(t, &servers))
+                .as_ref(),
             options.json,
         );
     }
-    ExitCode::SUCCESS
+    if transport_failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
-/// Print session (and, in serve mode, service) counters as one JSON
-/// object. Plain (non-`--json`) one-shot output prefixes it as a `%`
-/// comment so downstream fact parsers stay happy.
-fn print_stats(session: &SessionStats, service: Option<&afp::ServiceStats>, as_json: bool) {
-    let mut body = format!(
-        "\"stats\":{{\"solves\":{},\"warm_solves\":{},\"snapshot_clones\":{},\
-         \"snapshot_reuses\":{},\"regrounds\":{},\"asserts\":{},\"retracts\":{},\
-         \"rule_asserts\":{},\"rule_retracts\":{},\"delta_rounds\":{},\
-         \"condensation_builds\":{},\"condensation_repairs\":{},\
-         \"last_repair_atoms\":{},\"last_repair_edges\":{},\
-         \"restricted_cond_hits\":{},\"scc_solves\":{},\"last_components\":{},\
-         \"last_components_evaluated\":{},\"last_components_reused\":{},\
-         \"last_seed_size\":{}}}",
-        session.solves,
-        session.warm_solves,
-        session.snapshot_clones,
-        session.snapshot_reuses,
-        session.regrounds,
-        session.asserts,
-        session.retracts,
-        session.rule_asserts,
-        session.rule_retracts,
-        session.delta_rounds,
-        session.condensation_builds,
-        session.condensation_repairs,
-        session.last_repair_atoms,
-        session.last_repair_edges,
-        session.restricted_cond_hits,
-        session.scc_solves,
-        session.last_components,
-        session.last_components_evaluated,
-        session.last_components_reused,
-        session.last_seed_size,
-    );
-    if let Some(s) = service {
-        body.push_str(&format!(
-            ",\"service\":{{\"version\":{},\"submissions\":{},\"write_cycles\":{},\
-             \"coalesced\":{},\"rejected\":{},\"pins\":{},\"cache_hits\":{},\
-             \"cache_misses\":{}}}",
-            s.version,
-            s.submissions,
-            s.write_cycles,
-            s.coalesced,
-            s.rejected,
-            s.pins,
-            s.cache_hits,
-            s.cache_misses,
-        ));
-    }
-    if as_json {
-        println!("{{{body}}}");
+/// Announce a bound endpoint on stdout — first, so callers binding port
+/// 0 (or waiting for readiness) can parse the real address.
+fn announce(transport: &str, addr: &str, json: bool) {
+    if json {
+        println!(
+            "{{\"listening\":{{\"transport\":{},\"addr\":{}}}}}",
+            codec::json_str(transport),
+            codec::json_str(addr)
+        );
     } else {
-        println!("% stats {{{body}}}");
+        println!("% listening {transport} {addr}");
+    }
+}
+
+/// Queue/latency counters from the shared tier plus connection counters
+/// from every listener (tier stats leave connection fields zero, so the
+/// sum never double-counts).
+fn merged_net_stats(tier: &AsyncService, servers: &[NetServer]) -> NetStats {
+    let mut net = tier.stats();
+    for server in servers {
+        let s = server.stats();
+        net.conns_accepted += s.conns_accepted;
+        net.conns_rejected += s.conns_rejected;
+        net.conns_open += s.conns_open;
+        net.frames_in += s.frames_in;
+        net.frames_out += s.frames_out;
+    }
+    net
+}
+
+/// Print session (and, in serve mode, service + net) counters as one
+/// JSON object — serialized by [`codec::stats_json`], the same helper
+/// behind the interactive `stats` command and the wire protocol, so the
+/// shapes cannot drift. Plain (non-`--json`) output prefixes it as a
+/// `%` comment so downstream fact parsers stay happy.
+fn print_stats(
+    session: &SessionStats,
+    service: Option<&afp::ServiceStats>,
+    net: Option<&NetStats>,
+    as_json: bool,
+) {
+    let body = codec::stats_json(session, service, net);
+    if as_json {
+        println!("{body}");
+    } else {
+        println!("% stats {body}");
     }
 }
 
@@ -503,22 +570,6 @@ fn report_error(e: &Error) -> ExitCode {
         other => eprintln!("afp: {other}"),
     }
     ExitCode::from(2)
-}
-
-/// Parse `pred(c1, …, ck)` into plain names; rejects variables.
-fn parse_query(text: &str) -> Result<(String, Vec<String>), String> {
-    let mut tmp = afp::Program::new();
-    let atom = afp::datalog::parser::parse_atom_into(text, &mut tmp).map_err(|e| e.to_string())?;
-    if !atom.is_ground() {
-        return Err("query must be a ground atom".into());
-    }
-    let pred = tmp.symbols.name(atom.pred).to_string();
-    let args = atom
-        .args
-        .iter()
-        .map(|t| afp::datalog::ast::display_term(t, &tmp.symbols))
-        .collect();
-    Ok((pred, args))
 }
 
 fn sorted(iter: impl Iterator<Item = String>) -> Vec<String> {
@@ -539,11 +590,11 @@ fn print_partial(model: &Model) {
 fn print_assignment_json(model: &Model) {
     println!(
         "{{\"semantics\":{},\"total\":{},\"true\":{},\"false\":{},\"undefined\":{}}}",
-        json_str(model.semantics().name()),
+        codec::json_str(model.semantics().name()),
         model.is_total(),
-        json_list(sorted(model.true_atoms())),
-        json_list(sorted(model.false_atoms())),
-        json_list(sorted(model.undefined_atoms())),
+        codec::json_list(&sorted(model.true_atoms())),
+        codec::json_list(&sorted(model.false_atoms())),
+        codec::json_list(&sorted(model.undefined_atoms())),
     );
 }
 
@@ -551,7 +602,7 @@ fn print_stable_json(model: &Model) {
     let models: Vec<String> = model
         .stable_models()
         .iter()
-        .map(|m| json_list(model.ground().set_to_names(m)))
+        .map(|m| codec::json_list(&model.ground().set_to_names(m)))
         .collect();
     println!(
         "{{\"semantics\":\"stable\",\"complete\":{},\"count\":{},\"models\":[{}]}}",
@@ -559,35 +610,4 @@ fn print_stable_json(model: &Model) {
         model.stable_models().len(),
         models.join(",")
     );
-}
-
-fn truth_name(t: Truth) -> &'static str {
-    match t {
-        Truth::True => "true",
-        Truth::False => "false",
-        Truth::Undefined => "undefined",
-    }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_list(items: Vec<String>) -> String {
-    let quoted: Vec<String> = items.iter().map(|s| json_str(s)).collect();
-    format!("[{}]", quoted.join(","))
 }

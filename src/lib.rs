@@ -64,12 +64,16 @@ pub use afp_fol as fol;
 pub use afp_semantics as semantics;
 
 pub mod engine;
+pub mod net;
 pub mod service;
 
 pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
 pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
 pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats, WfStrategy};
+pub use net::{
+    AsyncOptions, AsyncService, NetOptions, NetServer, NetStats, Shutdown, SubmitHandle,
+};
 pub use service::{AppliedDelta, DeltaKind, ModelSnapshot, Service, ServiceOptions, ServiceStats};
 
 use std::fmt;
@@ -95,6 +99,33 @@ pub enum Error {
     /// queued delta could be applied. The delta was **not** applied and
     /// no version containing it was published; resubmitting is safe.
     WriterAborted,
+    /// The bounded write queue of an [`AsyncService`] was full at
+    /// submission time. The delta was **not** enqueued; this is the
+    /// admission-control verdict, returned immediately (a full queue
+    /// never blocks the submitter). Back off and resubmit.
+    Overloaded,
+    /// A queued submission's deadline expired before the writer thread
+    /// picked it up. The delta was **not** applied; resubmitting is
+    /// safe.
+    SubmitTimeout,
+    /// The [`AsyncService`] was shut down (or is shutting down) before
+    /// this delta could be applied. Aborted submissions were **not**
+    /// applied; resubmitting against a live service is safe.
+    ServiceStopped,
+    /// The requested version is outside the service's bounded retention
+    /// window: [`Service::at_version`] past the version cache, or a
+    /// changelog read reaching behind
+    /// [`ServiceOptions::changelog_capacity`]. Retention is bounded so
+    /// sustained writes cannot grow memory without limit; raise the
+    /// capacities if you need deeper history.
+    VersionEvicted {
+        /// The version (or changelog horizon) that was asked for.
+        requested: u64,
+        /// The oldest version still fully retained.
+        retained_from: u64,
+        /// The newest published version at the time of the read.
+        retained_to: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -120,6 +151,35 @@ impl fmt::Display for Error {
                     f,
                     "service writer aborted before applying this delta (not applied; \
                      resubmitting is safe)"
+                )
+            }
+            Error::Overloaded => {
+                write!(
+                    f,
+                    "write queue full: submission rejected by admission control \
+                     (not enqueued; back off and resubmit)"
+                )
+            }
+            Error::SubmitTimeout => {
+                write!(
+                    f,
+                    "submission deadline expired while queued (not applied; \
+                     resubmitting is safe)"
+                )
+            }
+            Error::ServiceStopped => {
+                write!(f, "service stopped before this delta could be applied")
+            }
+            Error::VersionEvicted {
+                requested,
+                retained_from,
+                retained_to,
+            } => {
+                write!(
+                    f,
+                    "version {requested} is outside the retained window \
+                     [{retained_from}, {retained_to}] (bounded retention; \
+                     raise cache/changelog capacity for deeper history)"
                 )
             }
         }

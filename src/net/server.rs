@@ -1,0 +1,537 @@
+//! The length-prefixed transport: TCP and unix-socket front ends over
+//! one shared [`AsyncService`].
+//!
+//! Wire format: every frame is a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8. Client→server payloads are
+//! single command lines in the exact grammar the stdin `--serve` mode
+//! reads (see [`super::codec`]); server→client payloads are single JSON
+//! objects — the same ones `--serve --json` prints. One request frame
+//! yields exactly one response frame, in order, except `quit`, which
+//! closes the connection without a reply.
+//!
+//! Threading model: one OS thread per connection. Read commands run
+//! against pinned [`crate::ModelSnapshot`]s on the connection's own
+//! thread — lock-free, so N readers scale exactly like the in-process
+//! tier. Write commands funnel into the shared [`AsyncService`] queue
+//! and block their own connection only; admission-control verdicts
+//! ([`crate::Error::Overloaded`], [`crate::Error::SubmitTimeout`]) come
+//! back as structured error frames. Connections beyond
+//! [`NetOptions::max_conns`] are refused with one error frame; idle
+//! connections are dropped after [`NetOptions::read_timeout`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::codec::{
+    self, execute, parse_command, render_json, write_frame, Request, Response, ServeBackend,
+};
+use super::writer::AsyncService;
+use super::NetStats;
+use crate::service::ModelSnapshot;
+use crate::{AppliedDelta, DeltaKind, Error};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetOptions {
+    /// Maximum concurrently open connections. Arrivals beyond the limit
+    /// receive one `{"error":{"kind":"overloaded",…}}` frame and are
+    /// closed — refused loudly, not queued silently.
+    pub max_conns: usize,
+    /// Drop a connection that sends no complete request for this long.
+    /// `None` = wait forever (shutdown can still force-close it).
+    pub read_timeout: Option<Duration>,
+    /// Give up on a client that won't accept its response for this long.
+    pub write_timeout: Option<Duration>,
+    /// Refuse request frames larger than this many bytes.
+    pub max_frame_len: u32,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            max_conns: 32,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_frame_len: codec::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// One duplex byte stream, TCP or unix — just enough of a facade that
+/// the accept loop and connection loop are written once.
+trait Conn: Read + Write + Send {
+    fn configure(&self, options: &NetOptions) -> io::Result<()>;
+    fn shutdown_both(&self);
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+}
+
+impl Conn for TcpStream {
+    fn configure(&self, options: &NetOptions) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(options.read_timeout)?;
+        self.set_write_timeout(options.write_timeout)?;
+        self.set_nodelay(true)
+    }
+    fn shutdown_both(&self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
+    }
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Conn for UnixStream {
+    fn configure(&self, options: &NetOptions) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(options.read_timeout)?;
+        self.set_write_timeout(options.write_timeout)
+    }
+    fn shutdown_both(&self) {
+        let _ = UnixStream::shutdown(self, std::net::Shutdown::Both);
+    }
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+trait Listener: Send {
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>>;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+}
+
+impl Listener for TcpListener {
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        self.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>)
+    }
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpListener::set_nonblocking(self, nonblocking)
+    }
+}
+
+impl Listener for UnixListener {
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        self.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>)
+    }
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        UnixListener::set_nonblocking(self, nonblocking)
+    }
+}
+
+struct Inner {
+    tier: Arc<AsyncService>,
+    options: NetOptions,
+    stop: AtomicBool,
+    conns_accepted: AtomicU64,
+    conns_rejected: AtomicU64,
+    conns_open: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    /// Clones of every accepted stream, so shutdown can force blocked
+    /// reads to return.
+    conns: Mutex<Vec<Box<dyn Conn>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn net_stats(&self) -> NetStats {
+        let mut stats = self.tier.stats();
+        stats.conns_accepted = self.conns_accepted.load(Ordering::Relaxed);
+        stats.conns_rejected = self.conns_rejected.load(Ordering::Relaxed);
+        stats.conns_open = self.conns_open.load(Ordering::Relaxed);
+        stats.frames_in = self.frames_in.load(Ordering::Relaxed);
+        stats.frames_out = self.frames_out.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+impl ServeBackend for Inner {
+    fn snapshot(&self) -> ModelSnapshot {
+        self.tier.service().snapshot()
+    }
+    fn version(&self) -> u64 {
+        self.tier.service().version()
+    }
+    fn at_version(&self, version: u64) -> Result<ModelSnapshot, Error> {
+        self.tier.service().at_version(version)
+    }
+    fn submit(&self, kind: DeltaKind, text: &str) -> Result<u64, Error> {
+        self.tier.submit(kind, text)?.wait()
+    }
+    fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
+        self.tier.service().changelog_since(since)
+    }
+    fn stats_json(&self) -> String {
+        codec::stats_json(
+            &self.tier.service().session_stats(),
+            Some(&self.tier.service().stats()),
+            Some(&self.net_stats()),
+        )
+    }
+}
+
+/// One listening socket (TCP or unix) serving the framed protocol over
+/// a shared [`AsyncService`]. Several servers may share one tier — the
+/// CLI binds `--listen` and `--socket` to the same queue — and shutting
+/// a server down never shuts the tier down.
+pub struct NetServer {
+    inner: Arc<Inner>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    addr: String,
+    unix_path: Option<PathBuf>,
+}
+
+impl NetServer {
+    /// Bind a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral port;
+    /// [`NetServer::addr`] reports what was actually bound) and start
+    /// accepting.
+    pub fn bind_tcp(
+        tier: Arc<AsyncService>,
+        addr: impl ToSocketAddrs,
+        options: NetOptions,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(NetServer::start(
+            tier,
+            Box::new(listener),
+            options,
+            addr,
+            None,
+        ))
+    }
+
+    /// Bind a unix-domain socket at `path` (must not already exist) and
+    /// start accepting. The socket file is removed on shutdown.
+    pub fn bind_unix(
+        tier: Arc<AsyncService>,
+        path: impl AsRef<Path>,
+        options: NetOptions,
+    ) -> io::Result<NetServer> {
+        let path = path.as_ref().to_path_buf();
+        let listener = UnixListener::bind(&path)?;
+        let addr = path.display().to_string();
+        Ok(NetServer::start(
+            tier,
+            Box::new(listener),
+            options,
+            addr,
+            Some(path),
+        ))
+    }
+
+    fn start(
+        tier: Arc<AsyncService>,
+        listener: Box<dyn Listener>,
+        options: NetOptions,
+        addr: String,
+        unix_path: Option<PathBuf>,
+    ) -> NetServer {
+        let inner = Arc::new(Inner {
+            tier,
+            options,
+            stop: AtomicBool::new(false),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("afp-net-accept".into())
+                .spawn(move || accept_loop(listener, &inner))
+                .expect("spawn accept thread")
+        };
+        NetServer {
+            inner,
+            accept: Mutex::new(Some(accept)),
+            addr,
+            unix_path,
+        }
+    }
+
+    /// The bound address: `host:port` for TCP (with the real port even
+    /// when bound to port 0), the socket path for unix.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Transport + writer-tier counters, merged.
+    pub fn stats(&self) -> NetStats {
+        self.inner.net_stats()
+    }
+
+    /// Stop accepting, force-close every open connection, and join all
+    /// transport threads. Idempotent. The shared [`AsyncService`] is
+    /// left running — shut it down separately once every server
+    /// fronting it is down.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = lock(&self.accept).take() {
+            let _ = handle.join();
+        }
+        for conn in lock(&self.inner.conns).drain(..) {
+            conn.shutdown_both();
+        }
+        for handle in lock(&self.inner.workers).drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Accept until told to stop. The listener runs nonblocking with a
+/// short sleep so a stop flag is noticed promptly without a wake-up
+/// channel; accepted streams are switched back to blocking mode.
+fn accept_loop(listener: Box<dyn Listener>, inner: &Arc<Inner>) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept_conn() {
+            Ok(conn) => admit(conn, inner),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn admit(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
+    if inner.conns_open.load(Ordering::Relaxed) >= inner.options.max_conns as u64 {
+        inner.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        let refusal = Response::Error {
+            kind: "overloaded",
+            message: format!(
+                "connection limit {} reached; retry later",
+                inner.options.max_conns
+            ),
+        };
+        let _ = conn.configure(&inner.options);
+        let _ = write_frame(&mut *conn, render_json(&refusal).as_bytes());
+        conn.shutdown_both();
+        return;
+    }
+    if conn.configure(&inner.options).is_err() {
+        conn.shutdown_both();
+        return;
+    }
+    inner.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    inner.conns_open.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = conn.try_clone_conn() {
+        lock(&inner.conns).push(clone);
+    }
+    let worker = {
+        let inner = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name("afp-net-conn".into())
+            .spawn(move || {
+                serve_conn(conn, &inner);
+                inner.conns_open.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn connection thread")
+    };
+    lock(&inner.workers).push(worker);
+}
+
+/// One connection's request/response loop. Command failures are
+/// reported as error frames and the loop continues; transport failures
+/// (mid-frame EOF, timeouts, oversized frames, broken pipes) end the
+/// connection.
+fn serve_conn(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match codec::read_frame(&mut *conn, inner.options.max_frame_len) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => break,
+        };
+        inner.frames_in.fetch_add(1, Ordering::Relaxed);
+        let line = String::from_utf8_lossy(&payload);
+        let response = match parse_command(&line) {
+            Ok(Request::Quit) => break,
+            Ok(request) => execute(inner.as_ref(), &request),
+            Err(message) => Response::protocol_error(message),
+        };
+        if write_frame(&mut *conn, render_json(&response).as_bytes()).is_err() {
+            break;
+        }
+        inner.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+    conn.shutdown_both();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::writer::AsyncOptions;
+    use crate::Engine;
+
+    const WIN_MOVE: &str =
+        "wins(X) :- move(X, Y), not wins(Y). move(a, b). move(b, a). move(b, c).";
+
+    fn tier() -> Arc<AsyncService> {
+        let service = Engine::default().serve(WIN_MOVE).unwrap();
+        Arc::new(AsyncService::new(service, AsyncOptions::default()))
+    }
+
+    fn send(conn: &mut TcpStream, line: &str) -> String {
+        write_frame(conn, line.as_bytes()).unwrap();
+        let payload = codec::read_frame(conn, codec::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("response frame");
+        String::from_utf8(payload).unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip_speaks_the_serve_protocol() {
+        let tier = tier();
+        let server =
+            NetServer::bind_tcp(Arc::clone(&tier), "127.0.0.1:0", NetOptions::default()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+
+        assert_eq!(
+            send(&mut conn, "query wins(b)"),
+            "{\"version\":0,\"query\":\"wins(b)\",\"truth\":\"true\"}"
+        );
+        assert_eq!(
+            send(&mut conn, "assert-facts move(c, d)."),
+            "{\"ok\":true,\"version\":1}"
+        );
+        assert_eq!(
+            send(&mut conn, "query wins(c)"),
+            "{\"version\":1,\"query\":\"wins(c)\",\"truth\":\"true\"}"
+        );
+        assert_eq!(send(&mut conn, "version"), "{\"version\":1}");
+
+        // Malformed commands are error frames, not connection errors.
+        let err = send(&mut conn, "bogus nonsense");
+        assert!(
+            err.starts_with("{\"error\":{\"kind\":\"protocol\""),
+            "{err}"
+        );
+        let err = send(&mut conn, "at 99 wins(a)");
+        assert!(err.contains("\"kind\":\"version-evicted\""), "{err}");
+        // …and the connection still works afterwards.
+        assert_eq!(send(&mut conn, "version"), "{\"version\":1}");
+
+        // quit closes without a reply frame.
+        write_frame(&mut conn, b"quit").unwrap();
+        assert!(codec::read_frame(&mut conn, codec::DEFAULT_MAX_FRAME_LEN)
+            .map(|f| f.is_none())
+            .unwrap_or(true));
+
+        let stats = server.stats();
+        assert_eq!(stats.conns_accepted, 1);
+        assert_eq!(stats.frames_in, 8);
+        assert_eq!(stats.frames_out, 7, "quit is unanswered");
+        server.shutdown();
+        tier.shutdown(crate::Shutdown::Drain);
+    }
+
+    #[test]
+    fn connection_limit_refuses_loudly() {
+        let tier = tier();
+        let options = NetOptions {
+            max_conns: 1,
+            ..NetOptions::default()
+        };
+        let server = NetServer::bind_tcp(Arc::clone(&tier), "127.0.0.1:0", options).unwrap();
+        let mut first = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(send(&mut first, "version"), "{\"version\":0}");
+
+        // Second connection: one overloaded frame, then EOF.
+        let mut second = TcpStream::connect(server.addr()).unwrap();
+        let refusal = codec::read_frame(&mut second, codec::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .expect("refusal frame");
+        let refusal = String::from_utf8(refusal).unwrap();
+        assert!(
+            refusal.starts_with("{\"error\":{\"kind\":\"overloaded\""),
+            "{refusal}"
+        );
+
+        let stats = server.stats();
+        assert_eq!(stats.conns_accepted, 1);
+        assert_eq!(stats.conns_rejected, 1);
+        server.shutdown();
+        tier.shutdown(crate::Shutdown::Drain);
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let tier = tier();
+        let path = std::env::temp_dir().join(format!("afp-net-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let server = NetServer::bind_unix(Arc::clone(&tier), &path, NetOptions::default()).unwrap();
+        let mut conn = UnixStream::connect(&path).unwrap();
+        write_frame(&mut conn, b"query wins(b)").unwrap();
+        let payload = codec::read_frame(&mut conn, codec::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            String::from_utf8(payload).unwrap(),
+            "{\"version\":0,\"query\":\"wins(b)\",\"truth\":\"true\"}"
+        );
+        drop(conn);
+        server.shutdown();
+        assert!(!path.exists(), "socket file removed on shutdown");
+        tier.shutdown(crate::Shutdown::Drain);
+    }
+
+    #[test]
+    fn server_shutdown_force_closes_idle_connections() {
+        let tier = tier();
+        let options = NetOptions {
+            read_timeout: None, // idle forever — only shutdown can end it
+            ..NetOptions::default()
+        };
+        let server = NetServer::bind_tcp(Arc::clone(&tier), "127.0.0.1:0", options).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(send(&mut conn, "version"), "{\"version\":0}");
+        // Shutdown must not hang on the idle connection…
+        server.shutdown();
+        // …and the client sees EOF or an error, never a hang.
+        let after = codec::read_frame(&mut conn, codec::DEFAULT_MAX_FRAME_LEN);
+        assert!(matches!(after, Ok(None) | Err(_)));
+        tier.shutdown(crate::Shutdown::Drain);
+    }
+}

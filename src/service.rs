@@ -113,7 +113,7 @@ impl DeltaKind {
 
 /// A delta that made it into a published version — one entry of
 /// [`Service::changelog`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppliedDelta {
     /// The version whose snapshot first includes this delta.
     pub version: u64,
@@ -168,6 +168,16 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// [`Service::at_version`] requests for versions outside the cache.
     pub cache_misses: u64,
+    /// Changelog entries dropped by bounded retention
+    /// ([`ServiceOptions::changelog_capacity`]). Non-zero means full
+    /// history reconstruction is no longer possible and
+    /// [`Service::changelog`] returns [`Error::VersionEvicted`].
+    pub changelog_evicted: u64,
+    /// Submissions in the most recent write cycle (the coalesce width:
+    /// `1` for a lone writer, larger under contention).
+    pub last_cycle_width: u64,
+    /// Largest write-cycle batch so far.
+    pub max_cycle_width: u64,
 }
 
 /// A pinned, immutable view of one published program version. Cloning is
@@ -226,11 +236,19 @@ impl std::fmt::Debug for ModelSnapshot {
 }
 
 /// One queued submission: the delta plus the slot its submitter blocks
-/// on until the cycle that applies it publishes (or fails).
-struct Pending {
-    kind: DeltaKind,
-    text: String,
-    slot: Arc<Slot>,
+/// on until the cycle that applies it publishes (or fails). The net
+/// tier's dedicated writer thread ([`crate::net::AsyncService`]) builds
+/// these too and feeds them through [`Service::run_cycle`].
+pub(crate) struct Pending {
+    pub(crate) kind: DeltaKind,
+    pub(crate) text: String,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Pending {
+    pub(crate) fn new(kind: DeltaKind, text: String, slot: Arc<Slot>) -> Pending {
+        Pending { kind, text, slot }
+    }
 }
 
 impl Drop for Pending {
@@ -249,18 +267,18 @@ impl Drop for Pending {
 
 /// Completion slot for one submission.
 #[derive(Default)]
-struct Slot {
+pub(crate) struct Slot {
     result: Mutex<Option<Result<u64, Error>>>,
     ready: Condvar,
 }
 
 impl Slot {
-    fn fill(&self, outcome: Result<u64, Error>) {
+    pub(crate) fn fill(&self, outcome: Result<u64, Error>) {
         *lock(&self.result) = Some(outcome);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<u64, Error> {
+    pub(crate) fn wait(&self) -> Result<u64, Error> {
         let mut guard = lock(&self.result);
         loop {
             if let Some(outcome) = guard.as_ref() {
@@ -270,6 +288,32 @@ impl Slot {
                 .ready
                 .wait(guard)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll: `None` while the cycle is still pending.
+    pub(crate) fn try_get(&self) -> Option<Result<u64, Error>> {
+        lock(&self.result).clone()
+    }
+
+    /// Wait at most `timeout` for the terminal result. `None` on
+    /// timeout — the submission stays queued and may still complete.
+    pub(crate) fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Result<u64, Error>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return Some(outcome.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
         }
     }
 }
@@ -308,6 +352,11 @@ struct Shared {
     version: AtomicU64,
     cache: Mutex<VecDeque<ModelSnapshot>>,
     changelog: Mutex<VecDeque<AppliedDelta>>,
+    /// The highest version any *evicted* changelog entry carried (0 =
+    /// nothing evicted yet). Deltas with version ≤ this horizon are no
+    /// longer fully recorded, so reconstruction from the base program is
+    /// only exact for reads anchored at a version ≥ the horizon.
+    log_horizon: AtomicU64,
     options: ServiceOptions,
     submissions: AtomicU64,
     write_cycles: AtomicU64,
@@ -316,6 +365,9 @@ struct Shared {
     pins: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    changelog_evicted: AtomicU64,
+    last_cycle_width: AtomicU64,
+    max_cycle_width: AtomicU64,
 }
 
 /// A concurrent serving layer over one writer [`Session`]. Cheap to
@@ -354,6 +406,7 @@ impl Service {
                 version: AtomicU64::new(0),
                 cache: Mutex::new(cache),
                 changelog: Mutex::new(VecDeque::new()),
+                log_horizon: AtomicU64::new(0),
                 options,
                 submissions: AtomicU64::new(0),
                 write_cycles: AtomicU64::new(0),
@@ -362,6 +415,9 @@ impl Service {
                 pins: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
+                changelog_evicted: AtomicU64::new(0),
+                last_cycle_width: AtomicU64::new(0),
+                max_cycle_width: AtomicU64::new(0),
             }),
         })
     }
@@ -388,27 +444,54 @@ impl Service {
 
     /// Pin a specific recent version from the version cache — pointer
     /// copies for anything still cached ("repeat versions for free"),
-    /// `None` once it has been evicted.
-    pub fn at_version(&self, version: u64) -> Option<ModelSnapshot> {
+    /// [`Error::VersionEvicted`] once bounded retention has dropped it
+    /// (or for a version that was never published). Retention is
+    /// bounded by [`ServiceOptions::cache_capacity`] so sustained
+    /// writes cannot grow memory without limit.
+    pub fn at_version(&self, version: u64) -> Result<ModelSnapshot, Error> {
         let cache = lock(&self.shared.cache);
         match cache.iter().find(|s| s.version == version) {
             Some(snapshot) => {
                 self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                Some(snapshot.clone())
+                Ok(snapshot.clone())
             }
             None => {
                 self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Err(Error::VersionEvicted {
+                    requested: version,
+                    retained_from: cache.front().map_or(0, |s| s.version),
+                    retained_to: cache.back().map_or(0, |s| s.version),
+                })
             }
         }
     }
 
-    /// The deltas behind each published version, oldest first (bounded
-    /// by [`ServiceOptions::changelog_capacity`]). Version `v`'s
-    /// snapshot is the base program plus every entry with
-    /// `version <= v`.
-    pub fn changelog(&self) -> Vec<AppliedDelta> {
-        lock(&self.shared.changelog).iter().cloned().collect()
+    /// The deltas behind each published version, oldest first. Version
+    /// `v`'s snapshot is the base program plus every entry with
+    /// `version <= v`. Returns [`Error::VersionEvicted`] once bounded
+    /// retention ([`ServiceOptions::changelog_capacity`]) has dropped
+    /// any entry — full-history reconstruction would silently be wrong;
+    /// use [`Service::changelog_since`] with a recent anchor instead.
+    pub fn changelog(&self) -> Result<Vec<AppliedDelta>, Error> {
+        self.changelog_since(0)
+    }
+
+    /// The deltas that take snapshot `since` to the current head: every
+    /// applied delta with `version > since`, oldest first. Returns
+    /// [`Error::VersionEvicted`] if any such entry has been dropped by
+    /// bounded retention (i.e. `since` predates the horizon), so a
+    /// caller can never silently reconstruct from a gapped log.
+    pub fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
+        let log = lock(&self.shared.changelog);
+        let horizon = self.shared.log_horizon.load(Ordering::Acquire);
+        if since < horizon {
+            return Err(Error::VersionEvicted {
+                requested: since,
+                retained_from: horizon,
+                retained_to: self.shared.version.load(Ordering::Acquire),
+            });
+        }
+        Ok(log.iter().filter(|e| e.version > since).cloned().collect())
     }
 
     /// Cumulative service counters.
@@ -423,6 +506,9 @@ impl Service {
             pins: s.pins.load(Ordering::Relaxed),
             cache_hits: s.cache_hits.load(Ordering::Relaxed),
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            changelog_evicted: s.changelog_evicted.load(Ordering::Relaxed),
+            last_cycle_width: s.last_cycle_width.load(Ordering::Relaxed),
+            max_cycle_width: s.max_cycle_width.load(Ordering::Relaxed),
         }
     }
 
@@ -546,9 +632,17 @@ impl Service {
     /// One write cycle: apply the whole batch to the writer session
     /// (adjacent same-kind deltas merged into one batched call), solve
     /// once, publish the new version, and complete every submitter's
-    /// slot.
-    fn run_cycle(&self, batch: Vec<Pending>) {
+    /// slot. `pub(crate)` so the net tier's dedicated writer thread
+    /// ([`crate::net::AsyncService`]) can drive cycles off its own
+    /// bounded queue; concurrent cycles serialize on the writer lock.
+    pub(crate) fn run_cycle(&self, batch: Vec<Pending>) {
         self.shared.write_cycles.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .last_cycle_width
+            .store(batch.len() as u64, Ordering::Relaxed);
+        self.shared
+            .max_cycle_width
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
         if batch.len() > 1 {
             self.shared
                 .coalesced
@@ -674,8 +768,33 @@ impl Service {
             });
         }
         while log.len() > self.shared.options.changelog_capacity {
-            log.pop_front();
+            if let Some(evicted) = log.pop_front() {
+                // Monotone: entries leave oldest-first, so the horizon
+                // only advances. Reads anchored below it get
+                // `Error::VersionEvicted` instead of a gapped replay.
+                self.shared
+                    .log_horizon
+                    .fetch_max(evicted.version, Ordering::AcqRel);
+                self.shared
+                    .changelog_evicted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Count a submission that entered through an upstream queue (the
+    /// net tier's admission control) so `ServiceStats::submissions`
+    /// covers every tier.
+    pub(crate) fn note_submission(&self) {
+        self.shared.submissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a submission that terminally failed upstream or inside a
+    /// net-tier cycle (`Overloaded`, deadline expiry, apply error), so
+    /// `ServiceStats::rejected` counts every failed submission
+    /// regardless of which layer refused it.
+    pub(crate) fn note_rejection(&self) {
+        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -705,7 +824,7 @@ fn apply_delta(session: &mut Session, kind: DeltaKind, text: &str) -> Result<(),
 /// Semantic failures that need the live session (safety, budgets) are
 /// caught in the cycle, where a failed merged run is retried delta by
 /// delta for exact attribution.
-fn validate(kind: DeltaKind, text: &str) -> Result<(), Error> {
+pub(crate) fn validate(kind: DeltaKind, text: &str) -> Result<(), Error> {
     if matches!(kind, DeltaKind::AssertFacts | DeltaKind::RetractFacts) {
         crate::engine::parse_fact_batch(text)?;
     } else {
@@ -766,10 +885,73 @@ mod tests {
         assert_eq!(v1.version(), 1);
         assert_eq!(v1.truth("wins", &["c"]), Truth::True);
         assert_eq!(v1.truth("wins", &["d"]), Truth::False, "v1 predates d→e");
-        assert!(service.at_version(99).is_none());
+        assert!(matches!(
+            service.at_version(99),
+            Err(Error::VersionEvicted {
+                requested: 99,
+                retained_from: 0,
+                retained_to: 2,
+            })
+        ));
         let stats = service.stats();
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn bounded_retention_reports_eviction_not_gapped_history() {
+        let options = ServiceOptions {
+            cache_capacity: 2,
+            changelog_capacity: 3,
+        };
+        let service =
+            Service::with_options(Engine::default().load(WIN_MOVE).unwrap(), options).unwrap();
+        for i in 0..5 {
+            service.assert_facts(&format!("extra(e{i}).")).unwrap();
+        }
+        // Version cache keeps the newest two versions only.
+        assert!(service.at_version(5).is_ok());
+        assert!(service.at_version(4).is_ok());
+        let err = service.at_version(1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::VersionEvicted {
+                    requested: 1,
+                    retained_from: 4,
+                    retained_to: 5,
+                }
+            ),
+            "{err:?}"
+        );
+        // Changelog kept 3 of 5 entries: versions 1 and 2 fell off, so
+        // the horizon is 2 and full-history reads refuse.
+        let err = service.changelog().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::VersionEvicted {
+                    requested: 0,
+                    retained_from: 2,
+                    retained_to: 5,
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(service.changelog_since(1).is_err(), "1 < horizon");
+        let tail = service.changelog_since(2).unwrap();
+        assert_eq!(
+            tail.iter().map(|e| e.version).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "anchored at the horizon, the retained tail replays exactly"
+        );
+        assert_eq!(service.stats().changelog_evicted, 2);
+        // Memory stays bounded: a long write burst cannot grow the log.
+        for i in 0..20 {
+            service.assert_facts(&format!("more(m{i}).")).unwrap();
+        }
+        assert_eq!(service.changelog_since(service.version()).unwrap().len(), 0);
+        assert_eq!(service.stats().changelog_evicted, 22);
     }
 
     #[test]
@@ -802,7 +984,7 @@ mod tests {
         let v = service.retract_rules("wins(X) :- bonus(X).").unwrap();
         assert_eq!(v, 3);
         assert_eq!(service.snapshot().truth("wins", &["b"]), Truth::True);
-        let log = service.changelog();
+        let log = service.changelog().unwrap();
         assert_eq!(log.len(), 3);
         assert_eq!(log[0].kind, DeltaKind::AssertRules);
         assert_eq!(log[2].version, 3);
@@ -829,7 +1011,7 @@ mod tests {
         service.assert_facts("bonus(e).").unwrap();
         for version in 0..=3u64 {
             let mut src = String::from(WIN_MOVE);
-            for entry in service.changelog() {
+            for entry in service.changelog().unwrap() {
                 if entry.version <= version {
                     assert!(matches!(
                         entry.kind,

@@ -368,7 +368,10 @@ fn serve_mode_survives_bad_commands() {
     assert!(lines[0].starts_with("error: unknown command"));
     assert!(lines[1].starts_with("error: bad query"));
     assert!(lines[2].starts_with("error: grounding error"), "{stdout}");
-    assert!(lines[3].starts_with("error: version 99 not cached"));
+    assert!(
+        lines[3].starts_with("error: version 99 is outside the retained window"),
+        "{stdout}"
+    );
     assert_eq!(lines[4], "True");
 }
 
@@ -392,4 +395,136 @@ fn serve_mode_honors_stats_flag_at_exit() {
             .contains("\"service\":{\"version\":1"),
         "{stdout}"
     );
+}
+
+#[test]
+fn serve_mode_structured_json_errors_and_changelog() {
+    let (stdout, _, code) = run_serve(
+        &["--json"],
+        "bogus\n\
+         at 99 wins(a)\n\
+         assert move(c, d).\n\
+         log\n\
+         quit\n",
+    );
+    // Malformed commands are structured error lines; transport was fine,
+    // so the exit code stays zero.
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[0].starts_with("{\"error\":{\"kind\":\"protocol\",\"message\":\"unknown command"),
+        "{stdout}"
+    );
+    assert!(
+        lines[1].starts_with("{\"error\":{\"kind\":\"version-evicted\""),
+        "{stdout}"
+    );
+    assert_eq!(lines[2], "{\"ok\":true,\"version\":1}");
+    assert_eq!(
+        lines[3],
+        "{\"changelog\":[{\"version\":1,\"kind\":\"assert-rules\",\"text\":\"move(c, d).\"}]}"
+    );
+}
+
+#[test]
+fn serve_mode_changelog_plain() {
+    let (stdout, _, code) = run_serve(&[], "assert move(c, d).\nlog\nlog 1\nquit\n");
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("% 1 deltas"), "{stdout}");
+    assert!(stdout.contains("1 assert-rules move(c, d)."), "{stdout}");
+    assert!(stdout.contains("% 0 deltas"), "{stdout}");
+}
+
+/// `--listen`/`--socket`: the bound endpoints are announced on stdout
+/// first, the framed protocol answers over both transports with the
+/// same JSON the stdin front end prints, and `--stats` at exit carries
+/// the net counter block — all through one process.
+#[test]
+fn serve_listen_and_socket_front_the_same_service() {
+    use std::io::{BufRead, BufReader, Read as _};
+
+    let dir = std::env::temp_dir().join(format!("afp-listen-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("program.afp");
+    std::fs::write(&file, SERVE_SRC).unwrap();
+    let socket = dir.join("afp.sock");
+    let _ = std::fs::remove_file(&socket);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_afp"))
+        .args([
+            "--serve",
+            "--json",
+            "--stats",
+            "--listen",
+            "127.0.0.1:0",
+            "--socket",
+            socket.to_str().unwrap(),
+            file.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+
+    // The announce lines come first, with the real (ephemeral) port.
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("{\"listening\":{\"transport\":\"tcp\",\"addr\":\"")
+        .unwrap_or_else(|| panic!("bad announce line: {line}"))
+        .strip_suffix("\"}}")
+        .unwrap()
+        .to_string();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("{\"listening\":{\"transport\":\"unix\","),
+        "{line}"
+    );
+
+    // 4-byte big-endian length framing, by hand — this test is the
+    // client-side spec of the wire format.
+    fn send(conn: &mut (impl std::io::Read + std::io::Write), line: &str) -> String {
+        conn.write_all(&(line.len() as u32).to_be_bytes()).unwrap();
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        let mut header = [0u8; 4];
+        conn.read_exact(&mut header).unwrap();
+        let mut payload = vec![0u8; u32::from_be_bytes(header) as usize];
+        conn.read_exact(&mut payload).unwrap();
+        String::from_utf8(payload).unwrap()
+    }
+
+    let mut tcp = std::net::TcpStream::connect(&addr).unwrap();
+    assert_eq!(
+        send(&mut tcp, "query wins(b)"),
+        "{\"version\":0,\"query\":\"wins(b)\",\"truth\":\"true\"}"
+    );
+    assert_eq!(
+        send(&mut tcp, "assert-facts move(c, d)."),
+        "{\"ok\":true,\"version\":1}"
+    );
+
+    // The unix socket fronts the same service: version 1 is visible.
+    let mut unix = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    assert_eq!(
+        send(&mut unix, "query wins(c)"),
+        "{\"version\":1,\"query\":\"wins(c)\",\"truth\":\"true\"}"
+    );
+    drop(tcp);
+    drop(unix);
+
+    // Closing stdin shuts the listeners down and exits cleanly.
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    let status = child.wait().expect("wait");
+    assert_eq!(status.code(), Some(0));
+    assert!(rest.contains("\"net\":{\"submitted\":1"), "{rest}");
+    assert!(rest.contains("\"conns_accepted\":2"), "{rest}");
+    assert!(rest.contains("\"frames_in\":3"), "{rest}");
+    assert!(!socket.exists(), "socket file removed on shutdown");
 }

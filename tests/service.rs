@@ -152,7 +152,7 @@ fn concurrent_reads_match_cold_solves_of_their_version() {
                         // Half the readers also exercise the version
                         // cache and re-pin an older version mid-write.
                         if r % 2 == 0 {
-                            if let Some(old) =
+                            if let Ok(old) =
                                 service.at_version(snapshot.version().saturating_sub(1))
                             {
                                 seen.push((old.version(), digest(old.model())));
@@ -216,7 +216,7 @@ fn concurrent_reads_match_cold_solves_of_their_version() {
         });
 
         // Cold-verify every distinct version any reader observed.
-        let changelog = service.changelog();
+        let changelog = service.changelog().unwrap();
         let final_version = service.version();
         let mut cold_digests: Vec<Option<Vec<Truth>>> = vec![None; final_version as usize + 1];
         let mut checked = 0usize;
@@ -283,11 +283,11 @@ fn concurrent_writers_coalesce_into_batched_cycles() {
         stats.version, stats.write_cycles,
         "every cycle published exactly one version"
     );
-    assert_eq!(service.changelog().len(), WRITERS * PER_WRITER);
+    assert_eq!(service.changelog().unwrap().len(), WRITERS * PER_WRITER);
 
     // Final-state differential against the cold solve of everything.
     let mut cold_src = base_src();
-    for entry in service.changelog() {
+    for entry in service.changelog().unwrap() {
         cold_src.push_str(&entry.text);
         cold_src.push('\n');
     }
@@ -414,10 +414,10 @@ fn invalid_delta_does_not_fail_its_cycle_mates() {
     assert_eq!(head.truth("reach", &["n1"]), Truth::True);
     assert_eq!(head.truth("move", &["n2", "n3"]), Truth::True);
     // The changelog records exactly the two applied deltas.
-    assert_eq!(service.changelog().len(), 2);
+    assert_eq!(service.changelog().unwrap().len(), 2);
     // And the differential still holds for the final version.
     let cold = Engine::default()
-        .solve(&reconstruct(&service.changelog(), head.version()))
+        .solve(&reconstruct(&service.changelog().unwrap(), head.version()))
         .unwrap();
     assert_eq!(digest(head.model()), digest(&cold));
 }
@@ -436,14 +436,17 @@ fn solve_failure_retains_deltas_and_attributes_them_to_the_next_version() {
     let err = service.assert_rules("a :- not b. b :- not a.").unwrap_err();
     assert!(matches!(err, afp::Error::NotLocallyStratified), "{err:?}");
     assert_eq!(service.version(), 0);
-    assert!(service.changelog().is_empty(), "no published version yet");
+    assert!(
+        service.changelog().unwrap().is_empty(),
+        "no published version yet"
+    );
 
     // Retracting half the loop restores stratification: version 1 must
     // carry BOTH deltas in its changelog, because its snapshot includes
     // both.
     let v = service.retract_rules("b :- not a.").unwrap();
     assert_eq!(v, 1);
-    let log = service.changelog();
+    let log = service.changelog().unwrap();
     assert_eq!(
         log.len(),
         2,
