@@ -22,6 +22,19 @@
 //!                         queue rejects submissions with an overloaded error
 //!       --max-conns <N>   connection limit per listener (default 32)
 //!       --submit-timeout-ms <N>  deadline for queued submissions (default: none)
+//!       --journal <DIR>   durable serve mode (implies --serve): write-ahead
+//!                         journal + checkpoints in DIR; a DIR that already
+//!                         holds a journal is recovered from — FILE's text is
+//!                         then superseded by the recovered history
+//!       --fsync <P>       journal sync policy: always (default) | never | N
+//!                         (sync every N records)
+//!       --checkpoint-every <N>  checkpoint + compact the journal every N
+//!                         versions (default 0 = only on the checkpoint command)
+//!       --ack-durable     resolve submissions only after their journal record
+//!                         is synced, whatever --fsync says
+//!       --changelog-cap <N>  bound changelog retention (default 1024); reads
+//!                         behind the evicted horizon get a version-evicted
+//!                         error
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
@@ -46,7 +59,9 @@
 //! model                 print the current version's full model
 //! version               print the current version number
 //! log [SINCE]           applied deltas with version > SINCE
-//! stats                 print service + session (+ net) counters as JSON
+//! stats                 print service + session (+ net/journal) counters as JSON
+//! ping                  readiness probe: current version + writer liveness
+//! checkpoint            write a durability checkpoint now (needs --journal)
 //! quit                  exit (EOF works too)
 //! ```
 //!
@@ -69,8 +84,9 @@
 
 use afp::net::codec::{self, Request, Response, ServeBackend};
 use afp::{
-    AsyncOptions, AsyncService, Engine, Error, Model, NetOptions, NetServer, NetStats, Semantics,
-    SessionStats, Shutdown, Truth,
+    AsyncOptions, AsyncService, Engine, Error, FsyncPolicy, Journal, JournalOptions, JournalStats,
+    Model, NetOptions, NetServer, NetStats, Semantics, Service, ServiceOptions, SessionStats,
+    Shutdown, Truth,
 };
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
@@ -79,7 +95,9 @@ use std::time::Duration;
 
 const USAGE_HINT: &str = "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATOM] [-t] [-a] \
      [-n N] [-j] [--assert TEXT] [--retract TEXT] [--stats] [--serve] [--listen ADDR] \
-     [--socket PATH] [--queue-depth N] [--max-conns N] [--submit-timeout-ms N] [--ground] [FILE]";
+     [--socket PATH] [--queue-depth N] [--max-conns N] [--submit-timeout-ms N] \
+     [--journal DIR] [--fsync always|never|N] [--checkpoint-every N] [--ack-durable] \
+     [--changelog-cap N] [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -96,6 +114,11 @@ struct Options {
     queue_depth: usize,
     max_conns: usize,
     submit_timeout_ms: Option<u64>,
+    journal: Option<String>,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
+    ack_durable: bool,
+    changelog_cap: Option<usize>,
     /// Session updates in command-line order: `(assert?, program text)`.
     updates: Vec<(bool, String)>,
     file: Option<String>,
@@ -122,6 +145,11 @@ fn parse_args() -> Options {
         queue_depth: 64,
         max_conns: 32,
         submit_timeout_ms: None,
+        journal: None,
+        fsync: FsyncPolicy::Always,
+        checkpoint_every: 0,
+        ack_durable: false,
+        changelog_cap: None,
         updates: Vec::new(),
         file: None,
     };
@@ -168,6 +196,27 @@ fn parse_args() -> Options {
             "--submit-timeout-ms" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 options.submit_timeout_ms = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--journal" => {
+                options.journal = Some(args.next().unwrap_or_else(|| usage()));
+                options.serve = true;
+            }
+            "--fsync" => {
+                let policy = args.next().unwrap_or_else(|| usage());
+                options.fsync = match policy.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    n => FsyncPolicy::EveryN(n.parse().unwrap_or_else(|_| usage())),
+                };
+            }
+            "--checkpoint-every" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.checkpoint_every = n.parse().unwrap_or_else(|_| usage());
+            }
+            "--ack-durable" => options.ack_durable = true,
+            "--changelog-cap" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.changelog_cap = Some(n.parse().unwrap_or_else(|_| usage()));
             }
             "--ground" => options.ground_only = true,
             "--stats" => options.stats = true,
@@ -320,7 +369,7 @@ fn main() -> ExitCode {
         print_result(&model, semantics, &options)
     };
     if options.stats {
-        print_stats(session.stats(), None, None, options.json);
+        print_stats(session.stats(), None, None, None, options.json);
     }
     code
 }
@@ -378,9 +427,48 @@ fn print_result(model: &Model, semantics: Semantics, options: &Options) -> ExitC
 /// and one error shape. Command failures are reported inline and the
 /// loop continues; only transport failures exit nonzero.
 fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
-    let service = match engine.serve(src) {
-        Ok(s) => s,
-        Err(e) => return report_error(&e),
+    let mut service_options = ServiceOptions::default();
+    if let Some(cap) = options.changelog_cap {
+        service_options.changelog_capacity = cap;
+    }
+    let journal_options = JournalOptions {
+        fsync: options.fsync,
+        checkpoint_every: options.checkpoint_every,
+        ack_durable: options.ack_durable,
+    };
+    // With `--journal`, a directory that already holds a journal wins
+    // over FILE: the service is rebuilt from the newest checkpoint plus
+    // the journal tail. A fresh directory seeds the journal from FILE.
+    let service = match &options.journal {
+        Some(dir) if Journal::exists(dir) => {
+            match Service::recover(engine, dir, service_options, journal_options) {
+                Ok(s) => {
+                    announce_recovery(s.version(), options.json);
+                    s
+                }
+                Err(e) => return report_error(&e),
+            }
+        }
+        Some(dir) => {
+            let session = match engine.load(src) {
+                Ok(s) => s,
+                Err(e) => return report_error(&e),
+            };
+            match Service::with_journal(session, service_options, dir, journal_options) {
+                Ok(s) => s,
+                Err(e) => return report_error(&e),
+            }
+        }
+        None => {
+            let session = match engine.load(src) {
+                Ok(s) => s,
+                Err(e) => return report_error(&e),
+            };
+            match Service::with_options(session, service_options) {
+                Ok(s) => s,
+                Err(e) => return report_error(&e),
+            }
+        }
     };
     // --assert/--retract seed the service before commands are read.
     for (assert, text) in &options.updates {
@@ -454,6 +542,7 @@ fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
             tier.as_ref()
                 .map(|t| merged_net_stats(t, &servers))
                 .as_ref(),
+            service.journal_stats().as_ref(),
         )
     };
 
@@ -505,6 +594,7 @@ fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
             tier.as_ref()
                 .map(|t| merged_net_stats(t, &servers))
                 .as_ref(),
+            service.journal_stats().as_ref(),
             options.json,
         );
     }
@@ -526,6 +616,16 @@ fn announce(transport: &str, addr: &str, json: bool) {
         );
     } else {
         println!("% listening {transport} {addr}");
+    }
+}
+
+/// Announce a successful journal recovery on stdout, before any
+/// listener lines, so supervisors can confirm the restored version.
+fn announce_recovery(version: u64, json: bool) {
+    if json {
+        println!("{{\"journal\":{{\"recovered\":{version}}}}}");
+    } else {
+        println!("% journal recovered version {version}");
     }
 }
 
@@ -554,9 +654,10 @@ fn print_stats(
     session: &SessionStats,
     service: Option<&afp::ServiceStats>,
     net: Option<&NetStats>,
+    journal: Option<&JournalStats>,
     as_json: bool,
 ) {
-    let body = codec::stats_json(session, service, net);
+    let body = codec::stats_json(session, service, net, journal);
     if as_json {
         println!("{body}");
     } else {

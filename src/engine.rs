@@ -421,6 +421,17 @@ impl Session {
         &self.stats
     }
 
+    /// The retained source program, rendered as re-parseable text — the
+    /// exact statement set the warm deltas have maintained (asserted
+    /// facts and rules present, retracted ones absent), one statement
+    /// per line. `None` for sessions loaded from a pre-ground program
+    /// ([`Engine::load_ground`]), which keep no AST. The [`crate::journal`]
+    /// layer serializes checkpoints from this text, so
+    /// `Engine::load(source_text())` reconstructs an equivalent session.
+    pub fn source_text(&self) -> Option<String> {
+        self.ast.as_ref().map(|p| p.to_text())
+    }
+
     /// Assert ground facts, written as source text (e.g.
     /// `"move(c, d). move(d, e)."`). The existing grounding is extended in
     /// place — no re-parse of the program, no envelope recomputation from

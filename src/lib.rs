@@ -64,6 +64,7 @@ pub use afp_fol as fol;
 pub use afp_semantics as semantics;
 
 pub mod engine;
+pub mod journal;
 pub mod net;
 pub mod service;
 
@@ -71,6 +72,7 @@ pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
 pub use afp_datalog::{GroundOptions, GroundProgram, Program, SafetyPolicy};
 pub use engine::{Engine, EngineBuilder, Model, Semantics, Session, SessionStats, WfStrategy};
+pub use journal::{CrashPoint, FsyncPolicy, Journal, JournalOptions, JournalStats};
 pub use net::{
     AsyncOptions, AsyncService, NetOptions, NetServer, NetStats, Shutdown, SubmitHandle,
 };
@@ -126,6 +128,24 @@ pub enum Error {
         /// The newest published version at the time of the read.
         retained_to: u64,
     },
+    /// A [`journal`] operation failed: opening/appending/syncing the
+    /// write-ahead log, writing a checkpoint, or recovering from a
+    /// journal directory. When a live write cycle hits this, its
+    /// submissions fail with it and **no version is published** — the
+    /// journal never lags the served history.
+    Journal(String),
+    /// The journal's history is damaged *before* the end of the log —
+    /// an invalid record followed by further valid ones (bit rot, not a
+    /// crash). Recovery refuses rather than silently dropping an
+    /// interior delta; a torn **tail** is truncated instead, never
+    /// reported as this. `record` is the 0-based index of the first
+    /// invalid record in its WAL file.
+    JournalCorrupt {
+        /// 0-based index of the first invalid record in its WAL file.
+        record: u64,
+        /// What failed to validate, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -180,6 +200,17 @@ impl fmt::Display for Error {
                     "version {requested} is outside the retained window \
                      [{retained_from}, {retained_to}] (bounded retention; \
                      raise cache/changelog capacity for deeper history)"
+                )
+            }
+            Error::Journal(detail) => {
+                write!(f, "journal error: {detail}")
+            }
+            Error::JournalCorrupt { record, detail } => {
+                write!(
+                    f,
+                    "journal corrupt at record {record}: {detail} (mid-journal \
+                     damage cannot be repaired automatically; a torn tail would \
+                     have been truncated instead)"
                 )
             }
         }

@@ -14,6 +14,8 @@
 //! version               the current version number
 //! log SINCE             applied deltas with version > SINCE
 //! stats                 session + service + net counters as JSON
+//! ping                  readiness probe: current version + writer liveness
+//! checkpoint            write a durability checkpoint now (journaled services)
 //! quit                  end the session (EOF works too)
 //! ```
 //!
@@ -37,8 +39,8 @@ use std::io::{self, Read, Write};
 
 use crate::service::ModelSnapshot;
 use crate::{
-    AppliedDelta, AsyncService, DeltaKind, Error, Model, NetStats, Service, ServiceStats,
-    SessionStats, Truth,
+    AppliedDelta, AsyncService, DeltaKind, Error, JournalStats, Model, NetStats, Service,
+    ServiceStats, SessionStats, Truth,
 };
 
 // ---------------------------------------------------------------------
@@ -78,6 +80,13 @@ pub enum Request {
     },
     /// `stats` — counters as JSON.
     Stats,
+    /// `ping` — readiness probe: current version + writer liveness,
+    /// answered from shared memory without touching the write path (a
+    /// load balancer health check must not queue behind a slow cycle).
+    Ping,
+    /// `checkpoint` — write a durability checkpoint now and compact the
+    /// journal prefix it subsumes ([`crate::Service::checkpoint`]).
+    Checkpoint,
     /// `quit` / `exit` — end the session.
     Quit,
 }
@@ -135,11 +144,40 @@ pub fn parse_command(line: &str) -> Result<Request, String> {
             Ok(Request::Changelog { since })
         }
         "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "checkpoint" => Ok(Request::Checkpoint),
         "quit" | "exit" => Ok(Request::Quit),
         other => Err(format!(
             "unknown command {other:?} (query/at/assert/retract/assert-facts/\
-             retract-facts/model/version/log/stats/quit)"
+             retract-facts/model/version/log/stats/ping/checkpoint/quit)"
         )),
+    }
+}
+
+/// Render a request back to its command-line spelling — an inverse of
+/// [`parse_command`] (`parse_command(render_command(r)) == r`, which
+/// `tests/codec_props.rs` property-tests). `Quit` renders as `quit`
+/// even though `exit` also parses to it.
+pub fn render_command(request: &Request) -> String {
+    match request {
+        Request::Query { atom } => format!("query {atom}"),
+        Request::At { version, atom } => format!("at {version} {atom}"),
+        Request::Submit { kind, text } => {
+            let word = match kind {
+                DeltaKind::AssertRules => "assert",
+                DeltaKind::RetractRules => "retract",
+                DeltaKind::AssertFacts => "assert-facts",
+                DeltaKind::RetractFacts => "retract-facts",
+            };
+            format!("{word} {text}")
+        }
+        Request::Model => "model".into(),
+        Request::Version => "version".into(),
+        Request::Changelog { since } => format!("log {since}"),
+        Request::Stats => "stats".into(),
+        Request::Ping => "ping".into(),
+        Request::Checkpoint => "checkpoint".into(),
+        Request::Quit => "quit".into(),
     }
 }
 
@@ -202,6 +240,19 @@ pub enum Response {
         /// Applied deltas, oldest first.
         entries: Vec<AppliedDelta>,
     },
+    /// Readiness probe answer.
+    Pong {
+        /// The current version.
+        version: u64,
+        /// Whether the write path is accepting work (`false` once an
+        /// async tier's writer thread has stopped).
+        writer_live: bool,
+    },
+    /// A durability checkpoint was written.
+    Checkpointed {
+        /// The checkpointed version.
+        version: u64,
+    },
     /// A command failed. The session continues.
     Error {
         /// Stable machine-readable failure class (see [`error_kind`];
@@ -245,6 +296,8 @@ pub fn error_kind(e: &Error) -> &'static str {
         Error::SubmitTimeout => "submit-timeout",
         Error::ServiceStopped => "service-stopped",
         Error::VersionEvicted { .. } => "version-evicted",
+        Error::Journal(_) => "journal",
+        Error::JournalCorrupt { .. } => "journal-corrupt",
     }
 }
 
@@ -288,6 +341,13 @@ pub fn render_json(response: &Response) -> String {
                 .collect();
             format!("{{\"changelog\":[{}]}}", body.join(","))
         }
+        Response::Pong {
+            version,
+            writer_live,
+        } => format!("{{\"pong\":true,\"version\":{version},\"writer_live\":{writer_live}}}"),
+        Response::Checkpointed { version } => {
+            format!("{{\"ok\":true,\"checkpoint\":{version}}}")
+        }
         Response::Error { kind, message } => format!(
             "{{\"error\":{{\"kind\":{},\"message\":{}}}}}",
             json_str(kind),
@@ -328,6 +388,14 @@ pub fn render_plain(response: &Response) -> String {
             }
             out
         }
+        Response::Pong {
+            version,
+            writer_live,
+        } => format!(
+            "pong version {version} writer {}",
+            if *writer_live { "live" } else { "stopped" }
+        ),
+        Response::Checkpointed { version } => format!("checkpoint {version}"),
         Response::Error { message, .. } => format!("error: {message}"),
     }
 }
@@ -367,6 +435,12 @@ pub trait ServeBackend: Sync {
     fn submit(&self, kind: DeltaKind, text: &str) -> Result<u64, Error>;
     /// Applied deltas with version > `since`.
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error>;
+    /// Readiness probe: the current version and whether the write path
+    /// is accepting work. Must not queue behind the writer.
+    fn ping(&self) -> (u64, bool);
+    /// Write a durability checkpoint now; [`Error::Journal`] on an
+    /// unjournaled backend.
+    fn checkpoint(&self) -> Result<u64, Error>;
     /// The full `--stats` JSON object for this backend.
     fn stats_json(&self) -> String;
 }
@@ -392,8 +466,21 @@ impl ServeBackend for Service {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         Service::changelog_since(self, since)
     }
+    fn ping(&self) -> (u64, bool) {
+        // Direct services run write cycles on the submitting thread;
+        // there is no writer to have died independently.
+        (Service::version(self), true)
+    }
+    fn checkpoint(&self) -> Result<u64, Error> {
+        Service::checkpoint(self)
+    }
     fn stats_json(&self) -> String {
-        stats_json(&self.session_stats(), Some(&self.stats()), None)
+        stats_json(
+            &self.session_stats(),
+            Some(&self.stats()),
+            None,
+            self.journal_stats().as_ref(),
+        )
     }
 }
 
@@ -413,11 +500,18 @@ impl ServeBackend for AsyncService {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         self.service().changelog_since(since)
     }
+    fn ping(&self) -> (u64, bool) {
+        (self.service().version(), self.writer_live())
+    }
+    fn checkpoint(&self) -> Result<u64, Error> {
+        self.service().checkpoint()
+    }
     fn stats_json(&self) -> String {
         stats_json(
             &self.service().session_stats(),
             Some(&self.service().stats()),
             Some(&self.stats()),
+            self.service().journal_stats().as_ref(),
         )
     }
 }
@@ -470,6 +564,17 @@ pub fn execute(backend: &dyn ServeBackend, request: &Request) -> Response {
         Request::Stats => Response::Stats {
             json: backend.stats_json(),
         },
+        Request::Ping => {
+            let (version, writer_live) = backend.ping();
+            Response::Pong {
+                version,
+                writer_live,
+            }
+        }
+        Request::Checkpoint => match backend.checkpoint() {
+            Ok(version) => Response::Checkpointed { version },
+            Err(e) => Response::from_error(&e),
+        },
         Request::Quit => Response::Version {
             version: backend.version(),
         },
@@ -480,8 +585,9 @@ pub fn execute(backend: &dyn ServeBackend, request: &Request) -> Response {
 // Stats serialization — the one helper behind every --stats output
 // ---------------------------------------------------------------------
 
-/// Serialize session (+ optional service + optional net) counters as
-/// one JSON object: `{"stats":{…}[,"service":{…}][,"net":{…}]}`.
+/// Serialize session (+ optional service + optional net + optional
+/// journal) counters as one JSON object:
+/// `{"stats":{…}[,"service":{…}][,"net":{…}][,"journal":{…}]}`.
 ///
 /// This is the **only** serializer for these counters — CLI `--json`
 /// mode prints the string as-is, plain mode prefixes it with `% stats `
@@ -491,6 +597,7 @@ pub fn stats_json(
     session: &SessionStats,
     service: Option<&ServiceStats>,
     net: Option<&NetStats>,
+    journal: Option<&JournalStats>,
 ) -> String {
     let mut body = format!(
         "\"stats\":{{\"solves\":{},\"warm_solves\":{},\"snapshot_clones\":{},\
@@ -565,6 +672,21 @@ pub fn stats_json(
             n.conns_open,
             n.frames_in,
             n.frames_out,
+        ));
+    }
+    if let Some(j) = journal {
+        body.push_str(&format!(
+            ",\"journal\":{{\"records_appended\":{},\"bytes_appended\":{},\
+             \"syncs\":{},\"checkpoints\":{},\"compacted_records\":{},\
+             \"records_replayed\":{},\"torn_truncations\":{},\"failed_ops\":{}}}",
+            j.records_appended,
+            j.bytes_appended,
+            j.syncs,
+            j.checkpoints,
+            j.compacted_records,
+            j.records_replayed,
+            j.torn_truncations,
+            j.failed_ops,
         ));
     }
     format!("{{{body}}}")
@@ -695,6 +817,8 @@ mod tests {
             Request::Changelog { since: 0 }
         );
         assert_eq!(parse_command("  quit  ").unwrap(), Request::Quit);
+        assert_eq!(parse_command("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_command("checkpoint").unwrap(), Request::Checkpoint);
         assert!(parse_command("query wins(X)")
             .unwrap_err()
             .contains("bad query"));

@@ -170,11 +170,18 @@ impl ServeBackend for Inner {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         self.tier.service().changelog_since(since)
     }
+    fn ping(&self) -> (u64, bool) {
+        (self.tier.service().version(), self.tier.writer_live())
+    }
+    fn checkpoint(&self) -> Result<u64, Error> {
+        self.tier.service().checkpoint()
+    }
     fn stats_json(&self) -> String {
         codec::stats_json(
             &self.tier.service().session_stats(),
             Some(&self.tier.service().stats()),
             Some(&self.net_stats()),
+            self.tier.service().journal_stats().as_ref(),
         )
     }
 }
@@ -210,14 +217,33 @@ impl NetServer {
         ))
     }
 
-    /// Bind a unix-domain socket at `path` (must not already exist) and
-    /// start accepting. The socket file is removed on shutdown.
+    /// Bind a unix-domain socket at `path` and start accepting. The
+    /// socket file is removed on shutdown — which a crashed process
+    /// never reached, so a **stale** socket file (nothing listening
+    /// behind it) is probed with a connect attempt and removed, letting
+    /// the restarted server bind where its predecessor died. A file
+    /// something *does* answer on is another live server: that bind
+    /// fails with a clear `AddrInUse` error instead.
     pub fn bind_unix(
         tier: Arc<AsyncService>,
         path: impl AsRef<Path>,
         options: NetOptions,
     ) -> io::Result<NetServer> {
         let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("another server is live on {}", path.display()),
+                    ));
+                }
+                Err(_) => {
+                    // Dead socket left by a crashed predecessor.
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
         let listener = UnixListener::bind(&path)?;
         let addr = path.display().to_string();
         Ok(NetServer::start(
@@ -514,6 +540,41 @@ mod tests {
         drop(conn);
         server.shutdown();
         assert!(!path.exists(), "socket file removed on shutdown");
+        tier.shutdown(crate::Shutdown::Drain);
+    }
+
+    #[test]
+    fn stale_unix_socket_is_reclaimed_but_live_one_is_not() {
+        let path = std::env::temp_dir().join(format!("afp-net-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // A crashed predecessor: its listener is gone but the socket
+        // file is still on disk (shutdown never ran).
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "stale socket file left behind");
+
+        let tier = tier();
+        let server = NetServer::bind_unix(Arc::clone(&tier), &path, NetOptions::default())
+            .expect("stale socket reclaimed");
+        let mut conn = UnixStream::connect(&path).unwrap();
+        write_frame(&mut conn, b"ping").unwrap();
+        let payload = codec::read_frame(&mut conn, codec::DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            String::from_utf8(payload).unwrap(),
+            "{\"pong\":true,\"version\":0,\"writer_live\":true}"
+        );
+        drop(conn);
+
+        // While that server is alive, a second bind must refuse loudly
+        // rather than steal the live socket.
+        let err = NetServer::bind_unix(Arc::clone(&tier), &path, NetOptions::default())
+            .expect_err("live socket must not be reclaimed");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        assert!(err.to_string().contains("another server is live"), "{err}");
+        assert!(path.exists(), "live socket file untouched");
+
+        server.shutdown();
         tier.shutdown(crate::Shutdown::Drain);
     }
 

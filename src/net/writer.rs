@@ -338,6 +338,20 @@ impl AsyncService {
         }
     }
 
+    /// Whether the dedicated writer thread is alive and accepting work —
+    /// the liveness half of the protocol's `ping` readiness probe.
+    /// `false` once the tier is draining, aborting, or stopped (shutdown
+    /// or a writer panic): queries still answer from published
+    /// snapshots, but new submissions will be refused. When the backing
+    /// [`Service`] journals with
+    /// [`crate::JournalOptions::ack_durable`], a live writer also means
+    /// every handle it has resolved was acked **after** its journal
+    /// record synced (the service fills submission slots only after the
+    /// cycle's sync step).
+    pub fn writer_live(&self) -> bool {
+        matches!(lock(&self.shared.queue).state, QueueState::Running)
+    }
+
     /// Test seam: freeze (`true`) / thaw (`false`) the writer thread so
     /// admission control, deadlines and shutdown can be exercised with
     /// a deterministically full queue. Hidden, not `cfg(test)`, so

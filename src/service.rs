@@ -76,7 +76,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use crate::engine::restricted_wfs_model;
-use crate::{Error, Model, Session, SessionStats, Truth};
+use crate::journal::{self, CrashPoint, Journal, JournalOptions, JournalStats};
+use crate::{Engine, Error, Model, Session, SessionStats, Truth};
 
 /// Lock a mutex, recovering the data on poison: the service's shared
 /// state is kept consistent by construction (publishing happens after a
@@ -337,6 +338,11 @@ struct WriteQueue {
 struct Writer {
     session: Session,
     unpublished: Vec<(DeltaKind, String)>,
+    /// Durability, when enabled ([`Service::with_journal`] /
+    /// [`Service::recover`]): the write-ahead log every cycle appends to
+    /// before publishing. Living under the writer lock serializes
+    /// appends with the cycles they record for free.
+    journal: Option<Journal>,
 }
 
 struct Shared {
@@ -357,6 +363,11 @@ struct Shared {
     /// longer fully recorded, so reconstruction from the base program is
     /// only exact for reads anchored at a version ≥ the horizon.
     log_horizon: AtomicU64,
+    /// Fault-injection seam: the next matching crash point panics the
+    /// write cycle that reaches it (see
+    /// [`Service::inject_crash_for_testing`]). Always `None` outside the
+    /// crash-recovery test suite.
+    crash_seam: Mutex<Option<CrashPoint>>,
     options: ServiceOptions,
     submissions: AtomicU64,
     write_cycles: AtomicU64,
@@ -385,15 +396,114 @@ impl Service {
     }
 
     /// [`Service::new`] with explicit cache/changelog bounds.
-    pub fn with_options(mut session: Session, options: ServiceOptions) -> Result<Service, Error> {
+    pub fn with_options(session: Session, options: ServiceOptions) -> Result<Service, Error> {
+        Service::build(session, options, None, 0, Vec::new(), 0)
+    }
+
+    /// [`Service::with_options`] plus durability: create a fresh journal
+    /// in `dir` (checkpoint-0 from the session's retained source, an
+    /// empty write-ahead log) and append every subsequent write cycle's
+    /// deltas to it **before** they publish. Refuses a directory that
+    /// already holds journal state — [`Service::recover`] from it
+    /// instead — and a session without retained source text
+    /// ([`Engine::load_ground`]), whose checkpoints could not be
+    /// serialized. See [`crate::journal`] for the format and crash
+    /// semantics, [`JournalOptions`] for the fsync/checkpoint knobs.
+    pub fn with_journal(
+        session: Session,
+        options: ServiceOptions,
+        dir: impl AsRef<std::path::Path>,
+        journal_options: JournalOptions,
+    ) -> Result<Service, Error> {
+        let base = session.source_text().ok_or_else(|| {
+            Error::Journal(
+                "session keeps no source text (loaded from a pre-ground program), \
+                 so checkpoints cannot be serialized; journaling needs a text- or \
+                 AST-loaded session"
+                    .into(),
+            )
+        })?;
+        let journal = Journal::create(dir, journal_options, &base)?;
+        Service::build(session, options, Some(journal), 0, Vec::new(), 0)
+    }
+
+    /// Bring a journaled service back after a crash: load the newest
+    /// valid checkpoint, replay the journal tail **through the normal
+    /// warm-update path** (the same [`Session`] delta entry points live
+    /// writes use), and publish the recovered head — whose version
+    /// continues exactly where the durable history ends. A torn tail
+    /// (crash mid-append) is truncated; mid-journal corruption is a loud
+    /// [`Error::JournalCorrupt`]. The changelog is seeded from the
+    /// replayed records and its horizon from the checkpoint version, so
+    /// reads anchored below the checkpoint get [`Error::VersionEvicted`]
+    /// rather than a silently gapped replay; intermediate versions'
+    /// snapshots are not recomputed ([`Service::at_version`] serves only
+    /// the recovered head until new writes refill the cache).
+    pub fn recover(
+        engine: &Engine,
+        dir: impl AsRef<std::path::Path>,
+        options: ServiceOptions,
+        journal_options: JournalOptions,
+    ) -> Result<Service, Error> {
+        let recovered = journal::recover(dir, journal_options)?;
+        let mut session = engine.load(&recovered.checkpoint_text)?;
+        let mut entries = Vec::with_capacity(recovered.records.len());
+        for record in &recovered.records {
+            apply_delta(&mut session, record.kind, &record.text).map_err(|e| {
+                Error::Journal(format!(
+                    "replaying journal record for version {}: {e}",
+                    record.version
+                ))
+            })?;
+            entries.push(AppliedDelta {
+                version: record.version,
+                kind: record.kind,
+                text: record.text.clone(),
+            });
+        }
+        let head_version = recovered
+            .records
+            .last()
+            .map_or(recovered.checkpoint_version, |r| r.version);
+        Service::build(
+            session,
+            options,
+            Some(recovered.journal),
+            head_version,
+            entries,
+            recovered.checkpoint_version,
+        )
+    }
+
+    /// Shared tail of every constructor: solve the (possibly replayed)
+    /// session once, publish `head_version`, and seed the changelog with
+    /// the already-durable `entries` (recovery) under the usual bounded
+    /// retention.
+    fn build(
+        mut session: Session,
+        options: ServiceOptions,
+        journal: Option<Journal>,
+        head_version: u64,
+        entries: Vec<AppliedDelta>,
+        horizon: u64,
+    ) -> Result<Service, Error> {
         let model = session.solve()?;
         let head = ModelSnapshot {
-            version: 0,
+            version: head_version,
             model: Arc::new(model),
         };
         let mut cache = VecDeque::with_capacity(options.cache_capacity.min(64));
         if options.cache_capacity > 0 {
             cache.push_back(head.clone());
+        }
+        let mut changelog: VecDeque<AppliedDelta> = entries.into();
+        let mut horizon = horizon;
+        let mut evicted = 0u64;
+        while changelog.len() > options.changelog_capacity {
+            if let Some(entry) = changelog.pop_front() {
+                horizon = horizon.max(entry.version);
+                evicted += 1;
+            }
         }
         Ok(Service {
             shared: Arc::new(Shared {
@@ -401,12 +511,14 @@ impl Service {
                 writer: Mutex::new(Writer {
                     session,
                     unpublished: Vec::new(),
+                    journal,
                 }),
                 head: RwLock::new(head),
-                version: AtomicU64::new(0),
+                version: AtomicU64::new(head_version),
                 cache: Mutex::new(cache),
-                changelog: Mutex::new(VecDeque::new()),
-                log_horizon: AtomicU64::new(0),
+                changelog: Mutex::new(changelog),
+                log_horizon: AtomicU64::new(horizon),
+                crash_seam: Mutex::new(None),
                 options,
                 submissions: AtomicU64::new(0),
                 write_cycles: AtomicU64::new(0),
@@ -415,7 +527,7 @@ impl Service {
                 pins: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
-                changelog_evicted: AtomicU64::new(0),
+                changelog_evicted: AtomicU64::new(evicted),
                 last_cycle_width: AtomicU64::new(0),
                 max_cycle_width: AtomicU64::new(0),
             }),
@@ -711,9 +823,35 @@ impl Service {
                     version,
                     model: Arc::new(model),
                 };
+                // Write-ahead: every delta of this cycle becomes a
+                // journal record stamped `version`, appended and (policy
+                // permitting) synced BEFORE the version is published or
+                // any submitter acked — so an acked write is never ahead
+                // of the log. A journal I/O failure fails the cycle like
+                // a solve failure: no publish, the applied deltas stay
+                // in `unpublished` (they are in the session), and the
+                // next cycle that succeeds re-appends and attributes
+                // them (recovery collapses the duplicate records).
+                if writer.journal.is_some() {
+                    if let Err(e) = self.journal_cycle(&mut writer, version) {
+                        drop(writer);
+                        for (pending, outcome) in batch.iter().zip(outcomes) {
+                            pending.slot.fill(match outcome {
+                                Ok(()) => Err(e.clone()),
+                                Err(apply_err) => Err(apply_err),
+                            });
+                        }
+                        return;
+                    }
+                }
                 let applied = std::mem::take(&mut writer.unpublished);
                 self.publish(&snapshot, applied);
+                self.maybe_checkpoint(&mut writer, version);
                 drop(writer);
+                // Slots fill only after the sync above: with
+                // `JournalOptions::ack_durable` this is ack-after-
+                // durable — a submitter (or net-tier `SubmitHandle`)
+                // resolves only once its record is on disk.
                 for (pending, outcome) in batch.iter().zip(outcomes) {
                     pending.slot.fill(outcome.map(|_| version));
                 }
@@ -779,6 +917,114 @@ impl Service {
                     .changelog_evicted
                     .fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Append this cycle's applied deltas to the write-ahead log and
+    /// sync per policy, with the pre/post-append crash seams around it.
+    /// Called with the writer lock held, before publish.
+    fn journal_cycle(&self, writer: &mut Writer, version: u64) -> Result<(), Error> {
+        self.maybe_crash(CrashPoint::PreAppend);
+        let Writer {
+            journal,
+            unpublished,
+            ..
+        } = writer;
+        let journal = journal
+            .as_mut()
+            .expect("journal_cycle on an unjournaled service");
+        for (kind, text) in unpublished.iter() {
+            journal.append(version, *kind, text)?;
+        }
+        journal.sync_for_publish()?;
+        self.maybe_crash(CrashPoint::PostAppend);
+        Ok(())
+    }
+
+    /// Run the automatic checkpoint interval
+    /// ([`JournalOptions::checkpoint_every`]) after a publish. Failure
+    /// here is not a write failure — the version already published and
+    /// the WAL still covers it — so it only surfaces through
+    /// [`JournalStats::failed_ops`].
+    fn maybe_checkpoint(&self, writer: &mut Writer, version: u64) {
+        if writer
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.checkpoint_due(version))
+        {
+            let _ = self.checkpoint_writer(writer, version);
+        }
+    }
+
+    fn checkpoint_writer(&self, writer: &mut Writer, version: u64) -> Result<(), Error> {
+        let crash = self.take_crash(CrashPoint::MidCheckpoint);
+        let Writer {
+            session, journal, ..
+        } = writer;
+        let journal = journal.as_mut().ok_or_else(|| {
+            Error::Journal(
+                "service has no journal (start it with with_journal/recover, or the \
+                 CLI --journal flag)"
+                    .into(),
+            )
+        })?;
+        let text = session.source_text().ok_or_else(|| {
+            Error::Journal("session keeps no source text; cannot checkpoint".into())
+        })?;
+        journal.checkpoint(version, &text, crash)
+    }
+
+    /// Write a checkpoint of the current version now (the protocol's
+    /// `checkpoint` command) and compact the journal prefix it subsumes.
+    /// Returns the checkpointed version. A no-op (still `Ok`) when the
+    /// current version is already checkpointed;
+    /// [`Error::Journal`] on an unjournaled service.
+    pub fn checkpoint(&self) -> Result<u64, Error> {
+        let mut writer = lock(&self.shared.writer);
+        let version = self.shared.version.load(Ordering::Acquire);
+        self.checkpoint_writer(&mut writer, version)?;
+        Ok(version)
+    }
+
+    /// Journal counters, `None` on an unjournaled service. Briefly locks
+    /// the writer.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        lock(&self.shared.writer)
+            .journal
+            .as_ref()
+            .map(|j| j.stats())
+    }
+
+    /// Arm (or with `None`, disarm) the fault-injection seam: the next
+    /// write cycle to reach `point` panics there, exactly as an OOM kill
+    /// or power cut at that instruction would end the process. One-shot:
+    /// the seam disarms as it fires. Like the grounder's poison seam and
+    /// the net tier's `hold_writer`, this is test-only plumbing kept out
+    /// of the docs rather than behind `cfg(test)` so the crash-recovery
+    /// suite in `tests/` can reach it.
+    #[doc(hidden)]
+    pub fn inject_crash_for_testing(&self, point: Option<CrashPoint>) {
+        *lock(&self.shared.crash_seam) = point;
+    }
+
+    /// Consume the seam if it is armed at `point`.
+    fn take_crash(&self, point: CrashPoint) -> bool {
+        let mut seam = lock(&self.shared.crash_seam);
+        if *seam == Some(point) {
+            *seam = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn maybe_crash(&self, point: CrashPoint) {
+        if self.take_crash(point) {
+            panic!("afp crash seam: {point:?}");
         }
     }
 

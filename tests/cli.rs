@@ -528,3 +528,156 @@ fn serve_listen_and_socket_front_the_same_service() {
     assert!(rest.contains("\"frames_in\":3"), "{rest}");
     assert!(!socket.exists(), "socket file removed on shutdown");
 }
+
+/// `ping` through the stdin front end: version + writer liveness, in
+/// both renderings. The stdin backend has no async tier, so the writer
+/// is the submitting thread itself — always live.
+#[test]
+fn serve_mode_ping() {
+    let (stdout, _, code) = run_serve(&[], "ping\nassert move(c, d).\nping\nquit\n");
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            "pong version 0 writer live",
+            "ok 1",
+            "pong version 1 writer live"
+        ],
+        "{stdout}"
+    );
+
+    let (stdout, _, code) = run_serve(&["--json"], "ping\nquit\n");
+    assert_eq!(code, Some(0));
+    assert_eq!(
+        stdout.lines().next().unwrap(),
+        "{\"pong\":true,\"version\":0,\"writer_live\":true}"
+    );
+}
+
+/// `--changelog-cap N` bounds retention: reads behind the horizon come
+/// back as version-evicted errors, exactly like the library-level
+/// `ServiceOptions::changelog_capacity` they configure.
+#[test]
+fn changelog_cap_flag_bounds_retention() {
+    let (stdout, _, code) = run_serve(
+        &["--json", "--changelog-cap", "2"],
+        "assert-facts move(x0, y0).\n\
+         assert-facts move(x1, y1).\n\
+         assert-facts move(x2, y2).\n\
+         assert-facts move(x3, y3).\n\
+         log\n\
+         log 2\n\
+         quit\n",
+    );
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[4].starts_with("{\"error\":{\"kind\":\"version-evicted\""),
+        "{stdout}"
+    );
+    assert_eq!(
+        lines[5],
+        "{\"changelog\":[\
+         {\"version\":3,\"kind\":\"assert-facts\",\"text\":\"move(x2, y2).\"},\
+         {\"version\":4,\"kind\":\"assert-facts\",\"text\":\"move(x3, y3).\"}]}"
+    );
+    // A cap needs an operand and a number.
+    let (_, stderr, code) = run_afp(&["--serve", "--changelog-cap"], "");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+}
+
+/// The durability loop end-to-end through the binary: a journaled serve
+/// session absorbs writes and a manual checkpoint, exits, and a second
+/// invocation pointed at the same `--journal` directory recovers the
+/// exact version and model — announced before anything else — with the
+/// journal counters visible in `stats`.
+#[test]
+fn journal_serve_recovers_across_invocations() {
+    let dir = std::env::temp_dir().join(format!("afp-cli-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("program.afp");
+    std::fs::write(&file, SERVE_SRC).unwrap();
+    let jdir = dir.join("journal");
+    let jdir_s = jdir.to_str().unwrap().to_string();
+
+    // First run: two writes, a checkpoint, one more write.
+    let (stdout, stderr, code) = run_afp(
+        &["--json", "--journal", &jdir_s, file.to_str().unwrap()],
+        "assert-facts move(c, d).\n\
+         assert-facts move(d, e).\n\
+         checkpoint\n\
+         assert-facts move(e, f).\n\
+         stats\n\
+         quit\n",
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "{\"ok\":true,\"version\":1}");
+    assert_eq!(lines[1], "{\"ok\":true,\"version\":2}");
+    assert_eq!(lines[2], "{\"ok\":true,\"checkpoint\":2}");
+    assert_eq!(lines[3], "{\"ok\":true,\"version\":3}");
+    assert!(
+        lines[4].contains("\"journal\":{\"records_appended\":3"),
+        "{stdout}"
+    );
+
+    // Second run: FILE is superseded by the recovered history.
+    let (stdout, stderr, code) = run_afp(
+        &["--json", "--journal", &jdir_s, file.to_str().unwrap()],
+        "query wins(e)\nquery wins(d)\nquit\n",
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines[0], "{\"journal\":{\"recovered\":3}}",
+        "recovery announce comes first: {stdout}"
+    );
+    assert_eq!(
+        lines[1],
+        "{\"version\":3,\"query\":\"wins(e)\",\"truth\":\"true\"}"
+    );
+    assert_eq!(
+        lines[2],
+        "{\"version\":3,\"query\":\"wins(d)\",\"truth\":\"false\"}"
+    );
+
+    // Plain rendering of the same announce + checkpoint grammar.
+    let (stdout, _, code) = run_afp(
+        &["--journal", &jdir_s, file.to_str().unwrap()],
+        "checkpoint\nquit\n",
+    );
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "% journal recovered version 3");
+    assert_eq!(lines[1], "checkpoint 3");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `checkpoint` without `--journal` is a structured journal error, not
+/// a crash — and the unknown-command hint advertises the new verbs.
+#[test]
+fn checkpoint_without_journal_errors_inline() {
+    let (stdout, _, code) = run_serve(&["--json"], "checkpoint\nbogus\nquit\n");
+    assert_eq!(code, Some(0));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[0].starts_with("{\"error\":{\"kind\":\"journal\""),
+        "{stdout}"
+    );
+    assert!(lines[1].contains("ping/checkpoint"), "{stdout}");
+}
+
+/// `--fsync` accepts the documented spellings and rejects the rest.
+#[test]
+fn fsync_flag_spellings() {
+    for policy in ["always", "never", "8"] {
+        let (_, stderr, code) = run_serve(&["--fsync", policy], "version\nquit\n");
+        assert_eq!(code, Some(0), "--fsync {policy}: {stderr}");
+    }
+    let (_, stderr, code) = run_afp(&["--serve", "--fsync", "sometimes"], "");
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,170 @@
+//! Property tests for the shared protocol codec: the command grammar
+//! and the frame layer are each other's inverses.
+//!
+//! `parse_command(render_command(r)) == r` for every representable
+//! [`Request`], and `read_frame(write_frame(b)) == b` for arbitrary
+//! payloads — including the empty payload and both sides of the
+//! max-frame boundary, pinned by plain tests below (the vendored
+//! proptest shim generates uniformly, so exact boundary values would
+//! be astronomically unlikely to come up by chance).
+//!
+//! The shim has no string strategies, so atom and program texts are
+//! built from small integers via `prop_map` — which also keeps every
+//! generated `query`/`at` operand inside the ground-atom sublanguage
+//! `parse_command` itself validates.
+
+use afp::net::codec::{
+    parse_command, read_frame, render_command, write_frame, Request, DEFAULT_MAX_FRAME_LEN,
+};
+use afp::DeltaKind;
+use proptest::prelude::*;
+
+/// A ground atom in canonical spelling: `p2`, `p0(c1)`, `p4(c0, c3)`…
+fn atom() -> impl Strategy<Value = String> {
+    (0u8..6, 0usize..3).prop_flat_map(|(pred, arity)| {
+        proptest::collection::vec(0u8..8, arity).prop_map(move |args| {
+            if args.is_empty() {
+                format!("p{pred}")
+            } else {
+                let args: Vec<String> = args.iter().map(|c| format!("c{c}")).collect();
+                format!("p{pred}({})", args.join(", "))
+            }
+        })
+    })
+}
+
+/// Submission text: one or more statements on one line. `parse_command`
+/// stores it verbatim (trimmed), so the property needs no trailing
+/// whitespace and no newlines — which this construction guarantees.
+fn submit_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u8..6, 0u8..6), 1..4).prop_map(|pairs| {
+        let stmts: Vec<String> = pairs
+            .iter()
+            .map(|(a, b)| format!("edge(c{a}, c{b})."))
+            .collect();
+        stmts.join(" ")
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        atom().prop_map(|atom| Request::Query { atom }),
+        (any::<u32>(), atom()).prop_map(|(version, atom)| Request::At {
+            version: version as u64,
+            atom,
+        }),
+        (0u8..4, submit_text()).prop_map(|(kind, text)| Request::Submit {
+            kind: match kind {
+                0 => DeltaKind::AssertFacts,
+                1 => DeltaKind::RetractFacts,
+                2 => DeltaKind::AssertRules,
+                _ => DeltaKind::RetractRules,
+            },
+            text,
+        }),
+        any::<u32>().prop_map(|since| Request::Changelog {
+            since: since as u64
+        }),
+        Just(Request::Model),
+        Just(Request::Version),
+        Just(Request::Stats),
+        Just(Request::Ping),
+        Just(Request::Checkpoint),
+        Just(Request::Quit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn command_render_parse_round_trips(request in request()) {
+        let line = render_command(&request);
+        let reparsed = parse_command(&line);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&request), "line: {line:?}");
+    }
+
+    #[test]
+    fn frame_write_read_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        prop_assert_eq!(wire.len(), 4 + payload.len());
+        let mut reader: &[u8] = &wire;
+        let back = read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        prop_assert_eq!(back, payload);
+        // The reader stops exactly at the frame boundary…
+        prop_assert!(reader.is_empty());
+        // …so the next read is a clean EOF, not an error.
+        prop_assert!(matches!(read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN), Ok(None)));
+    }
+
+    #[test]
+    fn back_to_back_frames_round_trip(
+        first in proptest::collection::vec(any::<u8>(), 0..64),
+        second in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &first).unwrap();
+        write_frame(&mut wire, &second).unwrap();
+        let mut reader: &[u8] = &wire;
+        prop_assert_eq!(read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap(), first);
+        prop_assert_eq!(read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap(), second);
+        prop_assert!(matches!(read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN), Ok(None)));
+    }
+}
+
+#[test]
+fn empty_payload_round_trips() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[]).unwrap();
+    assert_eq!(wire, [0, 0, 0, 0]);
+    let mut reader: &[u8] = &wire;
+    assert_eq!(
+        read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap(),
+        Vec::<u8>::new()
+    );
+}
+
+#[test]
+fn max_frame_boundary_is_inclusive() {
+    // Exactly at the cap: accepted.
+    let payload = vec![0xA5u8; DEFAULT_MAX_FRAME_LEN as usize];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload).unwrap();
+    let mut reader: &[u8] = &wire;
+    let back = read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN)
+        .unwrap()
+        .unwrap();
+    assert_eq!(back.len(), payload.len());
+
+    // One past the cap: the reader refuses before allocating.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &vec![0u8; DEFAULT_MAX_FRAME_LEN as usize + 1]).unwrap();
+    let mut reader: &[u8] = &wire;
+    let err = read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn mid_frame_eof_is_an_error_not_a_clean_end() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, b"torn").unwrap();
+    // Chop inside the payload.
+    let mut reader: &[u8] = &wire[..wire.len() - 2];
+    assert!(read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).is_err());
+    // Chop inside the header.
+    let mut reader: &[u8] = &wire[..2];
+    let err = read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+/// `exit` is an accepted alias on the parse side only; the renderer
+/// canonicalizes to `quit`. Pinned here so the round-trip property's
+/// scope is explicit.
+#[test]
+fn exit_alias_parses_but_renders_as_quit() {
+    assert_eq!(parse_command("exit"), Ok(Request::Quit));
+    assert_eq!(render_command(&Request::Quit), "quit");
+}

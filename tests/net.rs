@@ -428,3 +428,28 @@ fn wire_changelog_and_eviction_are_structured() {
     server.shutdown();
     tier.shutdown(Shutdown::Drain);
 }
+
+/// `ping` is a readiness probe: it reports the current version plus
+/// writer liveness over the wire, and liveness flips to `false` once
+/// the tier stops — so a load balancer can tell a read-only survivor
+/// from a fully live server.
+#[test]
+fn wire_ping_reports_version_and_writer_liveness() {
+    let (_service, tier, server) = tier_with(AsyncOptions::default());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+
+    let resp = send(&mut conn, "ping");
+    assert_eq!(resp, "{\"pong\":true,\"version\":0,\"writer_live\":true}");
+
+    let resp = send(&mut conn, "assert-facts move(c, d).");
+    assert!(resp.starts_with("{\"ok\":true,"), "{resp}");
+    let resp = send(&mut conn, "ping");
+    assert_eq!(resp, "{\"pong\":true,\"version\":1,\"writer_live\":true}");
+
+    // After the writer stops, reads (including ping) still answer, but
+    // liveness is reported honestly.
+    tier.shutdown(Shutdown::Drain);
+    let resp = send(&mut conn, "ping");
+    assert_eq!(resp, "{\"pong\":true,\"version\":1,\"writer_live\":false}");
+    server.shutdown();
+}
