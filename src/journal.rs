@@ -37,15 +37,16 @@
 //!
 //! On recovery, an invalid record (short frame, bad CRC, malformed
 //! payload) is classified by what follows it: if the log ends there —
-//! or the frame's extent cannot even be determined — it is a **torn
+//! no later byte offset parses as a valid frame — it is a **torn
 //! tail** from a crash mid-append, and the file is truncated back to
 //! the last valid boundary (the lost record was never acked durable).
-//! If a *valid* record follows, the damage is mid-history — bit rot,
-//! not a crash — and recovery refuses loudly with
-//! [`Error::JournalCorrupt`], because silently dropping an interior
-//! delta would change every later version. (A corrupted length field
-//! makes the continuation unfindable, so that case truncates as a torn
-//! tail; the prefix kept is still consistent.)
+//! If a *valid* record follows anywhere past the damage, the damage is
+//! mid-history — bit rot, not a crash — and recovery refuses loudly
+//! with [`Error::JournalCorrupt`], because silently dropping an
+//! interior delta would change every later version. The continuation
+//! search is a sliding-window scan over every byte offset (a corrupted
+//! length field, or several adjacent damaged records, must not hide a
+//! valid suffix), so only genuine tails are ever truncated.
 //!
 //! Checkpoints **compact**: writing `checkpoint-<v>` is followed by
 //! starting `wal-<v>` and deleting the files it subsumes, in that
@@ -55,7 +56,7 @@
 //! latency trade-off.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::{DeltaKind, Error};
@@ -183,10 +184,29 @@ pub struct Journal {
     wal_anchor: u64,
     /// Records in the active WAL (compaction counts them as subsumed).
     wal_records: u64,
+    /// Logical WAL length in bytes: the boundary after the last fully
+    /// written frame. A failed append rolls the file back here so a
+    /// torn frame never sits mid-file under later acked records.
+    wal_len: u64,
     /// Records appended since the last sync.
     unsynced: u32,
+    /// Set when a rollback itself failed: the WAL may hold a torn frame
+    /// mid-file, so further appends would land acked records behind
+    /// garbage recovery cannot read past. Every mutating operation
+    /// refuses until the process restarts and recovers.
+    poisoned: Option<String>,
     options: JournalOptions,
     stats: JournalStats,
+}
+
+/// A WAL boundary taken with [`Journal::mark`] before a write cycle's
+/// appends, so a cycle whose append or sync fails can be rolled back
+/// wholesale with [`Journal::rollback`] — the retry cycle then appends
+/// fresh records instead of duplicates behind a possibly-torn suffix.
+#[derive(Debug, Clone, Copy)]
+pub struct WalMark {
+    len: u64,
+    records: u64,
 }
 
 /// Everything recovery found in a journal directory: the reopened
@@ -199,8 +219,9 @@ pub struct Recovered {
     pub checkpoint_version: u64,
     /// The checkpointed program text (re-parseable source).
     pub checkpoint_text: String,
-    /// WAL records with version > the checkpoint version, oldest first,
-    /// consecutive duplicates collapsed.
+    /// WAL records with version > the checkpoint version, oldest first.
+    /// Failed cycles roll their records back before retrying, so two
+    /// identical adjacent records are two genuine submissions, kept.
     pub records: Vec<JournalRecord>,
     /// Human-readable description of the torn tail recovery truncated,
     /// if any.
@@ -363,7 +384,9 @@ impl Journal {
             wal,
             wal_anchor: 0,
             wal_records: 0,
+            wal_len: WAL_MAGIC.len() as u64,
             unsynced: 0,
+            poisoned: None,
             options,
             stats: JournalStats {
                 checkpoints: 1,
@@ -388,13 +411,20 @@ impl Journal {
     }
 
     /// Append one record — a single `write`, so a crash can tear at
-    /// most the final record (the torn-tail rule relies on this).
+    /// most the final record (the torn-tail rule relies on this). A
+    /// write *error* (ENOSPC mid-`write_all`) can also leave a torn
+    /// frame; it is rolled back here, before the error returns, so the
+    /// file never carries garbage under records appended later.
     pub fn append(&mut self, version: u64, kind: DeltaKind, text: &str) -> Result<(), Error> {
+        self.check_poisoned()?;
         let buf = frame(&wal_payload(version, kind, text));
         if let Err(e) = self.wal.write_all(&buf) {
             self.stats.failed_ops += 1;
+            let (len, records) = (self.wal_len, self.wal_records);
+            self.truncate_to(len, records);
             return Err(io_err("appending journal record", e));
         }
+        self.wal_len += buf.len() as u64;
         self.wal_records += 1;
         self.unsynced += 1;
         self.stats.records_appended += 1;
@@ -402,9 +432,64 @@ impl Journal {
         Ok(())
     }
 
+    /// The current WAL boundary; take one before a cycle's appends so
+    /// the whole cycle can be undone with [`Journal::rollback`].
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            len: self.wal_len,
+            records: self.wal_records,
+        }
+    }
+
+    /// Roll the WAL back to `mark`: the undo of a cycle whose append or
+    /// sync failed mid-way. Without it the cycle's records (complete or
+    /// torn) would stay in the file while the service keeps serving,
+    /// and the retry cycle would append acked duplicates behind them —
+    /// which recovery would then truncate or refuse. Never fails
+    /// upward: if the truncation itself fails the journal is poisoned
+    /// and every later operation refuses with a typed error.
+    pub fn rollback(&mut self, mark: WalMark) {
+        if self.poisoned.is_none() && self.wal_len > mark.len {
+            self.truncate_to(mark.len, mark.records);
+        }
+    }
+
+    /// Truncate the WAL to `len` bytes and sync, restoring the record
+    /// count; on failure, poison the journal (see [`Journal::rollback`]).
+    fn truncate_to(&mut self, len: u64, records: u64) {
+        let result = self
+            .wal
+            .set_len(len)
+            .and_then(|()| self.wal.seek(SeekFrom::Start(len)).map(|_| ()))
+            .and_then(|()| self.wal.sync_data());
+        match result {
+            Ok(()) => {
+                self.wal_len = len;
+                self.wal_records = records;
+                self.unsynced = 0;
+                self.stats.syncs += 1;
+            }
+            Err(e) => {
+                self.stats.failed_ops += 1;
+                self.poisoned = Some(format!("rolling wal back to byte {len} failed: {e}"));
+            }
+        }
+    }
+
+    fn check_poisoned(&self) -> Result<(), Error> {
+        match &self.poisoned {
+            Some(why) => Err(Error::Journal(format!(
+                "journal disabled after a failed rollback ({why}); the wal may hold a \
+                 torn frame mid-file — restart and recover"
+            ))),
+            None => Ok(()),
+        }
+    }
+
     /// Sync the WAL if the policy (or ack-after-durable) demands it
     /// before this cycle publishes and acks.
     pub fn sync_for_publish(&mut self) -> Result<(), Error> {
+        self.check_poisoned()?;
         let due = match self.options.fsync {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n,
@@ -438,6 +523,7 @@ impl Journal {
     /// `crash_mid` is the [`CrashPoint::MidCheckpoint`] fault-injection
     /// seam: write half the checkpoint, sync, and panic.
     pub fn checkpoint(&mut self, version: u64, text: &str, crash_mid: bool) -> Result<(), Error> {
+        self.check_poisoned()?;
         if version == self.wal_anchor && !crash_mid {
             return Ok(());
         }
@@ -473,6 +559,7 @@ impl Journal {
         sync_dir(&self.dir);
         self.wal = wal;
         self.wal_anchor = version;
+        self.wal_len = WAL_MAGIC.len() as u64;
         self.stats.checkpoints += 1;
         self.stats.compacted_records += self.wal_records;
         self.wal_records = 0;
@@ -657,18 +744,16 @@ fn scan_wal(path: &Path, anchor: u64, strict: bool) -> Result<WalScan, Error> {
                 if strict {
                     return Err(corrupt(detail));
                 }
-                // Torn tail or mid-journal corruption? If the frame's
-                // extent is known and a valid record follows, the log
-                // continues past the damage: refuse. Otherwise the
-                // damage is at the tail: truncate.
-                let len_known = off + 8 <= bytes.len();
-                if len_known {
-                    let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap());
-                    let next = off + 8 + len as usize;
-                    if len <= MAX_RECORD_LEN
-                        && next <= bytes.len()
-                        && parse_record_at(&bytes, next, min_version).is_ok()
-                    {
+                // Torn tail or mid-journal corruption? A torn tail can
+                // only be the very end of the log, so any later offset
+                // that parses as a valid frame (CRC validates, payload
+                // well-formed, version monotone) proves the log
+                // continues past the damage: refuse rather than drop an
+                // interior delta. The scan slides over every byte —
+                // a corrupted length field, or several adjacent damaged
+                // records, must not hide a valid suffix.
+                for probe in off + 1..bytes.len() {
+                    if parse_record_at(&bytes, probe, min_version).is_ok() {
                         return Err(corrupt(detail));
                     }
                 }
@@ -747,12 +832,24 @@ pub fn recover(dir: impl AsRef<Path>, options: JournalOptions) -> Result<Recover
         let path = dir.join(wal_name(anchor));
         let scan = scan_wal(&path, anchor, !newest)?;
         if let Some(detail) = scan.torn {
-            let file = OpenOptions::new()
+            let mut file = OpenOptions::new()
                 .write(true)
                 .open(&path)
                 .map_err(|e| io_err("truncating torn wal tail", e))?;
-            file.set_len(scan.valid_len.max(8))
-                .map_err(|e| io_err("truncating torn wal tail", e))?;
+            if scan.valid_len < WAL_MAGIC.len() as u64 {
+                // A crash inside the header write itself: rewrite the
+                // full magic rather than zero-pad to 8 bytes with
+                // `set_len`, which would leave an invalid header that
+                // the *next* recovery rejects as corrupt — poisoning a
+                // journal that then acked writes behind it.
+                file.set_len(0)
+                    .map_err(|e| io_err("truncating torn wal magic", e))?;
+                file.write_all(WAL_MAGIC)
+                    .map_err(|e| io_err("rewriting torn wal magic", e))?;
+            } else {
+                file.set_len(scan.valid_len)
+                    .map_err(|e| io_err("truncating torn wal tail", e))?;
+            }
             file.sync_data()
                 .map_err(|e| io_err("syncing truncated wal", e))?;
             truncated = Some(detail);
@@ -764,12 +861,11 @@ pub fn recover(dir: impl AsRef<Path>, options: JournalOptions) -> Result<Recover
                 .filter(|r| r.version > checkpoint_version),
         );
     }
-    // Collapse consecutive duplicates: a cycle whose append succeeded
-    // but whose sync/publish failed re-appends the same (version, kind,
-    // text) records on its retry cycle. The deltas are set updates, so
-    // replaying a duplicate is harmless — but the changelog should not
-    // carry it twice.
-    records.dedup();
+    // No dedup: a cycle whose append or sync failed rolls its records
+    // back ([`Journal::rollback`]) before the retry re-appends, so a
+    // duplicate record in the WAL is two genuinely distinct identical
+    // submissions — the recovered changelog must keep both to stay a
+    // prefix-consistent image of the pre-crash one.
 
     // Reopen, restoring the exactly-one-checkpoint + one-WAL steady
     // state a crash may have interrupted: ensure wal-<checkpoint>
@@ -789,12 +885,18 @@ pub fn recover(dir: impl AsRef<Path>, options: JournalOptions) -> Result<Recover
         .append(true)
         .open(&active)
         .map_err(|e| io_err(&format!("reopening wal {}", active.display()), e))?;
+    let wal_len = wal
+        .metadata()
+        .map_err(|e| io_err("reading reopened wal length", e))?
+        .len();
     let journal = Journal {
         dir,
         wal,
         wal_anchor: checkpoint_version,
         wal_records,
+        wal_len,
         unsynced: 0,
+        poisoned: None,
         options,
         stats: JournalStats {
             records_replayed: records.len() as u64,
@@ -948,6 +1050,121 @@ mod tests {
         let recovered = recover(&dir, opts).unwrap();
         assert!(recovered.truncated.is_some());
         assert_eq!(recovered.records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_magic_is_repaired_not_zero_padded() {
+        let dir = temp_dir("tornmagic");
+        let opts = JournalOptions::default();
+        drop(Journal::create(&dir, opts, "base.\n").unwrap());
+        // A crash between WAL creation and the magic write leaves a
+        // file shorter than the 8-byte header.
+        let wal_path = dir.join(wal_name(0));
+        fs::write(&wal_path, &WAL_MAGIC[..3]).unwrap();
+
+        let mut recovered = recover(&dir, opts).unwrap();
+        assert!(recovered.truncated.is_some());
+        assert!(recovered.records.is_empty());
+        assert_eq!(fs::read(&wal_path).unwrap(), WAL_MAGIC, "header rewritten");
+
+        // The repaired journal must accept appends that the NEXT
+        // recovery can read — zero-padding the header used to make
+        // this second recovery fail with JournalCorrupt.
+        recovered
+            .journal
+            .append(1, DeltaKind::AssertFacts, "p(a).")
+            .unwrap();
+        recovered.journal.sync_for_publish().unwrap();
+        drop(recovered);
+        let again = recover(&dir, opts).unwrap();
+        assert!(again.truncated.is_none());
+        assert_eq!(again.records.len(), 1);
+        assert_eq!(again.records[0].text, "p(a).");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_unwinds_a_failed_cycle_cleanly() {
+        let dir = temp_dir("rollback");
+        let opts = JournalOptions::default();
+        let mut journal = Journal::create(&dir, opts, "base.\n").unwrap();
+        journal.append(1, DeltaKind::AssertFacts, "p(a).").unwrap();
+        journal.sync_for_publish().unwrap();
+
+        // A cycle appends two records, then fails before publish: the
+        // service rolls the whole cycle back off the WAL.
+        let mark = journal.mark();
+        journal.append(2, DeltaKind::AssertFacts, "p(b).").unwrap();
+        journal.append(2, DeltaKind::AssertRules, "q(X) :- p(X).").unwrap();
+        journal.rollback(mark);
+
+        // The retry cycle appends fresh records at the same boundary.
+        journal.append(2, DeltaKind::AssertFacts, "p(c).").unwrap();
+        journal.sync_for_publish().unwrap();
+        drop(journal);
+
+        let recovered = recover(&dir, opts).unwrap();
+        assert!(recovered.truncated.is_none(), "{:?}", recovered.truncated);
+        assert_eq!(
+            recovered
+                .records
+                .iter()
+                .map(|r| r.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["p(a).", "p(c)."],
+            "rolled-back records must not replay"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_adjacent_submissions_both_survive_recovery() {
+        let dir = temp_dir("twins");
+        let opts = JournalOptions::default();
+        let mut journal = Journal::create(&dir, opts, "base.\n").unwrap();
+        // Two genuinely distinct identical submissions batched into one
+        // cycle: same version, kind, and text. Recovery used to dedup
+        // them, shrinking the recovered changelog.
+        journal.append(1, DeltaKind::AssertFacts, "p(a).").unwrap();
+        journal.append(1, DeltaKind::AssertFacts, "p(a).").unwrap();
+        journal.sync_for_publish().unwrap();
+        drop(journal);
+
+        let recovered = recover(&dir, opts).unwrap();
+        assert_eq!(recovered.records.len(), 2, "both submissions kept");
+        assert_eq!(recovered.records[0], recovered.records[1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adjacent_damaged_records_with_valid_history_after_refuse() {
+        let dir = temp_dir("adjacent");
+        let opts = JournalOptions::default();
+        let mut journal = Journal::create(&dir, opts, "base.\n").unwrap();
+        journal.append(1, DeltaKind::AssertFacts, "p(a).").unwrap();
+        journal.append(2, DeltaKind::AssertFacts, "p(b).").unwrap();
+        journal.append(3, DeltaKind::AssertFacts, "p(c).").unwrap();
+        journal.sync_for_publish().unwrap();
+        drop(journal);
+
+        // Bit rot in records 0 AND 1 (payload bytes, length fields
+        // intact), valid record 2 after them: a one-record-ahead probe
+        // sees the damaged record 1 and would misclassify this as a
+        // torn tail, silently truncating the acked record 2. The
+        // sliding-window scan finds record 2 and refuses.
+        let wal_path = dir.join(wal_name(0));
+        let mut bytes = fs::read(&wal_path).unwrap();
+        let rec_len = 8 + 8 + 1 + "p(a).".len(); // frame + payload
+        bytes[8 + 8 + 8] ^= 0x40; // record 0 payload
+        bytes[8 + rec_len + 8 + 8] ^= 0x40; // record 1 payload
+        fs::write(&wal_path, &bytes).unwrap();
+
+        let err = match recover(&dir, opts) {
+            Err(e) => e,
+            Ok(_) => panic!("mid-journal damage spanning two records must refuse"),
+        };
+        assert!(matches!(err, Error::JournalCorrupt { .. }), "{err:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

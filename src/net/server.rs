@@ -224,6 +224,14 @@ impl NetServer {
     /// the restarted server bind where its predecessor died. A file
     /// something *does* answer on is another live server: that bind
     /// fails with a clear `AddrInUse` error instead.
+    ///
+    /// The probe-then-remove pair is not atomic: a second server that
+    /// binds the path between the failed probe and the `remove_file`
+    /// has its socket deleted out from under it, and both servers then
+    /// believe they own the address. This is fine under the intended
+    /// deployment — one supervisor restarting one server per path —
+    /// but concurrent *competing* starts on the same path need an
+    /// external lock (e.g. `flock` on a sidecar file) to serialize.
     pub fn bind_unix(
         tier: Arc<AsyncService>,
         path: impl AsRef<Path>,

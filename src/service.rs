@@ -828,10 +828,10 @@ impl Service {
                 // permitting) synced BEFORE the version is published or
                 // any submitter acked — so an acked write is never ahead
                 // of the log. A journal I/O failure fails the cycle like
-                // a solve failure: no publish, the applied deltas stay
-                // in `unpublished` (they are in the session), and the
-                // next cycle that succeeds re-appends and attributes
-                // them (recovery collapses the duplicate records).
+                // a solve failure: no publish, the cycle's records are
+                // rolled back off the WAL, the applied deltas stay in
+                // `unpublished` (they are in the session), and the next
+                // cycle that succeeds re-appends and attributes them.
                 if writer.journal.is_some() {
                     if let Err(e) = self.journal_cycle(&mut writer, version) {
                         drop(writer);
@@ -937,10 +937,20 @@ impl Service {
         let journal = journal
             .as_mut()
             .expect("journal_cycle on an unjournaled service");
+        // On any failure, roll the WAL back to the pre-cycle boundary:
+        // the retry cycle re-appends everything fresh, so the log never
+        // carries duplicate records or a torn frame mid-file.
+        let mark = journal.mark();
         for (kind, text) in unpublished.iter() {
-            journal.append(version, *kind, text)?;
+            if let Err(e) = journal.append(version, *kind, text) {
+                journal.rollback(mark);
+                return Err(e);
+            }
         }
-        journal.sync_for_publish()?;
+        if let Err(e) = journal.sync_for_publish() {
+            journal.rollback(mark);
+            return Err(e);
+        }
         self.maybe_crash(CrashPoint::PostAppend);
         Ok(())
     }
