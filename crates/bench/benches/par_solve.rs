@@ -1,0 +1,66 @@
+//! Parallel wavefront solving versus the sequential evaluator: the
+//! acceptance bench for `EngineBuilder::threads`.
+//!
+//! Two groups, each at 1/2/4 threads:
+//!
+//! * `cold_solve` — solve a chain of knots from a cold session. The
+//!   condensation of a knot chain is wide (≈5 components per knot, most
+//!   of them mutually independent), so the task DAG offers real
+//!   parallelism;
+//! * `warm_cone` — retract/re-assert a mid-chain fact and re-solve: the
+//!   warm path schedules only the delta's forward cone, so this measures
+//!   the parallel *sub*-wavefront plus the scheduler's small-graph
+//!   fallback behaviour.
+//!
+//! On a 1-core runner the 2/4-thread numbers measure scheduler overhead,
+//! not speedup — BENCH_par.json records `runner_cores` alongside the
+//! results for exactly that reason.
+
+use afp::{Engine, Session};
+use afp_bench::gen::hard_knot_chain_src;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const KNOTS: usize = 96;
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder().threads(threads).build()
+}
+
+fn loaded(threads: usize, src: &str) -> Session {
+    engine(threads).load(src).unwrap()
+}
+
+fn par_solve(c: &mut Criterion) {
+    let src = hard_knot_chain_src(KNOTS);
+
+    let mut group = c.benchmark_group("par_solve/cold_solve");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &src, |b, src| {
+            let engine = engine(threads);
+            b.iter(|| {
+                let mut session = engine.load(src).unwrap();
+                session.solve().unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mid = format!("e(k{}).", KNOTS / 2);
+    let mut group = c.benchmark_group("par_solve/warm_cone");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &src, |b, src| {
+            let mut session = loaded(threads, src);
+            session.solve().unwrap();
+            b.iter(|| {
+                session.retract_facts(&mid).unwrap();
+                session.solve().unwrap();
+                session.assert_facts(&mid).unwrap();
+                session.solve().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, par_solve);
+criterion_main!(benches);

@@ -76,6 +76,7 @@ use afp_datalog::{
     GroundOptions, IncrementalGrounder, RetractOutcome, RuleAssertOutcome, SafetyPolicy,
     SymbolStore,
 };
+use afp_semantics::{Scheduler, Sequential, Wavefront};
 use std::sync::Arc;
 
 use crate::Error;
@@ -146,7 +147,7 @@ impl Semantics {
 }
 
 /// Configures and builds an [`Engine`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineBuilder {
     semantics: Semantics,
     ground: GroundOptions,
@@ -154,6 +155,28 @@ pub struct EngineBuilder {
     relevance: Vec<String>,
     /// Search-node cap for stable-model enumeration (`None` = unlimited).
     stable_search_nodes: Option<usize>,
+    /// Requested solver threads; `0` = auto-detect at [`build`](Self::build).
+    threads: usize,
+    /// Shared wavefront pool, created by `build` when `threads > 1` and
+    /// cloned (an `Arc` bump) into every session of the engine.
+    scheduler: Option<Arc<Wavefront>>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            semantics: Semantics::default(),
+            ground: GroundOptions::default(),
+            record_trace: false,
+            relevance: Vec::new(),
+            stable_search_nodes: None,
+            // Sequential is the explicit default: `0` means auto-detect,
+            // and a derived zero would silently parallelize
+            // `Engine::default()`.
+            threads: 1,
+            scheduler: None,
+        }
+    }
 }
 
 impl EngineBuilder {
@@ -216,8 +239,28 @@ impl EngineBuilder {
         self
     }
 
-    /// Build the engine.
-    pub fn build(self) -> Engine {
+    /// Solver threads for SCC-stratified well-founded solves: `1`
+    /// (default) keeps the sequential evaluator; `N > 1` builds a
+    /// persistent [`Wavefront`] worker pool and schedules independent
+    /// components of the condensation concurrently; `0` auto-detects via
+    /// [`std::thread::available_parallelism`]. The solved model is
+    /// **bit-identical for every thread count** — scheduling affects only
+    /// wall-clock (see `afp_semantics::schedule`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Build the engine. Resolves `threads == 0` to the machine's
+    /// available parallelism and spawns the shared wavefront pool when
+    /// more than one thread is requested.
+    pub fn build(mut self) -> Engine {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        self.threads = threads;
+        self.scheduler = (threads > 1).then(|| Arc::new(Wavefront::new(threads)));
         Engine { config: self }
     }
 }
@@ -353,6 +396,23 @@ pub struct SessionStats {
     /// Components whose values were copied verbatim by the last
     /// SCC-stratified solve.
     pub last_components_reused: usize,
+    /// Dependency levels (critical-path length) of the last solve's task
+    /// DAG — the number of wavefronts an idealized parallel schedule
+    /// needs. Identical for every scheduler and thread count.
+    pub last_wavefronts: usize,
+    /// Maximum number of simultaneously ready components the last
+    /// solve's task DAG offered — its available parallelism.
+    pub last_ready_width: usize,
+    /// Components executed by a wavefront worker other than the one that
+    /// released them (work stealing), summed over all solves. Always `0`
+    /// with `threads(1)`.
+    pub stolen_tasks: u64,
+    /// Components evaluated on the multi-worker wavefront path, summed
+    /// over all solves.
+    pub par_components: u64,
+    /// Components evaluated sequentially (the `threads(1)` default, or
+    /// the pool's small-graph inline fallback), summed over all solves.
+    pub seq_components: u64,
     /// Envelope delta rounds run by the grounder — one per *batch* of
     /// asserted facts, however many facts the batch carries.
     pub delta_rounds: u64,
@@ -419,6 +479,18 @@ impl Session {
     /// Reuse counters.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// The scheduler SCC-stratified solves run on: the engine's shared
+    /// wavefront pool when built with [`EngineBuilder::threads`] `> 1`,
+    /// the zero-synchronization sequential evaluator otherwise. Warm
+    /// re-solves go through the same scheduler, so a cone re-evaluation
+    /// becomes a parallel sub-wavefront over the affected components.
+    fn scheduler(&self) -> &dyn Scheduler {
+        match &self.config.scheduler {
+            Some(pool) => pool.as_ref(),
+            None => &Sequential,
+        }
     }
 
     /// The retained source program, rendered as re-parseable text — the
@@ -864,12 +936,25 @@ impl Session {
                     (None, Some(model), Some(aff)) => Some((model.as_ref(), aff)),
                     _ => None,
                 };
-                let result = afp_semantics::modular_wfs_update(solve_on, &cond, previous);
+                let result = afp_semantics::modular_wfs_scheduled(
+                    solve_on,
+                    &cond,
+                    previous,
+                    self.scheduler(),
+                );
                 self.stats.scc_solves += 1;
                 self.stats.last_components = result.components;
                 self.stats.last_components_evaluated = result.evaluated;
                 self.stats.last_components_reused = result.reused;
                 self.stats.last_seed_size = result.reused_atoms;
+                self.stats.last_wavefronts = result.sched.wavefronts;
+                self.stats.last_ready_width = result.sched.max_ready_width;
+                self.stats.stolen_tasks += result.sched.stolen_tasks;
+                if result.sched.parallel {
+                    self.stats.par_components += result.sched.tasks as u64;
+                } else {
+                    self.stats.seq_components += result.sched.tasks as u64;
+                }
                 if result.reused > 0 {
                     self.stats.warm_solves += 1;
                 }

@@ -1096,7 +1096,9 @@ mod tests {
         // service rolls the whole cycle back off the WAL.
         let mark = journal.mark();
         journal.append(2, DeltaKind::AssertFacts, "p(b).").unwrap();
-        journal.append(2, DeltaKind::AssertRules, "q(X) :- p(X).").unwrap();
+        journal
+            .append(2, DeltaKind::AssertRules, "q(X) :- p(X).")
+            .unwrap();
         journal.rollback(mark);
 
         // The retry cycle appends fresh records at the same boundary.

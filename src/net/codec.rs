@@ -607,7 +607,8 @@ pub fn stats_json(
          \"last_repair_atoms\":{},\"last_repair_edges\":{},\
          \"restricted_cond_hits\":{},\"scc_solves\":{},\"last_components\":{},\
          \"last_components_evaluated\":{},\"last_components_reused\":{},\
-         \"last_seed_size\":{}}}",
+         \"last_seed_size\":{},\"last_wavefronts\":{},\"last_ready_width\":{},\
+         \"stolen_tasks\":{},\"par_components\":{},\"seq_components\":{}}}",
         session.solves,
         session.warm_solves,
         session.snapshot_clones,
@@ -628,6 +629,11 @@ pub fn stats_json(
         session.last_components_evaluated,
         session.last_components_reused,
         session.last_seed_size,
+        session.last_wavefronts,
+        session.last_ready_width,
+        session.stolen_tasks,
+        session.par_components,
+        session.seq_components,
     );
     if let Some(s) = service {
         body.push_str(&format!(

@@ -126,6 +126,10 @@ pub struct AppliedDelta {
 
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone, Copy)]
+/// There is deliberately no solver-thread knob here: the scheduler
+/// belongs to the engine ([`crate::EngineBuilder::threads`]) and reaches
+/// serve mode through the [`Session`] the service wraps, so every write
+/// cycle's warm re-solve runs the engine's configured wavefront pool.
 pub struct ServiceOptions {
     /// How many recent versions [`Service::at_version`] retains. Older
     /// versions fall out of the cache (their pinned snapshots stay valid

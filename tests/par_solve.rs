@@ -1,0 +1,274 @@
+//! Parallel wavefront solving is **bit-identical** to sequential solving.
+//!
+//! The scheduler refactor's contract (see `afp_semantics::schedule`): the
+//! solved model is a pure function of the program, never of the thread
+//! count, the schedule, or the completion order of component tasks. These
+//! tests enforce it three ways:
+//!
+//! * engine-level differential — identical seeded fact *and rule* update
+//!   scripts replayed against sessions built with `--threads 1/2/4`, under
+//!   both `WfStrategy` variants, comparing full partial models after every
+//!   step (warm cone re-solves included);
+//! * adversarial completion orders — the `WavefrontOptions::chaos` fault
+//!   seam scrambles every ready-queue pop with a seeded RNG, proving the
+//!   ordered commit is order-independent, not just lucky;
+//! * repeated runs — the same session solved repeatedly on a real pool
+//!   yields the same model every time.
+
+use afp::semantics::{modular_wfs_scheduled, Sequential, Wavefront, WavefrontOptions};
+use afp::{Engine, Semantics, Session, Strategy, Truth, WfStrategy};
+use afp_bench::gen::{hard_knot_chain_src, random_ground_program};
+use afp_datalog::Condensation;
+
+const SCC: Semantics = Semantics::WellFounded {
+    strategy: WfStrategy::SccStratified,
+};
+const GLOBAL: Semantics = Semantics::WellFounded {
+    strategy: WfStrategy::Global(Strategy::Naive),
+};
+
+/// Deterministic xorshift for update scripts.
+struct Rng(u64);
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// One mutation step of the random script, applied identically to every
+/// session under test.
+enum Step {
+    AssertFact(String),
+    RetractFact(String),
+    AssertRule(String),
+    RetractRule(String),
+}
+
+/// Generate a seeded fact+rule script over the `wins/move` game program.
+/// Rule steps toggle an extra derived layer (`safe(X) :- not wins(X).`
+/// flavoured) so condensation repairs and rule-delta cones are exercised,
+/// not just fact flips.
+fn random_script(seed: u64, steps: usize) -> Vec<Step> {
+    let mut rng = Rng::new(seed);
+    let mut live_edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2)];
+    let mut rule_in = false;
+    let mut script = Vec::new();
+    for _ in 0..steps {
+        match rng.next() % 8 {
+            0..=2 => {
+                let u = (rng.next() % 6) as u32;
+                let v = (rng.next() % 6) as u32;
+                if u != v {
+                    live_edges.push((u, v));
+                    script.push(Step::AssertFact(format!("move(n{u}, n{v}).")));
+                }
+            }
+            3 | 4 => {
+                if !live_edges.is_empty() {
+                    let i = (rng.next() as usize) % live_edges.len();
+                    let (u, v) = live_edges.swap_remove(i);
+                    script.push(Step::RetractFact(format!("move(n{u}, n{v}).")));
+                }
+            }
+            5 => {
+                let u = (rng.next() % 6) as u32;
+                script.push(Step::AssertFact(format!("pinned(n{u}).")));
+            }
+            _ => {
+                if rule_in {
+                    script.push(Step::RetractRule(EXTRA_RULE.into()));
+                } else {
+                    script.push(Step::AssertRule(EXTRA_RULE.into()));
+                }
+                rule_in = !rule_in;
+            }
+        }
+    }
+    script
+}
+
+const BASE: &str = "wins(X) :- move(X, Y), not wins(Y).\n\
+                    pinned(n0).\n\
+                    move(n0, n1). move(n1, n2).";
+const EXTRA_RULE: &str = "safe(X) :- pinned(X), not wins(X).";
+
+fn apply(session: &mut Session, step: &Step) {
+    match step {
+        Step::AssertFact(t) => session.assert_facts(t).unwrap(),
+        Step::RetractFact(t) => session.retract_facts(t).unwrap(),
+        Step::AssertRule(t) => session.assert_rules(t).unwrap(),
+        Step::RetractRule(t) => session.retract_rules(t).unwrap(),
+    }
+}
+
+/// Engine-level differential: the same seeded script replayed at
+/// `--threads 1/2/4` under both well-founded strategies produces the same
+/// partial model after every step — including the warm cone re-solves,
+/// which on the threaded engines run as parallel sub-wavefronts.
+#[test]
+fn threaded_solves_match_sequential_across_update_scripts() {
+    for seed in 0..5u64 {
+        let script = random_script(seed, 14);
+        let mut sessions: Vec<(usize, Semantics, Session)> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::builder().threads(threads).build();
+            sessions.push((threads, SCC, engine.load(BASE).unwrap()));
+        }
+        // The global strategy ignores the scheduler but must stay
+        // consistent with it step for step.
+        sessions.push((1, GLOBAL, Engine::default().load(BASE).unwrap()));
+
+        for (stepno, step) in script.iter().enumerate() {
+            let mut reference = None;
+            for (threads, semantics, session) in sessions.iter_mut() {
+                apply(session, step);
+                let model = session
+                    .solve_with(*semantics)
+                    .unwrap()
+                    .partial_model()
+                    .clone();
+                match &reference {
+                    None => reference = Some(model),
+                    Some(expected) => assert_eq!(
+                        expected, &model,
+                        "divergence at seed {seed} step {stepno} threads {threads}"
+                    ),
+                }
+            }
+        }
+        // The threaded sessions really did schedule work.
+        for (threads, _, session) in &sessions {
+            let stats = session.stats();
+            assert!(stats.scc_solves > 0 || stats.solves > 0);
+            if *threads == 1 {
+                assert_eq!(stats.stolen_tasks, 0, "no stealing on one thread");
+                assert_eq!(stats.par_components, 0);
+            }
+        }
+    }
+}
+
+/// Semantics-level differential on generated ground programs: a real
+/// work-stealing pool at several widths against the sequential evaluator.
+#[test]
+fn wavefront_matches_sequential_on_random_ground_programs() {
+    let pools: Vec<Wavefront> = [2usize, 4]
+        .into_iter()
+        .map(|threads| {
+            Wavefront::with_options(
+                threads,
+                WavefrontOptions {
+                    min_par_tasks: 0,
+                    chaos: None,
+                },
+            )
+        })
+        .collect();
+    for seed in 0..15u64 {
+        let prog = random_ground_program(20, 44, 0.45, seed);
+        let cond = Condensation::of(&prog);
+        let seq = modular_wfs_scheduled(&prog, &cond, None, &Sequential);
+        for pool in &pools {
+            let par = modular_wfs_scheduled(&prog, &cond, None, pool);
+            assert_eq!(seq.model, par.model, "seed {seed} pool {:?}", pool);
+            assert_eq!(seq.evaluated, par.evaluated);
+            assert_eq!(
+                seq.sched.wavefronts, par.sched.wavefronts,
+                "critical path is schedule-independent"
+            );
+        }
+    }
+}
+
+/// Fault-injection: the chaos seam forces adversarial completion orders
+/// (every ready-queue pop is seeded-random, nothing is kept in hand) and
+/// the committed model must not move. This is the order-independence
+/// proof for the disjoint-write board + ordered commit.
+#[test]
+fn adversarial_completion_orders_commit_identically() {
+    for seed in 0..8u64 {
+        let prog = random_ground_program(18, 40, 0.5, seed);
+        let cond = Condensation::of(&prog);
+        let seq = modular_wfs_scheduled(&prog, &cond, None, &Sequential);
+        for chaos in 0..6u64 {
+            let pool = Wavefront::with_options(
+                4,
+                WavefrontOptions {
+                    min_par_tasks: 0,
+                    chaos: Some(chaos),
+                },
+            );
+            let par = modular_wfs_scheduled(&prog, &cond, None, &pool);
+            assert_eq!(
+                seq.model, par.model,
+                "order-dependent commit at seed {seed} chaos {chaos}"
+            );
+        }
+    }
+}
+
+/// Repeated solves on one engine-owned pool are stable, and the scheduler
+/// counters surface through `SessionStats`: a knot chain is wide enough
+/// to clear the pool's small-graph fallback, so the parallel path runs
+/// for real.
+#[test]
+fn repeated_threaded_solves_are_stable_and_counted() {
+    let src = hard_knot_chain_src(24);
+    let mut seq_session = Engine::builder().threads(1).build().load(&src).unwrap();
+    let expected = seq_session.solve().unwrap().partial_model().clone();
+    let seq_stats = *seq_session.stats();
+    assert!(seq_stats.seq_components > 0, "sequential path counts tasks");
+    assert_eq!(seq_stats.par_components, 0);
+    assert!(seq_stats.last_wavefronts > 0);
+
+    let engine = Engine::builder().threads(4).build();
+    let mut session = engine.load(&src).unwrap();
+    session.solve().unwrap();
+    assert_eq!(
+        session.stats().last_wavefronts,
+        seq_stats.last_wavefronts,
+        "cold critical-path depth is thread-independent"
+    );
+    for round in 0..6 {
+        let model = session.solve().unwrap().partial_model().clone();
+        assert_eq!(expected, model, "round {round} moved the model");
+        // Mutate and restore so every round after the first re-solves a
+        // warm cone instead of hitting the snapshot memo.
+        session.retract_facts("e(k11).").unwrap();
+        let holed = session.solve().unwrap();
+        assert_eq!(holed.truth("a", &["k11"]), Truth::False);
+        session.assert_facts("e(k11).").unwrap();
+    }
+    let stats = *session.stats();
+    assert!(stats.par_components > 0, "the pool path ran");
+    assert!(stats.last_ready_width >= 1);
+}
+
+/// `threads(0)` auto-detects and still solves identically; a 1-core
+/// runner resolves to the sequential path without error.
+#[test]
+fn auto_thread_detection_solves_identically() {
+    let src = hard_knot_chain_src(8);
+    let auto = Engine::builder().threads(0).build();
+    let model = auto
+        .load(&src)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .partial_model()
+        .clone();
+    let seq = Engine::default()
+        .load(&src)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .partial_model()
+        .clone();
+    assert_eq!(model, seq);
+}
