@@ -44,6 +44,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 /// Counters from one [`Scheduler::run`], surfaced through
 /// `SessionStats` and the `stats` wire frame.
@@ -65,6 +66,16 @@ pub struct SchedRun {
     /// True when the tasks ran on the multi-worker path (as opposed to
     /// the sequential scheduler or the pool's small-graph fallback).
     pub parallel: bool,
+    /// Worker time spent evaluating components, summed over workers
+    /// (wall minus steal minus sleep; the whole wall on the sequential
+    /// path). Can exceed the run's wall clock on multi-worker runs.
+    pub busy_ns: u64,
+    /// Worker time spent scanning sibling deques for work. `0` on the
+    /// sequential path, where the fast own-deque pop is never timed.
+    pub steal_ns: u64,
+    /// Worker time spent parked on the idle condvar waiting for tasks
+    /// to become ready. `0` on the sequential path.
+    pub sleep_ns: u64,
 }
 
 /// Executes a [`TaskGraph`]. Implementations must call `task(comp, w)`
@@ -100,6 +111,7 @@ impl Scheduler for Sequential {
 /// [`TaskGraph`]), simulating the ready set to report the width the DAG
 /// offered. Shared by [`Sequential`] and the pool's small-graph fallback.
 fn run_in_order(graph: &TaskGraph, task: &(dyn Fn(u32, usize) + Sync)) -> SchedRun {
+    let started = Instant::now();
     let t = graph.len();
     let mut indeg: Vec<u32> = (0..t).map(|ti| graph.indegree(ti)).collect();
     let mut ready = indeg.iter().filter(|&&d| d == 0).count();
@@ -122,6 +134,9 @@ fn run_in_order(graph: &TaskGraph, task: &(dyn Fn(u32, usize) + Sync)) -> SchedR
         max_ready_width: max_ready,
         stolen_tasks: 0,
         parallel: false,
+        busy_ns: started.elapsed().as_nanos() as u64,
+        steal_ns: 0,
+        sleep_ns: 0,
     }
 }
 
@@ -259,6 +274,9 @@ impl Scheduler for Wavefront {
             ready_now: AtomicUsize::new(0),
             max_ready: AtomicUsize::new(0),
             stolen: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            steal_ns: AtomicU64::new(0),
+            sleep_ns: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -308,6 +326,9 @@ impl Scheduler for Wavefront {
             max_ready_width: state.max_ready.load(SeqCst),
             stolen_tasks: state.stolen.load(SeqCst),
             parallel: true,
+            busy_ns: state.busy_ns.load(SeqCst),
+            steal_ns: state.steal_ns.load(SeqCst),
+            sleep_ns: state.sleep_ns.load(SeqCst),
         }
     }
 }
@@ -391,6 +412,13 @@ struct RunState<'a> {
     ready_now: AtomicUsize,
     max_ready: AtomicUsize,
     stolen: AtomicU64,
+    /// Per-worker time accounting, summed over workers at worker exit:
+    /// busy = wall − steal − sleep. Steal scans and park episodes are
+    /// rare, so only they pay clock reads; the per-task fast path never
+    /// does.
+    busy_ns: AtomicU64,
+    steal_ns: AtomicU64,
+    sleep_ns: AtomicU64,
     /// Workers parked on `idle_cv`.
     sleepers: AtomicUsize,
     idle: Mutex<()>,
@@ -405,6 +433,9 @@ unsafe fn run_worker_erased(data: *const (), worker: usize) {
 }
 
 fn run_worker(state: &RunState, w: usize) {
+    let wall = Instant::now();
+    let mut steal_ns = 0u64;
+    let mut sleep_ns = 0u64;
     let mut rng = state
         .chaos
         .map(|seed| seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
@@ -412,14 +443,15 @@ fn run_worker(state: &RunState, w: usize) {
     loop {
         let ti = match in_hand.take() {
             Some(ti) => Some(ti),
-            None => pop_task(state, w, &mut rng),
+            None => pop_task(state, w, &mut rng, &mut steal_ns),
         };
         let Some(ti) = ti else {
             if state.remaining.load(SeqCst) == 0 {
-                return;
+                break;
             }
             // Nothing ready anywhere, but tasks are still running on
             // other workers: park until a push or termination.
+            let parked = Instant::now();
             state.sleepers.fetch_add(1, SeqCst);
             {
                 let mut guard = state.idle.lock().unwrap();
@@ -429,6 +461,7 @@ fn run_worker(state: &RunState, w: usize) {
                 drop(guard);
             }
             state.sleepers.fetch_sub(1, SeqCst);
+            sleep_ns += parked.elapsed().as_nanos() as u64;
             continue;
         };
 
@@ -467,14 +500,44 @@ fn run_worker(state: &RunState, w: usize) {
             state.idle_cv.notify_all();
         }
     }
+    // Settle this worker's time split: everything that was neither a
+    // steal scan nor a park is attributed to task evaluation.
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    state.steal_ns.fetch_add(steal_ns, SeqCst);
+    state.sleep_ns.fetch_add(sleep_ns, SeqCst);
+    state
+        .busy_ns
+        .fetch_add(wall_ns.saturating_sub(steal_ns + sleep_ns), SeqCst);
 }
 
 /// Pop a ready task: own deque first (newest — depth-first locality),
 /// then steal the oldest from a sibling. Chaos mode picks seeded-random
-/// elements instead.
-fn pop_task(state: &RunState, w: usize, rng: &mut Option<u64>) -> Option<u32> {
+/// elements instead. The own-deque fast path is untimed; a scan past it
+/// charges its wall time to `steal_ns`.
+fn pop_task(state: &RunState, w: usize, rng: &mut Option<u64>, steal_ns: &mut u64) -> Option<u32> {
+    {
+        let mut q = state.queues[w].lock().unwrap();
+        let got = match rng {
+            Some(seed) => {
+                if q.is_empty() {
+                    None
+                } else {
+                    let ix = (xorshift(seed) % q.len() as u64) as usize;
+                    q.swap_remove_back(ix)
+                }
+            }
+            None => q.pop_back(),
+        };
+        drop(q);
+        if let Some(ti) = got {
+            state.queued.fetch_sub(1, SeqCst);
+            return Some(ti);
+        }
+    }
+    let scan = Instant::now();
     let nq = state.queues.len();
-    for i in 0..nq {
+    let mut found = None;
+    for i in 1..nq {
         let victim = (w + i) % nq;
         let mut q = state.queues[victim].lock().unwrap();
         let got = match rng {
@@ -486,19 +549,18 @@ fn pop_task(state: &RunState, w: usize, rng: &mut Option<u64>) -> Option<u32> {
                     q.swap_remove_back(ix)
                 }
             }
-            None if victim == w => q.pop_back(),
             None => q.pop_front(),
         };
         drop(q);
         if let Some(ti) = got {
             state.queued.fetch_sub(1, SeqCst);
-            if victim != w {
-                state.stolen.fetch_add(1, SeqCst);
-            }
-            return Some(ti);
+            state.stolen.fetch_add(1, SeqCst);
+            found = Some(ti);
+            break;
         }
     }
-    None
+    *steal_ns += scan.elapsed().as_nanos() as u64;
+    found
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -609,6 +671,24 @@ mod tests {
             check_schedule(&sched, WIDE);
         }
         drop(sched); // join must not hang
+    }
+
+    #[test]
+    fn time_accounting_is_reported() {
+        let run = check_schedule(&Sequential, WIDE);
+        assert!(run.busy_ns > 0, "sequential busy covers the whole wall");
+        assert_eq!(run.steal_ns, 0);
+        assert_eq!(run.sleep_ns, 0);
+        let sched = Wavefront::with_options(
+            2,
+            WavefrontOptions {
+                min_par_tasks: 0,
+                chaos: None,
+            },
+        );
+        let run = check_schedule(&sched, WIDE);
+        assert!(run.parallel);
+        assert!(run.busy_ns > 0, "workers report evaluation time");
     }
 
     #[test]

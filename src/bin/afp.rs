@@ -6,7 +6,7 @@
 //! OPTIONS:
 //!   -s, --semantics <S>   wfs (default) | stable | fitting | perfect | ifp
 //!   -q, --query <ATOM>    print the truth value of one atom (e.g. 'wins(a)')
-//!   -t, --trace           print the alternating sequence (wfs only)
+//!   -t                    print the alternating sequence (wfs only)
 //!   -a, --active-domain   range-restrict unsafe rules to the active domain
 //!   -n, --max-models <N>  cap stable-model enumeration
 //!       --threads <N>     solver threads for per-SCC wfs solves (default 1;
@@ -39,6 +39,15 @@
 //!       --changelog-cap <N>  bound changelog retention (default 1024); reads
 //!                         behind the evicted horizon get a version-evicted
 //!                         error
+//!       --metrics-format <F>  how the serve-mode `metrics` command renders:
+//!                         json (default) | prom (Prometheus text exposition)
+//!       --trace <FILE>    stream write-cycle phase spans to FILE as JSONL
+//!                         trace events (Chrome trace-event format; load the
+//!                         file in chrome://tracing or Perfetto). Bounded
+//!                         buffer: events beyond it are counted as dropped,
+//!                         never block a write cycle
+//!       --slow-cycle-ms <N>  log any write cycle slower than N ms to stderr
+//!                         with its full phase breakdown
 //!       --ground          print the ground program and exit
 //!   -h, --help            this text
 //! ```
@@ -64,7 +73,10 @@
 //! version               print the current version number
 //! log [SINCE]           applied deltas with version > SINCE
 //! stats                 print service + session (+ net/journal) counters as JSON
-//! ping                  readiness probe: current version + writer liveness
+//! metrics               telemetry exposition: per-phase write-cycle histograms,
+//!                       counters and recent cycles (--metrics-format picks
+//!                       JSON or Prometheus text)
+//! ping                  readiness probe: version + writer liveness + uptime
 //! checkpoint            write a durability checkpoint now (needs --journal)
 //! quit                  exit (EOF works too)
 //! ```
@@ -89,8 +101,8 @@
 use afp::net::codec::{self, Request, Response, ServeBackend};
 use afp::{
     AsyncOptions, AsyncService, Engine, Error, FsyncPolicy, Journal, JournalOptions, JournalStats,
-    Model, NetOptions, NetServer, NetStats, Semantics, Service, ServiceOptions, SessionStats,
-    Shutdown, Truth,
+    MetricsFormat, Model, NetOptions, NetServer, NetStats, Semantics, Service, ServiceOptions,
+    SessionStats, Shutdown, Telemetry, TraceSink, Truth,
 };
 use std::io::{BufRead, Read};
 use std::process::ExitCode;
@@ -101,7 +113,8 @@ const USAGE_HINT: &str = "usage: afp [-s wfs|stable|fitting|perfect|ifp] [-q ATO
      [-n N] [--threads N] [-j] [--assert TEXT] [--retract TEXT] [--stats] [--serve] [--listen ADDR] \
      [--socket PATH] [--queue-depth N] [--max-conns N] [--submit-timeout-ms N] \
      [--journal DIR] [--fsync always|never|N] [--checkpoint-every N] [--ack-durable] \
-     [--changelog-cap N] [--ground] [FILE]";
+     [--changelog-cap N] [--metrics-format json|prom] [--trace FILE] [--slow-cycle-ms N] \
+     [--ground] [FILE]";
 
 struct Options {
     semantics: String,
@@ -125,6 +138,11 @@ struct Options {
     checkpoint_every: u64,
     ack_durable: bool,
     changelog_cap: Option<usize>,
+    metrics_format: MetricsFormat,
+    /// Serve-mode trace stream target (`--trace FILE`); distinct from
+    /// the one-shot `-t` alternating-sequence trace.
+    trace_file: Option<String>,
+    slow_cycle_ms: Option<u64>,
     /// Session updates in command-line order: `(assert?, program text)`.
     updates: Vec<(bool, String)>,
     file: Option<String>,
@@ -157,6 +175,9 @@ fn parse_args() -> Options {
         checkpoint_every: 0,
         ack_durable: false,
         changelog_cap: None,
+        metrics_format: MetricsFormat::Json,
+        trace_file: None,
+        slow_cycle_ms: None,
         updates: Vec::new(),
         file: None,
     };
@@ -169,7 +190,18 @@ fn parse_args() -> Options {
             "-q" | "--query" => {
                 options.query = Some(args.next().unwrap_or_else(|| usage()));
             }
-            "-t" | "--trace" => options.trace = true,
+            "-t" => options.trace = true,
+            "--trace" => {
+                options.trace_file = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics-format" => {
+                let f = args.next().unwrap_or_else(|| usage());
+                options.metrics_format = MetricsFormat::parse(&f).unwrap_or_else(|| usage());
+            }
+            "--slow-cycle-ms" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                options.slow_cycle_ms = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
             "-a" | "--active-domain" => options.active_domain = true,
             "-n" | "--max-models" => {
                 let n = args.next().unwrap_or_else(|| usage());
@@ -487,6 +519,24 @@ fn run_serve(engine: &Engine, src: &str, options: &Options) -> ExitCode {
             }
         }
     };
+    // Telemetry is configured before any listener or seed delta, so the
+    // very first write cycle is phase-timed (and traced, when asked).
+    let trace_sink = match &options.trace_file {
+        Some(path) => match TraceSink::create(std::path::Path::new(path)) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("afp: cannot open trace file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    service.set_telemetry(Telemetry::configured(
+        options.metrics_format,
+        trace_sink,
+        options.slow_cycle_ms,
+    ));
+
     // --assert/--retract seed the service before commands are read.
     for (assert, text) in &options.updates {
         let result = if *assert {

@@ -78,7 +78,9 @@ use afp_datalog::{
 };
 use afp_semantics::{Scheduler, Sequential, Wavefront};
 use std::sync::Arc;
+use std::time::Instant;
 
+use crate::telemetry::{stat_set, SessionPhases};
 use crate::Error;
 
 /// How a well-founded solve is evaluated.
@@ -303,6 +305,7 @@ impl Engine {
             scc_cond: None,
             restricted_conds: Vec::new(),
             stats: SessionStats::default(),
+            phases: SessionPhases::default(),
         })
     }
 
@@ -321,6 +324,7 @@ impl Engine {
             scc_cond: None,
             restricted_conds: Vec::new(),
             stats: SessionStats::default(),
+            phases: SessionPhases::default(),
         }
     }
 
@@ -427,6 +431,39 @@ pub struct SessionStats {
     pub snapshot_reuses: u64,
 }
 
+// Wire serialization of the `stats` section: every field, in the frame's
+// historical key order (which predates this impl and differs from the
+// struct's declaration order). The exhaustive pattern inside the macro
+// means a field added above without a line here is a compile error — a
+// counter can no longer silently miss the wire frame.
+stat_set!(SessionStats {
+    solves,
+    warm_solves,
+    snapshot_clones,
+    snapshot_reuses,
+    regrounds,
+    asserts,
+    retracts,
+    rule_asserts,
+    rule_retracts,
+    delta_rounds,
+    condensation_builds,
+    condensation_repairs,
+    last_repair_atoms,
+    last_repair_edges,
+    restricted_cond_hits,
+    scc_solves,
+    last_components,
+    last_components_evaluated,
+    last_components_reused,
+    last_seed_size,
+    last_wavefronts,
+    last_ready_width,
+    stolen_tasks,
+    par_components,
+    seq_components,
+});
+
 /// A loaded program: interned symbols, ground rules, and (for programs
 /// loaded from text or AST) the live grounder state for incremental fact
 /// updates. Produced by [`Engine::load`].
@@ -462,6 +499,10 @@ pub struct Session {
     /// a handful of entries.
     restricted_conds: Vec<(Vec<AtomId>, Condensation)>,
     stats: SessionStats,
+    /// Phase wall-clock accumulated since the last
+    /// [`Session::take_phases`] — the raw material of the service's
+    /// per-cycle [`crate::telemetry::PhaseBreakdown`].
+    phases: SessionPhases,
 }
 
 /// Entries kept in the per-restriction condensation cache.
@@ -479,6 +520,15 @@ impl Session {
     /// Reuse counters.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Drain the phase wall-clock accumulated since the previous call:
+    /// grounding and condensation repair charged at mutation time,
+    /// condense/solve (plus the scheduler's busy/steal/sleep split) at
+    /// solve time. The service calls this once per write cycle; callers
+    /// that never drain simply leave the counters growing.
+    pub fn take_phases(&mut self) -> SessionPhases {
+        std::mem::take(&mut self.phases)
     }
 
     /// The scheduler SCC-stratified solves run on: the engine's shared
@@ -524,7 +574,10 @@ impl Session {
                     // every edit to the retained AST and re-ground once.
                     return self.cold_update(&atoms, &symbols, true);
                 }
-                let effect = match g.assert_batch(&atoms, &symbols) {
+                let ground_started = Instant::now();
+                let outcome = g.assert_batch(&atoms, &symbols);
+                self.phases.ground_ns += ground_started.elapsed().as_nanos() as u64;
+                let effect = match outcome {
                     Ok(effect) => effect,
                     Err(e) => {
                         // The grounder is poisoned: some consequence of a
@@ -584,7 +637,10 @@ impl Session {
                 if g.is_poisoned() {
                     return self.cold_update(&atoms, &symbols, false);
                 }
-                match g.retract_batch(&atoms, &symbols) {
+                let ground_started = Instant::now();
+                let outcome = g.retract_batch(&atoms, &symbols);
+                self.phases.ground_ns += ground_started.elapsed().as_nanos() as u64;
+                match outcome {
                     RetractOutcome::Applied(effect) => {
                         if effect.fresh {
                             self.dirty.extend_from_slice(&effect.changed);
@@ -659,7 +715,10 @@ impl Session {
                 if !g.supports_incremental() {
                     return self.cold_rule_update(&parsed.rules, &parsed.symbols, true);
                 }
-                match g.assert_rules(&parsed.rules, &parsed.symbols) {
+                let ground_started = Instant::now();
+                let outcome = g.assert_rules(&parsed.rules, &parsed.symbols);
+                self.phases.ground_ns += ground_started.elapsed().as_nanos() as u64;
+                match outcome {
                     Ok(RuleAssertOutcome::Applied(effect)) => {
                         if effect.fresh {
                             self.dirty.extend_from_slice(&effect.changed);
@@ -710,7 +769,10 @@ impl Session {
                 if g.is_poisoned() {
                     return self.cold_rule_update(&parsed.rules, &parsed.symbols, false);
                 }
-                match g.retract_rules(&parsed.rules, &parsed.symbols) {
+                let ground_started = Instant::now();
+                let outcome = g.retract_rules(&parsed.rules, &parsed.symbols);
+                self.phases.ground_ns += ground_started.elapsed().as_nanos() as u64;
+                match outcome {
                     RetractOutcome::Applied(effect) => {
                         if effect.fresh {
                             self.dirty.extend_from_slice(&effect.changed);
@@ -816,7 +878,9 @@ impl Session {
     fn cold_reground(&mut self, apply_edits: impl FnOnce(&mut Program)) -> Result<(), Error> {
         let mut ast = self.ast.clone().expect("grounder sessions retain the AST");
         apply_edits(&mut ast);
+        let ground_started = Instant::now();
         self.grounder = Some(IncrementalGrounder::new(&ast, &self.config.ground)?);
+        self.phases.ground_ns += ground_started.elapsed().as_nanos() as u64;
         self.ast = Some(ast);
         self.stats.regrounds += 1;
         self.clear_warm_state();
@@ -900,6 +964,7 @@ impl Session {
             Semantics::WellFounded {
                 strategy: WfStrategy::SccStratified,
             } if !record_trace => {
+                let condense_started = Instant::now();
                 let cond = match &restricted {
                     None => {
                         // Reuse the memoized condensation of the full
@@ -932,16 +997,22 @@ impl Session {
                         }
                     }
                 };
+                self.phases.condense_ns += condense_started.elapsed().as_nanos() as u64;
                 let previous = match (&restricted, &self.last_model, &affected) {
                     (None, Some(model), Some(aff)) => Some((model.as_ref(), aff)),
                     _ => None,
                 };
+                let solve_started = Instant::now();
                 let result = afp_semantics::modular_wfs_scheduled(
                     solve_on,
                     &cond,
                     previous,
                     self.scheduler(),
                 );
+                self.phases.solve_ns += solve_started.elapsed().as_nanos() as u64;
+                self.phases.busy_ns += result.sched.busy_ns;
+                self.phases.steal_ns += result.sched.steal_ns;
+                self.phases.sleep_ns += result.sched.sleep_ns;
                 self.stats.scc_solves += 1;
                 self.stats.last_components = result.components;
                 self.stats.last_components_evaluated = result.evaluated;
@@ -992,6 +1063,7 @@ impl Session {
                     self.stats.warm_solves += 1;
                 }
                 self.stats.last_seed_size = seed.count();
+                let solve_started = Instant::now();
                 let result = alternating_fixpoint_from(
                     solve_on,
                     &AfpOptions {
@@ -1000,6 +1072,9 @@ impl Session {
                     },
                     &seed,
                 );
+                let solve_ns = solve_started.elapsed().as_nanos() as u64;
+                self.phases.solve_ns += solve_ns;
+                self.phases.busy_ns += solve_ns; // single-threaded: all busy
                 trace = result.trace;
                 let model = Arc::new(result.model);
                 if restricted.is_none() {
@@ -1124,6 +1199,7 @@ impl Session {
         self.snapshot = None;
         self.restricted_conds.clear();
         if let Some(mut cond) = self.scc_cond.take() {
+            let repair_started = Instant::now();
             let prog = match &self.grounder {
                 Some(g) => g.program(),
                 None => self.fixed.as_ref().expect("fixed or grounder"),
@@ -1136,6 +1212,7 @@ impl Session {
                     renames,
                 },
             );
+            self.phases.repair_ns += repair_started.elapsed().as_nanos() as u64;
             self.stats.condensation_repairs += 1;
             self.stats.last_repair_atoms = repair.atoms_visited;
             self.stats.last_repair_edges = repair.edges_visited;

@@ -58,6 +58,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::{DeltaKind, Error};
 
@@ -161,7 +162,27 @@ pub struct JournalStats {
     /// Journal operations that failed with an I/O error (the service
     /// keeps serving; the failed cycle's submitters were told).
     pub failed_ops: u64,
+    /// Cumulative wall clock spent appending WAL records, nanoseconds.
+    pub append_ns: u64,
+    /// Cumulative wall clock spent in pre-publish syncs, nanoseconds —
+    /// the cost the [`FsyncPolicy`] trades against durability.
+    pub sync_ns: u64,
 }
+
+// Wire serialization of the `journal` stats section, in frame key
+// order; see `crate::telemetry::StatSet`.
+crate::telemetry::stat_set!(JournalStats {
+    records_appended,
+    bytes_appended,
+    syncs,
+    checkpoints,
+    compacted_records,
+    records_replayed,
+    torn_truncations,
+    failed_ops,
+    append_ns,
+    sync_ns,
+});
 
 /// One replayed WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -417,6 +438,7 @@ impl Journal {
     /// file never carries garbage under records appended later.
     pub fn append(&mut self, version: u64, kind: DeltaKind, text: &str) -> Result<(), Error> {
         self.check_poisoned()?;
+        let started = Instant::now();
         let buf = frame(&wal_payload(version, kind, text));
         if let Err(e) = self.wal.write_all(&buf) {
             self.stats.failed_ops += 1;
@@ -429,6 +451,7 @@ impl Journal {
         self.unsynced += 1;
         self.stats.records_appended += 1;
         self.stats.bytes_appended += buf.len() as u64;
+        self.stats.append_ns += started.elapsed().as_nanos() as u64;
         Ok(())
     }
 
@@ -496,12 +519,14 @@ impl Journal {
             FsyncPolicy::Never => false,
         } || (self.options.ack_durable && self.unsynced > 0);
         if due {
+            let started = Instant::now();
             if let Err(e) = self.wal.sync_data() {
                 self.stats.failed_ops += 1;
                 return Err(io_err("syncing journal", e));
             }
             self.stats.syncs += 1;
             self.unsynced = 0;
+            self.stats.sync_ns += started.elapsed().as_nanos() as u64;
         }
         Ok(())
     }

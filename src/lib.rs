@@ -67,6 +67,7 @@ pub mod engine;
 pub mod journal;
 pub mod net;
 pub mod service;
+pub mod telemetry;
 
 pub use afp_core::interp::Truth;
 pub use afp_core::{AfpOptions, AfpResult, PartialModel, Strategy};
@@ -77,6 +78,9 @@ pub use net::{
     AsyncOptions, AsyncService, NetOptions, NetServer, NetStats, Shutdown, SubmitHandle,
 };
 pub use service::{AppliedDelta, DeltaKind, ModelSnapshot, Service, ServiceOptions, ServiceStats};
+pub use telemetry::{
+    MetricsFormat, MetricsRegistry, PhaseBreakdown, SessionPhases, Telemetry, TraceSink,
+};
 
 use std::fmt;
 

@@ -14,7 +14,8 @@
 //! version               the current version number
 //! log SINCE             applied deltas with version > SINCE
 //! stats                 session + service + net counters as JSON
-//! ping                  readiness probe: current version + writer liveness
+//! metrics               telemetry exposition: phase histograms + counters
+//! ping                  readiness probe: version + writer liveness + uptime
 //! checkpoint            write a durability checkpoint now (journaled services)
 //! quit                  end the session (EOF works too)
 //! ```
@@ -38,6 +39,7 @@
 use std::io::{self, Read, Write};
 
 use crate::service::ModelSnapshot;
+use crate::telemetry::stat_object;
 use crate::{
     AppliedDelta, AsyncService, DeltaKind, Error, JournalStats, Model, NetStats, Service,
     ServiceStats, SessionStats, Truth,
@@ -80,9 +82,15 @@ pub enum Request {
     },
     /// `stats` — counters as JSON.
     Stats,
-    /// `ping` — readiness probe: current version + writer liveness,
-    /// answered from shared memory without touching the write path (a
-    /// load balancer health check must not queue behind a slow cycle).
+    /// `metrics` — the telemetry tier's exposition: per-phase write-cycle
+    /// latency histograms (p50/p90/p99), counters, gauges and the recent
+    /// cycle ring, rendered as JSON or Prometheus text per the backend's
+    /// configured [`crate::MetricsFormat`].
+    Metrics,
+    /// `ping` — readiness probe: current version + writer liveness +
+    /// uptime, answered from shared memory without touching the write
+    /// path (a load balancer health check must not queue behind a slow
+    /// cycle).
     Ping,
     /// `checkpoint` — write a durability checkpoint now and compact the
     /// journal prefix it subsumes ([`crate::Service::checkpoint`]).
@@ -144,12 +152,13 @@ pub fn parse_command(line: &str) -> Result<Request, String> {
             Ok(Request::Changelog { since })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "checkpoint" => Ok(Request::Checkpoint),
         "quit" | "exit" => Ok(Request::Quit),
         other => Err(format!(
             "unknown command {other:?} (query/at/assert/retract/assert-facts/\
-             retract-facts/model/version/log/stats/ping/checkpoint/quit)"
+             retract-facts/model/version/log/stats/metrics/ping/checkpoint/quit)"
         )),
     }
 }
@@ -175,6 +184,7 @@ pub fn render_command(request: &Request) -> String {
         Request::Version => "version".into(),
         Request::Changelog { since } => format!("log {since}"),
         Request::Stats => "stats".into(),
+        Request::Metrics => "metrics".into(),
         Request::Ping => "ping".into(),
         Request::Checkpoint => "checkpoint".into(),
         Request::Quit => "quit".into(),
@@ -235,6 +245,13 @@ pub enum Response {
         /// The JSON object.
         json: String,
     },
+    /// Telemetry exposition, already rendered by
+    /// [`crate::Telemetry::render`] (JSON object or Prometheus text,
+    /// per the backend's configured format).
+    Metrics {
+        /// The rendered exposition, shipped verbatim.
+        body: String,
+    },
     /// Changelog entries.
     Changelog {
         /// Applied deltas, oldest first.
@@ -247,6 +264,8 @@ pub enum Response {
         /// Whether the write path is accepting work (`false` once an
         /// async tier's writer thread has stopped).
         writer_live: bool,
+        /// Milliseconds since the backend's service was constructed.
+        uptime_ms: u64,
     },
     /// A durability checkpoint was written.
     Checkpointed {
@@ -327,6 +346,7 @@ pub fn render_json(response: &Response) -> String {
         Response::Version { version } => format!("{{\"version\":{version}}}"),
         Response::Model { snapshot } => model_json(snapshot.version(), snapshot.model()),
         Response::Stats { json } => json.clone(),
+        Response::Metrics { body } => body.clone(),
         Response::Changelog { entries } => {
             let body: Vec<String> = entries
                 .iter()
@@ -344,7 +364,11 @@ pub fn render_json(response: &Response) -> String {
         Response::Pong {
             version,
             writer_live,
-        } => format!("{{\"pong\":true,\"version\":{version},\"writer_live\":{writer_live}}}"),
+            uptime_ms,
+        } => format!(
+            "{{\"pong\":true,\"version\":{version},\"writer_live\":{writer_live},\
+             \"uptime_ms\":{uptime_ms}}}"
+        ),
         Response::Checkpointed { version } => {
             format!("{{\"ok\":true,\"checkpoint\":{version}}}")
         }
@@ -379,8 +403,11 @@ pub fn render_plain(response: &Response) -> String {
             out
         }
         // Counters stay JSON even in plain interactive mode — they are
-        // one opaque machine-readable object either way.
+        // one opaque machine-readable object either way; the metrics
+        // body is likewise already in its final form (JSON or
+        // Prometheus text).
         Response::Stats { json } => json.clone(),
+        Response::Metrics { body } => body.clone(),
         Response::Changelog { entries } => {
             let mut out = format!("% {} deltas", entries.len());
             for e in entries {
@@ -391,8 +418,9 @@ pub fn render_plain(response: &Response) -> String {
         Response::Pong {
             version,
             writer_live,
+            uptime_ms,
         } => format!(
-            "pong version {version} writer {}",
+            "pong version {version} writer {} uptime {uptime_ms}ms",
             if *writer_live { "live" } else { "stopped" }
         ),
         Response::Checkpointed { version } => format!("checkpoint {version}"),
@@ -435,14 +463,18 @@ pub trait ServeBackend: Sync {
     fn submit(&self, kind: DeltaKind, text: &str) -> Result<u64, Error>;
     /// Applied deltas with version > `since`.
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error>;
-    /// Readiness probe: the current version and whether the write path
-    /// is accepting work. Must not queue behind the writer.
-    fn ping(&self) -> (u64, bool);
+    /// Readiness probe: the current version, whether the write path is
+    /// accepting work, and uptime in milliseconds. Must not queue
+    /// behind the writer.
+    fn ping(&self) -> (u64, bool, u64);
     /// Write a durability checkpoint now; [`Error::Journal`] on an
     /// unjournaled backend.
     fn checkpoint(&self) -> Result<u64, Error>;
     /// The full `--stats` JSON object for this backend.
     fn stats_json(&self) -> String;
+    /// The `metrics` exposition body ([`crate::Telemetry::render`]):
+    /// JSON or Prometheus text per the backend's configured format.
+    fn metrics_text(&self) -> String;
 }
 
 impl ServeBackend for Service {
@@ -466,10 +498,10 @@ impl ServeBackend for Service {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         Service::changelog_since(self, since)
     }
-    fn ping(&self) -> (u64, bool) {
+    fn ping(&self) -> (u64, bool, u64) {
         // Direct services run write cycles on the submitting thread;
         // there is no writer to have died independently.
-        (Service::version(self), true)
+        (Service::version(self), true, self.uptime_ms())
     }
     fn checkpoint(&self) -> Result<u64, Error> {
         Service::checkpoint(self)
@@ -481,6 +513,9 @@ impl ServeBackend for Service {
             None,
             self.journal_stats().as_ref(),
         )
+    }
+    fn metrics_text(&self) -> String {
+        self.telemetry().render()
     }
 }
 
@@ -500,8 +535,12 @@ impl ServeBackend for AsyncService {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         self.service().changelog_since(since)
     }
-    fn ping(&self) -> (u64, bool) {
-        (self.service().version(), self.writer_live())
+    fn ping(&self) -> (u64, bool, u64) {
+        (
+            self.service().version(),
+            self.writer_live(),
+            self.service().uptime_ms(),
+        )
     }
     fn checkpoint(&self) -> Result<u64, Error> {
         self.service().checkpoint()
@@ -513,6 +552,9 @@ impl ServeBackend for AsyncService {
             Some(&self.stats()),
             self.service().journal_stats().as_ref(),
         )
+    }
+    fn metrics_text(&self) -> String {
+        self.service().telemetry().render()
     }
 }
 
@@ -564,11 +606,15 @@ pub fn execute(backend: &dyn ServeBackend, request: &Request) -> Response {
         Request::Stats => Response::Stats {
             json: backend.stats_json(),
         },
+        Request::Metrics => Response::Metrics {
+            body: backend.metrics_text(),
+        },
         Request::Ping => {
-            let (version, writer_live) = backend.ping();
+            let (version, writer_live, uptime_ms) = backend.ping();
             Response::Pong {
                 version,
                 writer_live,
+                uptime_ms,
             }
         }
         Request::Checkpoint => match backend.checkpoint() {
@@ -593,107 +639,27 @@ pub fn execute(backend: &dyn ServeBackend, request: &Request) -> Response {
 /// mode prints the string as-is, plain mode prefixes it with `% stats `
 /// (a comment, so downstream fact parsers stay happy), and the wire
 /// `stats` command ships it verbatim — so the outputs cannot drift.
+///
+/// Each section is driven by its stat set's
+/// [`crate::telemetry::StatSet`] registration (the `stat_set!` macro
+/// next to each struct), whose exhaustive destructuring makes adding a
+/// counter without exporting it a compile error — no hand-maintained
+/// key list to fall behind.
 pub fn stats_json(
     session: &SessionStats,
     service: Option<&ServiceStats>,
     net: Option<&NetStats>,
     journal: Option<&JournalStats>,
 ) -> String {
-    let mut body = format!(
-        "\"stats\":{{\"solves\":{},\"warm_solves\":{},\"snapshot_clones\":{},\
-         \"snapshot_reuses\":{},\"regrounds\":{},\"asserts\":{},\"retracts\":{},\
-         \"rule_asserts\":{},\"rule_retracts\":{},\"delta_rounds\":{},\
-         \"condensation_builds\":{},\"condensation_repairs\":{},\
-         \"last_repair_atoms\":{},\"last_repair_edges\":{},\
-         \"restricted_cond_hits\":{},\"scc_solves\":{},\"last_components\":{},\
-         \"last_components_evaluated\":{},\"last_components_reused\":{},\
-         \"last_seed_size\":{},\"last_wavefronts\":{},\"last_ready_width\":{},\
-         \"stolen_tasks\":{},\"par_components\":{},\"seq_components\":{}}}",
-        session.solves,
-        session.warm_solves,
-        session.snapshot_clones,
-        session.snapshot_reuses,
-        session.regrounds,
-        session.asserts,
-        session.retracts,
-        session.rule_asserts,
-        session.rule_retracts,
-        session.delta_rounds,
-        session.condensation_builds,
-        session.condensation_repairs,
-        session.last_repair_atoms,
-        session.last_repair_edges,
-        session.restricted_cond_hits,
-        session.scc_solves,
-        session.last_components,
-        session.last_components_evaluated,
-        session.last_components_reused,
-        session.last_seed_size,
-        session.last_wavefronts,
-        session.last_ready_width,
-        session.stolen_tasks,
-        session.par_components,
-        session.seq_components,
-    );
+    let mut body = format!("\"stats\":{}", stat_object(session));
     if let Some(s) = service {
-        body.push_str(&format!(
-            ",\"service\":{{\"version\":{},\"submissions\":{},\"write_cycles\":{},\
-             \"coalesced\":{},\"rejected\":{},\"pins\":{},\"cache_hits\":{},\
-             \"cache_misses\":{},\"changelog_evicted\":{},\"last_cycle_width\":{},\
-             \"max_cycle_width\":{}}}",
-            s.version,
-            s.submissions,
-            s.write_cycles,
-            s.coalesced,
-            s.rejected,
-            s.pins,
-            s.cache_hits,
-            s.cache_misses,
-            s.changelog_evicted,
-            s.last_cycle_width,
-            s.max_cycle_width,
-        ));
+        body.push_str(&format!(",\"service\":{}", stat_object(s)));
     }
     if let Some(n) = net {
-        body.push_str(&format!(
-            ",\"net\":{{\"submitted\":{},\"completed\":{},\"overloaded\":{},\
-             \"timed_out\":{},\"aborted\":{},\"queue_depth\":{},\
-             \"queue_depth_hwm\":{},\"last_cycle_width\":{},\"max_cycle_width\":{},\
-             \"write_p50_us\":{},\"write_p99_us\":{},\"conns_accepted\":{},\
-             \"conns_rejected\":{},\"conns_open\":{},\"frames_in\":{},\
-             \"frames_out\":{}}}",
-            n.submitted,
-            n.completed,
-            n.overloaded,
-            n.timed_out,
-            n.aborted,
-            n.queue_depth,
-            n.queue_depth_hwm,
-            n.last_cycle_width,
-            n.max_cycle_width,
-            n.write_p50_us,
-            n.write_p99_us,
-            n.conns_accepted,
-            n.conns_rejected,
-            n.conns_open,
-            n.frames_in,
-            n.frames_out,
-        ));
+        body.push_str(&format!(",\"net\":{}", stat_object(n)));
     }
     if let Some(j) = journal {
-        body.push_str(&format!(
-            ",\"journal\":{{\"records_appended\":{},\"bytes_appended\":{},\
-             \"syncs\":{},\"checkpoints\":{},\"compacted_records\":{},\
-             \"records_replayed\":{},\"torn_truncations\":{},\"failed_ops\":{}}}",
-            j.records_appended,
-            j.bytes_appended,
-            j.syncs,
-            j.checkpoints,
-            j.compacted_records,
-            j.records_replayed,
-            j.torn_truncations,
-            j.failed_ops,
-        ));
+        body.push_str(&format!(",\"journal\":{}", stat_object(j)));
     }
     format!("{{{body}}}")
 }
@@ -824,6 +790,7 @@ mod tests {
         );
         assert_eq!(parse_command("  quit  ").unwrap(), Request::Quit);
         assert_eq!(parse_command("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_command("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse_command("checkpoint").unwrap(), Request::Checkpoint);
         assert!(parse_command("query wins(X)")
             .unwrap_err()
@@ -902,6 +869,19 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"true\":["));
+        let resp = execute(&service, &parse_command("metrics").unwrap());
+        let json = render_json(&resp);
+        assert!(
+            json.starts_with("{\"telemetry\":{\"enabled\":true"),
+            "{json}"
+        );
+        assert!(json.contains("\"cycle_total_ns\""), "{json}");
+        let resp = execute(&service, &parse_command("ping").unwrap());
+        let json = render_json(&resp);
+        assert!(
+            json.starts_with("{\"pong\":true,\"version\":1,\"writer_live\":true,\"uptime_ms\":"),
+            "{json}"
+        );
     }
 
     #[test]

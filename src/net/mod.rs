@@ -118,3 +118,22 @@ pub struct NetStats {
     /// Response frames written to all connections.
     pub frames_out: u64,
 }
+
+crate::telemetry::stat_set!(NetStats {
+    submitted,
+    completed,
+    overloaded,
+    timed_out,
+    aborted,
+    queue_depth,
+    queue_depth_hwm,
+    last_cycle_width,
+    max_cycle_width,
+    write_p50_us,
+    write_p99_us,
+    conns_accepted,
+    conns_rejected,
+    conns_open,
+    frames_in,
+    frames_out,
+});

@@ -170,8 +170,12 @@ impl ServeBackend for Inner {
     fn changelog_since(&self, since: u64) -> Result<Vec<AppliedDelta>, Error> {
         self.tier.service().changelog_since(since)
     }
-    fn ping(&self) -> (u64, bool) {
-        (self.tier.service().version(), self.tier.writer_live())
+    fn ping(&self) -> (u64, bool, u64) {
+        (
+            self.tier.service().version(),
+            self.tier.writer_live(),
+            self.tier.service().uptime_ms(),
+        )
     }
     fn checkpoint(&self) -> Result<u64, Error> {
         self.tier.service().checkpoint()
@@ -183,6 +187,9 @@ impl ServeBackend for Inner {
             Some(&self.net_stats()),
             self.tier.service().journal_stats().as_ref(),
         )
+    }
+    fn metrics_text(&self) -> String {
+        self.tier.service().telemetry().render()
     }
 }
 
@@ -410,6 +417,7 @@ fn admit(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
 /// (mid-frame EOF, timeouts, oversized frames, broken pipes) end the
 /// connection.
 fn serve_conn(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
+    let telemetry = inner.tier.service().telemetry();
     loop {
         if inner.stop.load(Ordering::SeqCst) {
             break;
@@ -419,6 +427,9 @@ fn serve_conn(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
             Ok(None) | Err(_) => break,
         };
         inner.frames_in.fetch_add(1, Ordering::Relaxed);
+        // Request latency: frame parsed → response frame written. Read
+        // idle time (the client thinking) is deliberately excluded.
+        let started = std::time::Instant::now();
         let line = String::from_utf8_lossy(&payload);
         let response = match parse_command(&line) {
             Ok(Request::Quit) => break,
@@ -429,6 +440,7 @@ fn serve_conn(mut conn: Box<dyn Conn>, inner: &Arc<Inner>) {
             break;
         }
         inner.frames_out.fetch_add(1, Ordering::Relaxed);
+        telemetry.record_request(started.elapsed().as_nanos() as u64);
     }
     conn.shutdown_both();
 }
@@ -568,9 +580,10 @@ mod tests {
         let payload = codec::read_frame(&mut conn, codec::DEFAULT_MAX_FRAME_LEN)
             .unwrap()
             .unwrap();
-        assert_eq!(
-            String::from_utf8(payload).unwrap(),
-            "{\"pong\":true,\"version\":0,\"writer_live\":true}"
+        let pong = String::from_utf8(payload).unwrap();
+        assert!(
+            pong.starts_with("{\"pong\":true,\"version\":0,\"writer_live\":true,\"uptime_ms\":"),
+            "{pong}"
         );
         drop(conn);
 

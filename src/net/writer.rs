@@ -444,6 +444,15 @@ fn writer_loop(service: &Service, shared: &Arc<AsyncShared>) {
             .max_cycle_width
             .fetch_max(live.len() as u64, Ordering::Relaxed);
 
+        // Queue-wait latency: enqueue → writer pickup, per submission,
+        // into the telemetry histogram (distinct from the net tier's
+        // submit→completion window, which includes the cycle itself).
+        let telemetry = service.telemetry();
+        let picked_up = Instant::now();
+        for item in &live {
+            telemetry.record_queue_wait(picked_up.duration_since(item.enqueued).as_nanos() as u64);
+        }
+
         let enqueued: Vec<Instant> = live.iter().map(|i| i.enqueued).collect();
         let slots: Vec<Arc<Slot>> = live.iter().map(|i| Arc::clone(&i.pending.slot)).collect();
         let pendings: Vec<Pending> = live.into_iter().map(|i| i.pending).collect();

@@ -74,9 +74,11 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 
 use crate::engine::restricted_wfs_model;
 use crate::journal::{self, CrashPoint, Journal, JournalOptions, JournalStats};
+use crate::telemetry::{stat_set, PhaseBreakdown, Telemetry};
 use crate::{Engine, Error, Model, Session, SessionStats, Truth};
 
 /// Lock a mutex, recovering the data on poison: the service's shared
@@ -184,6 +186,20 @@ pub struct ServiceStats {
     /// Largest write-cycle batch so far.
     pub max_cycle_width: u64,
 }
+
+stat_set!(ServiceStats {
+    version,
+    submissions,
+    write_cycles,
+    coalesced,
+    rejected,
+    pins,
+    cache_hits,
+    cache_misses,
+    changelog_evicted,
+    last_cycle_width,
+    max_cycle_width,
+});
 
 /// A pinned, immutable view of one published program version. Cloning is
 /// two pointer copies; all queries are lock-free reads of shared
@@ -383,6 +399,14 @@ struct Shared {
     changelog_evicted: AtomicU64,
     last_cycle_width: AtomicU64,
     max_cycle_width: AtomicU64,
+    /// Phase-timing sink for write cycles. Enabled (but unconfigured —
+    /// no trace file, no slow-cycle threshold) by default so `metrics`
+    /// works out of the box; [`Service::set_telemetry`] swaps in a
+    /// configured or disabled handle. The mutex guards only the handle
+    /// swap — cycles clone the handle out and record through atomics.
+    telemetry: Mutex<Telemetry>,
+    /// Construction instant, for `ping`'s `uptime_ms`.
+    started: Instant,
 }
 
 /// A concurrent serving layer over one writer [`Session`]. Cheap to
@@ -534,6 +558,8 @@ impl Service {
                 changelog_evicted: AtomicU64::new(evicted),
                 last_cycle_width: AtomicU64::new(0),
                 max_cycle_width: AtomicU64::new(0),
+                telemetry: Mutex::new(Telemetry::new()),
+                started: Instant::now(),
             }),
         })
     }
@@ -632,6 +658,26 @@ impl Service {
     /// writer; don't call on a hot read path).
     pub fn session_stats(&self) -> SessionStats {
         *lock(&self.shared.writer).session.stats()
+    }
+
+    /// Install a telemetry handle — a configured one (trace stream,
+    /// Prometheus format, slow-cycle threshold) or
+    /// [`Telemetry::disabled`] to make every recording call a no-op.
+    /// Cycles already in flight finish recording into the handle they
+    /// cloned at cycle start.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *lock(&self.shared.telemetry) = telemetry;
+    }
+
+    /// A clone of the current telemetry handle (shares the same
+    /// registry, ring and trace sink).
+    pub fn telemetry(&self) -> Telemetry {
+        lock(&self.shared.telemetry).clone()
+    }
+
+    /// Milliseconds since this service was constructed.
+    pub fn uptime_ms(&self) -> u64 {
+        self.shared.started.elapsed().as_millis() as u64
     }
 
     // ------------------------------------------------------------------
@@ -752,6 +798,8 @@ impl Service {
     /// ([`crate::net::AsyncService`]) can drive cycles off its own
     /// bounded queue; concurrent cycles serialize on the writer lock.
     pub(crate) fn run_cycle(&self, batch: Vec<Pending>) {
+        let telemetry = self.telemetry();
+        let cycle_started = Instant::now();
         self.shared.write_cycles.fetch_add(1, Ordering::Relaxed);
         self.shared
             .last_cycle_width
@@ -765,6 +813,10 @@ impl Service {
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         let mut writer = lock(&self.shared.writer);
+        // Phase accounting starts fresh each cycle: anything the session
+        // accumulated outside a cycle (direct use, recovery replay) must
+        // not be attributed to this one.
+        let _ = writer.session.take_phases();
 
         // Apply, in submission order, merging adjacent same-kind runs
         // into a single batched call (one envelope-delta round per run).
@@ -822,6 +874,7 @@ impl Service {
 
         match writer.session.solve() {
             Ok(model) => {
+                let phases = writer.session.take_phases();
                 let version = self.shared.version.load(Ordering::Acquire) + 1;
                 let snapshot = ModelSnapshot {
                     version,
@@ -836,22 +889,45 @@ impl Service {
                 // rolled back off the WAL, the applied deltas stay in
                 // `unpublished` (they are in the session), and the next
                 // cycle that succeeds re-appends and attributes them.
-                if writer.journal.is_some() {
-                    if let Err(e) = self.journal_cycle(&mut writer, version) {
-                        drop(writer);
-                        for (pending, outcome) in batch.iter().zip(outcomes) {
-                            pending.slot.fill(match outcome {
-                                Ok(()) => Err(e.clone()),
-                                Err(apply_err) => Err(apply_err),
-                            });
+                let (journal_append_ns, fsync_ns) = if writer.journal.is_some() {
+                    match self.journal_cycle(&mut writer, version) {
+                        Ok(timing) => timing,
+                        Err(e) => {
+                            drop(writer);
+                            for (pending, outcome) in batch.iter().zip(outcomes) {
+                                pending.slot.fill(match outcome {
+                                    Ok(()) => Err(e.clone()),
+                                    Err(apply_err) => Err(apply_err),
+                                });
+                            }
+                            return;
                         }
-                        return;
                     }
-                }
+                } else {
+                    (0, 0)
+                };
                 let applied = std::mem::take(&mut writer.unpublished);
+                let width = applied.len() as u64;
+                let publish_started = Instant::now();
                 self.publish(&snapshot, applied);
+                let publish_ns = publish_started.elapsed().as_nanos() as u64;
                 self.maybe_checkpoint(&mut writer, version);
                 drop(writer);
+                telemetry.record_cycle(&PhaseBreakdown {
+                    version,
+                    width,
+                    total_ns: cycle_started.elapsed().as_nanos() as u64,
+                    ground_ns: phases.ground_ns,
+                    repair_ns: phases.repair_ns,
+                    condense_ns: phases.condense_ns,
+                    solve_ns: phases.solve_ns,
+                    busy_ns: phases.busy_ns,
+                    steal_ns: phases.steal_ns,
+                    sleep_ns: phases.sleep_ns,
+                    journal_append_ns,
+                    fsync_ns,
+                    publish_ns,
+                });
                 // Slots fill only after the sync above: with
                 // `JournalOptions::ack_durable` this is ack-after-
                 // durable — a submitter (or net-tier `SubmitHandle`)
@@ -930,8 +1006,10 @@ impl Service {
 
     /// Append this cycle's applied deltas to the write-ahead log and
     /// sync per policy, with the pre/post-append crash seams around it.
-    /// Called with the writer lock held, before publish.
-    fn journal_cycle(&self, writer: &mut Writer, version: u64) -> Result<(), Error> {
+    /// Called with the writer lock held, before publish. Returns this
+    /// cycle's `(append_ns, fsync_ns)` wall time for the telemetry
+    /// phase breakdown.
+    fn journal_cycle(&self, writer: &mut Writer, version: u64) -> Result<(u64, u64), Error> {
         self.maybe_crash(CrashPoint::PreAppend);
         let Writer {
             journal,
@@ -945,18 +1023,22 @@ impl Service {
         // the retry cycle re-appends everything fresh, so the log never
         // carries duplicate records or a torn frame mid-file.
         let mark = journal.mark();
+        let append_started = Instant::now();
         for (kind, text) in unpublished.iter() {
             if let Err(e) = journal.append(version, *kind, text) {
                 journal.rollback(mark);
                 return Err(e);
             }
         }
+        let append_ns = append_started.elapsed().as_nanos() as u64;
+        let sync_started = Instant::now();
         if let Err(e) = journal.sync_for_publish() {
             journal.rollback(mark);
             return Err(e);
         }
+        let fsync_ns = sync_started.elapsed().as_nanos() as u64;
         self.maybe_crash(CrashPoint::PostAppend);
-        Ok(())
+        Ok((append_ns, fsync_ns))
     }
 
     /// Run the automatic checkpoint interval

@@ -579,22 +579,26 @@ fn serve_mode_ping() {
     let (stdout, _, code) = run_serve(&[], "ping\nassert move(c, d).\nping\nquit\n");
     assert_eq!(code, Some(0));
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(
-        lines,
-        vec![
-            "pong version 0 writer live",
-            "ok 1",
-            "pong version 1 writer live"
-        ],
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(
+        lines[0].starts_with("pong version 0 writer live uptime "),
+        "{stdout}"
+    );
+    assert!(lines[0].ends_with("ms"), "{stdout}");
+    assert_eq!(lines[1], "ok 1", "{stdout}");
+    assert!(
+        lines[2].starts_with("pong version 1 writer live uptime "),
         "{stdout}"
     );
 
     let (stdout, _, code) = run_serve(&["--json"], "ping\nquit\n");
     assert_eq!(code, Some(0));
-    assert_eq!(
-        stdout.lines().next().unwrap(),
-        "{\"pong\":true,\"version\":0,\"writer_live\":true}"
+    let first = stdout.lines().next().unwrap();
+    assert!(
+        first.starts_with("{\"pong\":true,\"version\":0,\"writer_live\":true,\"uptime_ms\":"),
+        "{first}"
     );
+    assert!(first.ends_with('}'), "{first}");
 }
 
 /// `--changelog-cap N` bounds retention: reads behind the horizon come

@@ -68,6 +68,7 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Model),
         Just(Request::Version),
         Just(Request::Stats),
+        Just(Request::Metrics),
         Just(Request::Ping),
         Just(Request::Checkpoint),
         Just(Request::Quit),
